@@ -1,0 +1,75 @@
+"""E11 — batched multiproofs: compressing CBS's proof traffic.
+
+A post-paper optimization on §3.1's proof bundle: the ``m``
+authentication paths share interior digests, so one compressed
+multiproof is strictly smaller than ``m`` independent paths.  The
+``O(m log n)`` bound is unchanged; this bench measures the constant.
+"""
+
+from repro.analysis import format_table
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+def sweep_batching() -> list[dict]:
+    rows = []
+    for n, m in ((4096, 10), (4096, 50), (65536, 50), (65536, 200)):
+        task = TaskAssignment(f"b{n}-{m}", RangeDomain(0, n), PasswordSearch())
+        classic = CBSScheme(m, include_reports=False).run(
+            task, HonestBehavior(), seed=0
+        )
+        batched = CBSScheme(m, include_reports=False, batch_proofs=True).run(
+            task, HonestBehavior(), seed=0
+        )
+        assert classic.outcome.accepted and batched.outcome.accepted
+        a = classic.participant_ledger.bytes_sent
+        b = batched.participant_ledger.bytes_sent
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "classic_bytes": a,
+                "batched_bytes": b,
+                "saving": f"{(1 - b / a) * 100:.0f}%",
+            }
+        )
+    return rows
+
+
+def test_batched_proof_compression(benchmark, save_table):
+    rows = benchmark.pedantic(sweep_batching, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="E11 — classic proof bundle vs compressed multiproof"
+    )
+    save_table("E11_batched_proofs", table)
+    for row in rows:
+        assert row["batched_bytes"] < row["classic_bytes"]
+    # Larger m over the same tree ⇒ more shared interiors ⇒ bigger
+    # relative saving.
+    by_key = {(row["n"], row["m"]): row for row in rows}
+    saving_small = 1 - by_key[(65536, 50)]["batched_bytes"] / by_key[(65536, 50)]["classic_bytes"]
+    saving_large = 1 - by_key[(65536, 200)]["batched_bytes"] / by_key[(65536, 200)]["classic_bytes"]
+    assert saving_large > saving_small
+
+
+def test_batched_detection_unchanged(benchmark, save_table):
+    def run():
+        task = TaskAssignment("bd", RangeDomain(0, 1024), PasswordSearch())
+        classic = CBSScheme(8)
+        batched = CBSScheme(8, batch_proofs=True)
+        agree = 0
+        trials = 80
+        for seed in range(trials):
+            behavior = SemiHonestCheater(0.75)
+            a = classic.run(task, behavior, seed=seed).outcome.accepted
+            b = batched.run(task, behavior, seed=seed).outcome.accepted
+            agree += a == b
+        return agree, trials
+
+    agree, trials = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "E11_batched_equivalence",
+        f"E11 — batched vs classic verdict agreement: {agree}/{trials}",
+    )
+    assert agree == trials

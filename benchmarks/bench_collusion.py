@@ -1,0 +1,90 @@
+"""E14 — collusion: the redundancy killer CBS shrugs off.
+
+The paper argues double-checking "leads to the wastage of processor
+cycles"; the deeper problem (well known from BOINC deployments) is
+that replication *assumes independent replicas*.  A cartel that
+coordinates fabrications votes itself through majority checks.  CBS
+verifies against ``f`` itself, so collusion buys nothing.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import DoubleCheckScheme
+from repro.cheating import ColludingCheater, HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+N = 400
+TRIALS = 40
+
+
+def collusion_rows() -> list[dict]:
+    task = TaskAssignment("coll", RangeDomain(0, N), PasswordSearch())
+    cartel = b"bench-cartel"
+    rows = []
+    cases = [
+        (
+            "double-check(k=2), independent cheaters",
+            DoubleCheckScheme(2, replica_behaviors=[SemiHonestCheater(0.5)]),
+            lambda seed: SemiHonestCheater(0.5),
+        ),
+        (
+            "double-check(k=2), colluding cartel",
+            DoubleCheckScheme(
+                2, replica_behaviors=[ColludingCheater(0.5, cartel)]
+            ),
+            lambda seed: ColludingCheater(0.5, cartel),
+        ),
+        (
+            "double-check(k=3), cartel outvotes honest",
+            DoubleCheckScheme(
+                3,
+                replica_behaviors=[
+                    ColludingCheater(0.5, cartel),
+                    HonestBehavior(),
+                ],
+            ),
+            lambda seed: ColludingCheater(0.5, cartel),
+        ),
+        (
+            "cbs(m=20), colluding cartel",
+            CBSScheme(20, include_reports=False),
+            lambda seed: ColludingCheater(0.5, cartel),
+        ),
+    ]
+    for label, scheme, behavior_factory in cases:
+        escapes = sum(
+            scheme.run(task, behavior_factory(seed), seed=seed).outcome.accepted
+            for seed in range(TRIALS)
+        )
+        rows.append(
+            {
+                "setup": label,
+                "escapes": f"{escapes}/{TRIALS}",
+                "escape_rate": escapes / TRIALS,
+            }
+        )
+    return rows
+
+
+def test_collusion_comparison(benchmark, save_table):
+    rows = benchmark.pedantic(collusion_rows, rounds=1, iterations=1)
+    table = format_table(
+        rows, title=f"E14 — collusion vs redundancy vs CBS (r=0.5, {TRIALS} runs)"
+    )
+    save_table("E14_collusion", table)
+
+    by_setup = {row["setup"]: row for row in rows}
+    # Independent cheaters: replication catches them.
+    assert by_setup[
+        "double-check(k=2), independent cheaters"
+    ]["escape_rate"] == 0.0
+    # A cartel sails through replication...
+    assert by_setup[
+        "double-check(k=2), colluding cartel"
+    ]["escape_rate"] == 1.0
+    assert by_setup[
+        "double-check(k=3), cartel outvotes honest"
+    ]["escape_rate"] == 1.0
+    # ...and is annihilated by CBS (escape 0.75^... ≈ 0 at m=20... q=0
+    # here, so 0.5^20).
+    assert by_setup["cbs(m=20), colluding cartel"]["escape_rate"] == 0.0

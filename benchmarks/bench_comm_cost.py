@@ -1,0 +1,100 @@
+"""E3 — communication cost: O(n) baselines vs O(m log n) CBS.
+
+The paper's §1/§3 claims:
+
+* naive sampling and double-checking put all ``n`` results on the
+  wire (§1: "O(n) communication cost");
+* CBS reduces the participant's traffic to ``O(m log n)`` (§3: "this
+  result is a substantial improvement" for ``n = 2^40``);
+* the §3 headline: returning all results of a 2^64 brute-force
+  password task would cost ~16 million terabytes at the supervisor.
+
+Measured wire bytes (every message serialized through the canonical
+codec) for an ``n`` sweep, plus the closed-form extrapolation to the
+paper's 2^40 and 2^64 sizes.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.costs import cbs_participant_bytes, naive_bytes_per_task
+from repro.baselines import DoubleCheckScheme, NaiveSamplingScheme
+from repro.cheating import HonestBehavior
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+M = 50  # the paper's "almost impossible" sample count
+
+
+def measure_for(n: int) -> dict:
+    task = TaskAssignment("comm", RangeDomain(0, n), PasswordSearch())
+    naive = NaiveSamplingScheme(M).run(task, HonestBehavior(), seed=0)
+    double = DoubleCheckScheme(2).run(task, HonestBehavior(), seed=0)
+    cbs = CBSScheme(M, include_reports=False).run(
+        task, HonestBehavior(), seed=0
+    )
+    return {
+        "n": n,
+        "double_check_bytes": double.supervisor_ledger.bytes_received,
+        "naive_sampling_bytes": naive.participant_ledger.bytes_sent,
+        "cbs_bytes": cbs.participant_ledger.bytes_sent,
+        "cbs_reduction": round(
+            naive.participant_ledger.bytes_sent
+            / cbs.participant_ledger.bytes_sent,
+            1,
+        ),
+    }
+
+
+def run_sweep() -> list[dict]:
+    return [measure_for(n) for n in (256, 1024, 4096, 16384, 65536)]
+
+
+def test_comm_cost_sweep(benchmark, save_table):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        rows, title=f"E3 — measured wire bytes per participant (m = {M})"
+    )
+    save_table("E3_comm_cost_measured", table)
+
+    # Shape assertions: naive grows ~linearly, CBS ~logarithmically.
+    by_n = {row["n"]: row for row in rows}
+    naive_growth = (
+        by_n[65536]["naive_sampling_bytes"] / by_n[256]["naive_sampling_bytes"]
+    )
+    cbs_growth = by_n[65536]["cbs_bytes"] / by_n[256]["cbs_bytes"]
+    assert naive_growth > 200  # 256x domain ⇒ ~256x traffic
+    assert cbs_growth < 2.5  # only the log n term grows
+    # CBS wins beyond the crossover and the margin widens with n.
+    assert by_n[4096]["cbs_bytes"] < by_n[4096]["naive_sampling_bytes"]
+    assert (
+        by_n[65536]["cbs_reduction"] > by_n[4096]["cbs_reduction"]
+    )
+
+
+def test_comm_cost_paper_extrapolation(benchmark, save_table):
+    def build_rows():
+        rows = []
+        for label, n in (("2^30", 1 << 30), ("2^40", 1 << 40), ("2^64", 1 << 64)):
+            naive = naive_bytes_per_task(n, result_size=16)
+            cbs = cbs_participant_bytes(n, M, digest_size=32, result_size=16)
+            rows.append(
+                {
+                    "n": label,
+                    "naive_bytes": naive,
+                    "naive_terabytes": naive / 1e12,
+                    "cbs_bytes": cbs,
+                    "reduction": naive / cbs,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="E3 — closed-form extrapolation to the paper's sizes"
+    )
+    save_table("E3_comm_cost_extrapolated", table)
+
+    by_n = {row["n"]: row for row in rows}
+    # §3 headline: 2^64 results ≈ "about 16 million terabytes".
+    assert 10e6 < by_n["2^64"]["naive_terabytes"] < 400e6
+    # CBS at 2^64 with m=50 stays in the ~100 KB range.
+    assert by_n["2^64"]["cbs_bytes"] < 150_000

@@ -1,0 +1,73 @@
+"""E2 — Eq. (2): cheat-success probability, analytic vs measured.
+
+Sweeps ``r × q × m`` and compares the closed form
+``(r + (1 − r)q)^m`` against Monte-Carlo escape rates over full CBS
+protocol executions (tree, wire messages, verification — everything).
+Also reports the paper's §1 sanity point: at ``r = 0.5, q = 0``,
+``m = 50`` pushes escape below ``2^−50``.
+"""
+
+from repro.analysis import (
+    cheat_success_probability,
+    estimate_escape_rate,
+    format_table,
+    sweep,
+)
+from repro.cheating import SemiHonestCheater
+from repro.cheating.guessing import guess_model_for_q
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+TASK = TaskAssignment("eq2", RangeDomain(0, 300), PasswordSearch())
+TRIALS = 200
+
+
+def eq2_row(r: float, q: float, m: int) -> dict:
+    estimate = estimate_escape_rate(
+        CBSScheme(n_samples=m),
+        TASK,
+        lambda trial: SemiHonestCheater(r, guess_model_for_q(q)),
+        n_trials=TRIALS,
+        seed0=int(r * 1000) + int(q * 100) + m,
+    )
+    analytic = cheat_success_probability(r, q, m)
+    return {
+        "analytic": analytic,
+        "measured": estimate.rate,
+        "in_99ci": estimate.contains(analytic),
+    }
+
+
+def run_sweep() -> list[dict]:
+    return sweep(
+        {"r": [0.3, 0.5, 0.8], "q": [0.0, 0.5], "m": [1, 2, 4, 8]},
+        eq2_row,
+    )
+
+
+def test_eq2_sweep_matches_analytic(benchmark, save_table):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=["r", "q", "m", "analytic", "measured", "in_99ci"],
+        title=f"E2 / Eq. (2) — escape probability, {TRIALS} protocol runs per cell",
+    )
+    save_table("E2_eq2_sweep", table)
+    agreement = sum(row["in_99ci"] for row in rows) / len(rows)
+    # Allow a single 99%-CI miss across the 24 cells.
+    assert agreement >= (len(rows) - 1) / len(rows)
+
+
+def test_eq2_intro_example(benchmark, save_table):
+    # §1: "If the dishonest participant computes only one half of the
+    # inputs, the probability that it can successfully cheat the
+    # supervisor is one out of 2^m ... m = 50, the cheating is almost
+    # impossible."
+    p = benchmark.pedantic(
+        lambda: cheat_success_probability(0.5, 0.0, 50), rounds=1, iterations=1
+    )
+    assert p == 0.5**50
+    save_table(
+        "E2_intro_example",
+        f"E2 — paper §1 example: r=0.5, q=0, m=50 → escape = 2^-50 = {p:.3e}",
+    )

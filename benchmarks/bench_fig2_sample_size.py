@@ -1,0 +1,90 @@
+"""E1 — Figure 2: required sample size vs honesty ratio.
+
+Paper: for ``ε = 1e−4``, the required ``m`` from Eq. (3) over
+``r ∈ [0.1, 0.9]`` for ``q = 0`` and ``q = 0.5``; quoted values are
+``m = 33`` at ``(r = 0.5, q = 0.5)`` and ``m = 14`` at ``(r = 0.5,
+q ≈ 0)``, with the ``q = 0.5`` curve topping out near 180 at
+``r = 0.9``.
+
+The closed form is cross-checked against the *actual protocol*: for a
+grid of ``(r, q)`` points we verify empirically (Monte-Carlo over full
+CBS runs) that the analytic escape probability at small ``m`` sits
+inside the 99% Wilson interval, then tabulate Eq. (3)'s curve.
+"""
+
+from repro.analysis import (
+    cheat_success_probability,
+    estimate_escape_rate,
+    fig2_series,
+    format_table,
+)
+from repro.cheating import BernoulliGuess, SemiHonestCheater, ZeroGuess
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+EPSILON = 1e-4
+
+
+def build_fig2_rows() -> list[dict]:
+    points = fig2_series(epsilon=EPSILON)
+    by_r: dict[float, dict] = {}
+    for p in points:
+        row = by_r.setdefault(round(p.r, 2), {"r": round(p.r, 2)})
+        row[f"m (q={p.q:g})"] = p.required_m
+    return [by_r[r] for r in sorted(by_r)]
+
+
+def validate_eq2_empirically() -> list[dict]:
+    task = TaskAssignment("fig2", RangeDomain(0, 400), PasswordSearch())
+    rows = []
+    for r, q, m in ((0.5, 0.0, 2), (0.5, 0.5, 3), (0.8, 0.0, 4), (0.3, 0.5, 2)):
+        guesser = ZeroGuess() if q == 0.0 else BernoulliGuess(q)
+        estimate = estimate_escape_rate(
+            CBSScheme(n_samples=m),
+            task,
+            lambda trial: SemiHonestCheater(r, guesser),
+            n_trials=250,
+            seed0=1000,
+        )
+        analytic = cheat_success_probability(r, q, m)
+        rows.append(
+            {
+                "r": r,
+                "q": q,
+                "m": m,
+                "analytic_escape": analytic,
+                "measured_escape": estimate.rate,
+                "ci_low": estimate.low,
+                "ci_high": estimate.high,
+                "analytic_in_ci": estimate.contains(analytic),
+            }
+        )
+    return rows
+
+
+def test_fig2_required_sample_size(benchmark, save_table):
+    rows = benchmark.pedantic(build_fig2_rows, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title=f"E1 / Fig. 2 — required sample size m (epsilon = {EPSILON})",
+    )
+    save_table("E1_fig2_sample_size", table)
+
+    values = {row["r"]: row for row in rows}
+    # The paper's quoted numbers.
+    assert values[0.5]["m (q=0)"] == 14
+    assert values[0.5]["m (q=0.5)"] == 33
+    assert 150 <= values[0.9]["m (q=0.5)"] <= 200
+    # Monotone: lazier-to-detect cheaters need more samples.
+    for q_key in ("m (q=0)", "m (q=0.5)"):
+        curve = [values[r][q_key] for r in sorted(values)]
+        assert curve == sorted(curve)
+
+
+def test_fig2_closed_form_validated_by_protocol(benchmark, save_table):
+    rows = benchmark.pedantic(validate_eq2_empirically, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="E1 validation — Eq. (2) vs Monte-Carlo over real CBS runs"
+    )
+    save_table("E1_eq2_validation", table)
+    assert all(row["analytic_in_ci"] for row in rows)

@@ -1,0 +1,100 @@
+"""E12 — incentive economics: Definition 2.1's second arm, quantified.
+
+The paper defines uncheatability as detection probability below ε *or*
+cheating cost above task cost, and motivates everything with paid
+participants (§1).  This bench closes the loop: given a payment model,
+how many samples make honesty the rational strategy?  Cross-validated
+against measured escape rates from real protocol runs.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.incentives import (
+    IncentiveModel,
+    deterrent_sample_size,
+    utility_curve,
+)
+from repro.analysis.montecarlo import estimate_escape_rate
+from repro.cheating import SemiHonestCheater
+from repro.cheating.guessing import guess_model_for_q
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+def deterrence_table() -> list[dict]:
+    rows = []
+    for q in (0.0, 0.25, 0.5):
+        for payment, cost in ((110.0, 100.0), (150.0, 100.0), (400.0, 100.0)):
+            model = IncentiveModel(payment=payment, task_cost=cost, q=q)
+            try:
+                m_star = deterrent_sample_size(model)
+            except ValueError:
+                m_star = None
+            rows.append(
+                {
+                    "q": q,
+                    "payment": payment,
+                    "task_cost": cost,
+                    "margin": payment - cost,
+                    "deterrent_m": m_star if m_star is not None else ">10000",
+                }
+            )
+    return rows
+
+
+def test_deterrent_sample_sizes(benchmark, save_table):
+    rows = benchmark.pedantic(deterrence_table, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="E12 — smallest m making honesty the best response"
+    )
+    save_table("E12_deterrence", table)
+
+    by_key = {(row["q"], row["payment"]): row for row in rows}
+    # q = 0, payment >= cost: m = 1 suffices in expectation.
+    assert by_key[(0.0, 150.0)]["deterrent_m"] == 1
+    # Guessable outputs need real sampling pressure.
+    assert by_key[(0.5, 150.0)]["deterrent_m"] > 1
+    # Thin margins are the dangerous regime.
+    assert (
+        by_key[(0.5, 110.0)]["deterrent_m"]
+        > by_key[(0.5, 400.0)]["deterrent_m"]
+    )
+
+
+def test_utility_curve_validated_by_protocol(benchmark, save_table):
+    """The utility model's escape term matches the implementation."""
+
+    def run():
+        q, m = 0.5, 4
+        model = IncentiveModel(payment=150.0, task_cost=100.0, q=q)
+        rows = utility_curve(model, m=m, r_values=(0.3, 0.6, 0.9))
+        task = TaskAssignment("inc", RangeDomain(0, 200), PasswordSearch())
+        for row in rows:
+            estimate = estimate_escape_rate(
+                CBSScheme(n_samples=m),
+                task,
+                lambda t, r=row["r"]: SemiHonestCheater(
+                    r, guess_model_for_q(q)
+                ),
+                n_trials=150,
+                seed0=int(row["r"] * 100),
+            )
+            row["measured_escape"] = estimate.rate
+            row["escape_in_ci"] = estimate.contains(row["escape"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=[
+            "r",
+            "escape",
+            "measured_escape",
+            "escape_in_ci",
+            "cheating_utility",
+            "honest_utility",
+            "gain",
+        ],
+        title="E12 — utility curve (m=4, q=0.5) with measured escape rates",
+    )
+    save_table("E12_utility_curve", table)
+    assert all(row["escape_in_ci"] for row in rows)

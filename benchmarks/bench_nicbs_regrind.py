@@ -1,0 +1,189 @@
+"""E5 — §4.2 / Eq. (5): the NI-CBS regrinding attack and its defence.
+
+Reproduced claims:
+
+* expected grinding attempts are ``1/r^m`` (measured over many seeds);
+* with a cheap sample hash ``g`` the attack is *profitable* (attack
+  cost < honest cost) — NI-CBS alone is weaker than CBS;
+* pricing ``g`` per Eq. (5) — ``(1/r^m)·m·C_g >= n·C_f`` via the
+  iterated-hash construction ``g = h^k`` — makes cheating
+  uneconomical, while the honest participant's extra cost stays
+  ``≈ r^m`` of the task (the paper's closing observation);
+* ablation: the rational incremental regrind (O(log n) hashes/attempt)
+  vs the naive full-rebuild reading of step 3.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.costs import (
+    honest_sample_generation_overhead,
+    uncheatable_g_rounds,
+)
+from repro.cheating.regrind import (
+    expected_regrind_attempts,
+    run_regrind_attack,
+)
+from repro.core import NICBSScheme, NICBSSupervisor
+from repro.cheating import HonestBehavior
+from repro.merkle import get_hash
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+N = 256
+F_COST = 100.0
+
+
+def make_task() -> TaskAssignment:
+    return TaskAssignment(
+        "regrind", RangeDomain(0, N), PasswordSearch(cost=F_COST)
+    )
+
+
+def measure_attempts() -> list[dict]:
+    task = make_task()
+    rows = []
+    for r, m in ((0.5, 2), (0.5, 4), (0.7, 4), (0.8, 6), (0.9, 8)):
+        attempts = []
+        for seed in range(30):
+            result = run_regrind_attack(
+                task,
+                honesty_ratio=r,
+                n_samples=m,
+                seed=seed,
+                max_attempts=200_000,
+            )
+            assert result.succeeded
+            attempts.append(result.attempts)
+        mean = sum(attempts) / len(attempts)
+        expected = expected_regrind_attempts(r, m)
+        rows.append(
+            {
+                "r": r,
+                "m": m,
+                "expected_1/r^m": expected,
+                "measured_mean": mean,
+                "ratio": mean / expected,
+            }
+        )
+    return rows
+
+
+def test_regrind_attempts_match_theory(benchmark, save_table):
+    rows = benchmark.pedantic(measure_attempts, rounds=1, iterations=1)
+    table = format_table(
+        rows, title="E5 / §4.2 — regrind attempts: measured vs 1/r^m (30 seeds)"
+    )
+    save_table("E5_regrind_attempts", table)
+    for row in rows:
+        # Geometric-distribution sample means: generous 2x band.
+        assert 0.4 < row["ratio"] < 2.5, row
+
+
+def economics_rows() -> list[dict]:
+    task = make_task()
+    r, m = 0.8, 6
+    rows = []
+    k_needed = uncheatable_g_rounds(N, F_COST, r, m)
+    for label, g_name in (
+        ("cheap (1 round)", "sha256"),
+        (f"Eq.5 (k={k_needed})", f"sha256^{k_needed}"),
+    ):
+        result = run_regrind_attack(
+            task,
+            honesty_ratio=r,
+            n_samples=m,
+            sample_hash=get_hash(g_name),
+            seed=4,
+            max_attempts=100_000,
+        )
+        rows.append(
+            {
+                "g": label,
+                "attempts": result.attempts,
+                "attack_cost": round(result.attack_cost),
+                "honest_cost": round(result.honest_task_cost),
+                "profitable": result.profitable,
+            }
+        )
+    # Honest participant's overhead when Eq. 5 is tight: ≈ r^m.
+    honest_scheme = NICBSScheme(
+        n_samples=m, sample_hash_name=f"sha256^{k_needed}"
+    )
+    honest_run = honest_scheme.run(task, HonestBehavior(), seed=1)
+    g_cost = m * k_needed
+    rows.append(
+        {
+            "g": "honest overhead",
+            "attempts": 1,
+            "attack_cost": round(g_cost),
+            "honest_cost": round(honest_run.participant_ledger.evaluation_cost),
+            "profitable": "",
+            "overhead_ratio": g_cost
+            / honest_run.participant_ledger.evaluation_cost,
+            "paper_r^m": honest_sample_generation_overhead(r, m),
+        }
+    )
+    return rows
+
+
+def test_eq5_economics(benchmark, save_table):
+    rows = benchmark.pedantic(economics_rows, rounds=1, iterations=1)
+    table = format_table(
+        rows, title=f"E5 / Eq. (5) — attack economics (n={N}, C_f={F_COST}, r=0.8, m=6)"
+    )
+    save_table("E5_eq5_economics", table)
+    cheap, priced, honest = rows
+    assert cheap["profitable"] is True  # NI-CBS with cheap g is breakable
+    assert priced["profitable"] is False  # Eq. 5 restores uncheatability
+    # Honest sample-generation overhead ratio ≈ r^m (within 2x; Eq. 5's
+    # ceil on k rounds up).
+    assert honest["overhead_ratio"] < 2 * honest["paper_r^m"] + 0.01
+
+
+def test_incremental_vs_full_rebuild_ablation(benchmark, save_table):
+    task = make_task()
+
+    def run_both():
+        rows = []
+        for label, incremental in (("incremental", True), ("full rebuild", False)):
+            result = run_regrind_attack(
+                task,
+                honesty_ratio=0.5,
+                n_samples=8,
+                seed=7,
+                max_attempts=100_000,
+                incremental=incremental,
+            )
+            assert result.succeeded
+            rows.append(
+                {
+                    "strategy": label,
+                    "attempts": result.attempts,
+                    "hashes": result.ledger.hashes,
+                    "hashes_per_attempt": result.ledger.hashes / result.attempts,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title="E5 ablation — regrind hash cost per attempt (n=256, m=8, r=0.5)",
+    )
+    save_table("E5_regrind_ablation", table)
+    inc, full = rows
+    assert inc["hashes_per_attempt"] < full["hashes_per_attempt"] / 5
+
+
+def test_ground_submission_fools_verifier(benchmark):
+    """Wall-clock: a full successful grind against a live verifier."""
+    task = make_task()
+
+    def grind_and_verify():
+        result = run_regrind_attack(
+            task, honesty_ratio=0.8, n_samples=4, seed=2, max_attempts=50_000
+        )
+        assert result.succeeded
+        outcome = NICBSSupervisor(task, n_samples=4).verify(result.submission)
+        assert outcome.accepted
+        return result.attempts
+
+    benchmark.pedantic(grind_and_verify, rounds=1, iterations=1)

@@ -1,0 +1,128 @@
+"""E7 — §1.1 positioning: CBS vs ringers vs hardening vs redundancy.
+
+The paper positions CBS against Golle–Mironov ringers [8] and the
+Szajda et al. hardening [10]:
+
+* ringers require one-way ``f`` and "cannot be applied to generic
+  computations" — measured here as an outright refusal on the
+  guessable workload;
+* redundancy (double-checking) detects everything but wastes the grid
+  (k× cycles) and keeps ``O(n)`` traffic;
+* naive sampling and hardened probes detect well but keep ``O(n)``
+  traffic;
+* CBS/NI-CBS handle both workload classes at ``O(m log n)`` traffic
+  with supervisor work proportional to ``m``.
+"""
+
+from repro.analysis import estimate_escape_rate, format_table
+from repro.baselines import (
+    DoubleCheckScheme,
+    HardenedProbeScheme,
+    NaiveSamplingScheme,
+    RingerScheme,
+)
+from repro.cheating import HonestBehavior, SemiHonestCheater, UniformValueGuess
+from repro.core import CBSScheme, NICBSScheme
+from repro.exceptions import SchemeConfigurationError
+from repro.tasks import (
+    PasswordSearch,
+    RangeDomain,
+    SignalSearch,
+    TaskAssignment,
+)
+
+N = 2048
+BUDGET = 20  # samples / ringers / probes per scheme
+TRIALS = 120
+
+
+def schemes():
+    return [
+        DoubleCheckScheme(2),
+        NaiveSamplingScheme(BUDGET),
+        RingerScheme(BUDGET),
+        HardenedProbeScheme(BUDGET),
+        CBSScheme(BUDGET, include_reports=False),
+        NICBSScheme(BUDGET),
+    ]
+
+
+def compare_on(task, cheater_factory) -> list[dict]:
+    rows = []
+    for scheme in schemes():
+        try:
+            honest = scheme.run(task, HonestBehavior(), seed=0)
+        except SchemeConfigurationError:
+            rows.append(
+                {"scheme": scheme.name, "applicable": False}
+            )
+            continue
+        escape = estimate_escape_rate(
+            scheme, task, cheater_factory, n_trials=TRIALS, seed0=500
+        )
+        rows.append(
+            {
+                "scheme": scheme.name,
+                "applicable": True,
+                "escape_rate": escape.rate,
+                "supervisor_bytes_in": honest.supervisor_ledger.bytes_received,
+                "supervisor_compute": round(
+                    honest.supervisor_ledger.total_compute_cost
+                ),
+                "grid_waste_evals": honest.other_ledger.evaluations,
+                "false_alarm": not honest.outcome.accepted,
+            }
+        )
+    return rows
+
+
+def test_one_way_workload_comparison(benchmark, save_table):
+    task = TaskAssignment("cmp-pw", RangeDomain(0, N), PasswordSearch())
+    rows = benchmark.pedantic(
+        lambda: compare_on(task, lambda t: SemiHonestCheater(0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        rows,
+        title=f"E7a — one-way workload (password, q≈0), r=0.5, budget={BUDGET}",
+    )
+    save_table("E7a_one_way_comparison", table)
+
+    by_name = {row["scheme"]: row for row in rows}
+    # Everyone is applicable on a one-way f; detection is near-total.
+    assert all(row["applicable"] for row in rows)
+    for row in rows:
+        assert row["escape_rate"] < 0.05, row
+    # CBS traffic beats the O(n) schemes at n=2048.
+    assert (
+        by_name[f"cbs(m={BUDGET})"]["supervisor_bytes_in"]
+        < by_name[f"naive-sampling(m={BUDGET})"]["supervisor_bytes_in"] / 3
+    )
+    # Redundancy wastes a full extra sweep.
+    assert by_name["double-check(k=2)"]["grid_waste_evals"] == N
+
+
+def test_generic_workload_comparison(benchmark, save_table):
+    task = TaskAssignment("cmp-sig", RangeDomain(0, N), SignalSearch())
+    guesser = UniformValueGuess([b"\x00", b"\x01"])
+    rows = benchmark.pedantic(
+        lambda: compare_on(task, lambda t: SemiHonestCheater(0.5, guesser)),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        rows,
+        title=f"E7b — generic workload (signal, q=0.5), r=0.5, budget={BUDGET}",
+    )
+    save_table("E7b_generic_comparison", table)
+
+    by_name = {row["scheme"]: row for row in rows}
+    # The §1.1 claim: ringers refuse the non-one-way workload...
+    assert by_name[f"ringer(d={BUDGET})"]["applicable"] is False
+    # ...while CBS handles it (with the q-inflated escape of Eq. 2:
+    # (0.75)^20 ≈ 0.003).
+    assert by_name[f"cbs(m={BUDGET})"]["applicable"] is True
+    assert by_name[f"cbs(m={BUDGET})"]["escape_rate"] < 0.05
+    # No scheme false-alarms on honest work.
+    assert not any(row.get("false_alarm") for row in rows if row["applicable"])

@@ -1,0 +1,87 @@
+"""E10 — §5 open problem: the small-|D| regime.
+
+The paper's conclusion: "when |D| = 1 ... the cost of verifying a
+sample is as expensive as conducting the task.  Therefore, the scheme
+is no better than the naive double-check-every-result scheme."
+
+We sweep ``n`` downward and measure the supervisor's verification cost
+as a fraction of the task cost, locating the regime where CBS's
+advantage evaporates — and show the degenerate ``|D| = 1`` case is
+literally a double-check.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import DoubleCheckScheme
+from repro.cheating import HonestBehavior
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+M = 10
+FN = PasswordSearch(cost=10.0)
+
+
+def sweep_small_domains() -> list[dict]:
+    rows = []
+    for n in (1, 2, 4, 8, 16, 64, 256, 1024, 4096):
+        m = min(M, n)  # cannot usefully sample more than n
+        task = TaskAssignment(f"small-{n}", RangeDomain(0, n), FN)
+        result = CBSScheme(
+            n_samples=m, with_replacement=False, include_reports=False
+        ).run(task, HonestBehavior(), seed=0)
+        assert result.outcome.accepted
+        task_cost = n * FN.cost
+        verify_cost = result.supervisor_ledger.verification_cost
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "task_cost": task_cost,
+                "supervisor_verify_cost": verify_cost,
+                "verify/task": verify_cost / task_cost,
+            }
+        )
+    return rows
+
+
+def test_small_domain_sweep(benchmark, save_table):
+    rows = benchmark.pedantic(sweep_small_domains, rounds=1, iterations=1)
+    table = format_table(
+        rows, title=f"E10 / §5 — verification cost vs task cost (m <= {M})"
+    )
+    save_table("E10_small_domain", table)
+
+    by_n = {row["n"]: row for row in rows}
+    # |D| = 1: verifying the one sample == redoing the whole task.
+    assert by_n[1]["verify/task"] == 1.0
+    # For n <= m the supervisor redoes everything: no better than
+    # double-checking.
+    assert by_n[4]["verify/task"] == 1.0
+    # The advantage appears once n >> m and keeps improving.
+    assert by_n[256]["verify/task"] < 0.05
+    assert by_n[4096]["verify/task"] < by_n[256]["verify/task"]
+
+
+def test_degenerate_case_equals_double_check(benchmark, save_table):
+    def run():
+        task = TaskAssignment("one", RangeDomain(0, 1), FN)
+        cbs = CBSScheme(
+            n_samples=1, with_replacement=False, include_reports=False
+        ).run(task, HonestBehavior(), seed=0)
+        dc = DoubleCheckScheme(2).run(task, HonestBehavior(), seed=0)
+        return {
+            "cbs_supervisor_evals": cbs.supervisor_ledger.verifications,
+            "cbs_verify_cost": cbs.supervisor_ledger.verification_cost,
+            "double_check_replica_cost": dc.other_ledger.evaluation_cost,
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "E10_degenerate",
+        format_table(
+            [row],
+            title="E10 — |D| = 1: CBS verification == a full re-computation",
+        ),
+    )
+    # Verifying the single sample re-computes f once — the same work a
+    # double-check replica does.
+    assert row["cbs_verify_cost"] == row["double_check_replica_cost"]

@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's artefacts (figure,
+equation-level claim or numeric example — see DESIGN.md §4) and writes
+the resulting table to ``benchmarks/results/`` so the reproduction is
+inspectable after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Write a rendered table to results/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

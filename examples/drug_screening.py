@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Virtual drug screening with a threshold screener (smallpox grid).
+
+Models the paper's §1 IBM smallpox example: a library of molecules is
+scored against a target; low docking scores are candidate drugs.  A
+lazy participant endangers the science silently — skipped molecules
+can hide the best binders — so the supervisor runs CBS *and* we show
+what the cheater's laziness would have cost: candidate molecules that
+were never reported.
+
+Also demonstrates the storage-optimized participant (§3.3): the same
+protocol with a partial Merkle tree and its measured recompute
+overhead.
+
+Run:  python examples/drug_screening.py
+"""
+
+from repro import (
+    CBSScheme,
+    HonestBehavior,
+    MoleculeScreening,
+    RangeDomain,
+    SemiHonestCheater,
+    TaskAssignment,
+    ThresholdScreener,
+)
+from repro.analysis import format_table
+from repro.core import CBSParticipant
+from repro.core.storage_opt import predicted_rco
+
+
+def candidate_set(reports: tuple[str, ...]) -> set[str]:
+    return {r.split(":")[1] for r in reports}
+
+
+def main() -> None:
+    library = RangeDomain(0, 20_000)
+    fn = MoleculeScreening(library_seed=b"examples/smallpox", resolution=4096)
+    cut = 40  # levels 0..40 of 4096 ≈ top 1% binders
+    task = TaskAssignment(
+        "screening-batch-0",
+        library,
+        fn,
+        screener=ThresholdScreener(threshold=cut, direction="below"),
+    )
+
+    # What an honest sweep finds.
+    honest_worker = CBSParticipant(task, HonestBehavior())
+    honest_worker.compute_and_commit()
+    honest_hits = candidate_set(honest_worker.reports().reports)
+    print(f"honest sweep finds {len(honest_hits)} candidate molecules")
+
+    # What a 70%-honest cheater reports — and what it silently drops.
+    cheat_worker = CBSParticipant(task, SemiHonestCheater(0.7))
+    cheat_worker.compute_and_commit()
+    cheat_hits = candidate_set(cheat_worker.reports().reports)
+    lost = honest_hits - cheat_hits
+    print(
+        f"70%-honest cheater reports {len(cheat_hits)}; "
+        f"{len(lost)} real candidates silently lost"
+    )
+
+    # CBS catches the cheater before the loss matters.
+    scheme = CBSScheme(n_samples=30)
+    outcome = scheme.run(task, SemiHonestCheater(0.7), seed=3).outcome
+    print(f"CBS verdict on the cheater: accepted={outcome.accepted}\n")
+
+    # Storage-optimized participant: sweep ℓ and compare measured
+    # recompute overhead with the paper's rco = m·2^ℓ/|D| (§3.3).
+    m = 16
+    rows = []
+    for ell in (0, 4, 6, 8):
+        result = CBSScheme(
+            n_samples=m,
+            subtree_height=ell or None,
+            with_replacement=False,
+            include_reports=False,
+        ).run(task, HonestBehavior(), seed=1)
+        extra = result.participant_ledger.evaluations - len(library)
+        rows.append(
+            {
+                "ell": ell,
+                "stored_digests": result.participant_ledger.storage_digests,
+                "extra_evals": extra,
+                "measured_rco": extra / len(library),
+                "paper_rco": predicted_rco(m, len(library), ell),
+                "accepted": result.outcome.accepted,
+            }
+        )
+    print(
+        format_table(
+            rows, title=f"§3.3 storage/compute trade-off (m={m}, |D|=20,000)"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

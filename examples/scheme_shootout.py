@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scheme shoot-out: CBS vs every baseline on two workload classes.
+
+Reproduces the paper's positioning (§1/§1.1) as a live comparison:
+
+* **One-way workload** (password search): all schemes apply; compare
+  detection, supervisor bytes, and wasted cycles.
+* **Guessable workload** (SETI-style boolean verdicts, q = 0.5): the
+  ringer scheme refuses outright — "it cannot be applied to generic
+  computations" — while CBS handles it with a larger m per Eq. (3).
+
+Run:  python examples/scheme_shootout.py
+"""
+
+from repro import (
+    CBSScheme,
+    DoubleCheckScheme,
+    HardenedProbeScheme,
+    HonestBehavior,
+    NaiveSamplingScheme,
+    NICBSScheme,
+    PasswordSearch,
+    RangeDomain,
+    RingerScheme,
+    SemiHonestCheater,
+    SignalSearch,
+    TaskAssignment,
+    UniformValueGuess,
+)
+from repro.analysis import estimate_escape_rate, format_table
+from repro.exceptions import SchemeConfigurationError
+
+
+def shootout(task, cheater_factory, n_trials=60) -> list[dict]:
+    schemes = [
+        DoubleCheckScheme(2),
+        NaiveSamplingScheme(20),
+        RingerScheme(20),
+        HardenedProbeScheme(20),
+        CBSScheme(20, include_reports=False),
+        NICBSScheme(20),
+    ]
+    rows = []
+    for scheme in schemes:
+        try:
+            honest = scheme.run(task, HonestBehavior(), seed=0)
+        except SchemeConfigurationError as exc:
+            rows.append({"scheme": scheme.name, "status": f"refused: {exc}"})
+            continue
+        escape = estimate_escape_rate(
+            scheme, task, cheater_factory, n_trials=n_trials, seed0=100
+        )
+        rows.append(
+            {
+                "scheme": scheme.name,
+                "status": "ok",
+                "escape_rate": escape.rate,
+                "supervisor_bytes_in": honest.supervisor_ledger.bytes_received,
+                "supervisor_evals": honest.supervisor_ledger.evaluations
+                + honest.supervisor_ledger.verifications,
+                "wasted_evals": honest.other_ledger.evaluations,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    n = 2_048
+
+    print("== One-way workload: password search (q ≈ 0, r = 0.5) ==")
+    pw_task = TaskAssignment("shoot-pw", RangeDomain(0, n), PasswordSearch())
+    rows = shootout(pw_task, lambda trial: SemiHonestCheater(0.5))
+    print(format_table(rows))
+    print()
+
+    print("== Guessable workload: signal search (q = 0.5, r = 0.5) ==")
+    sig_task = TaskAssignment("shoot-sig", RangeDomain(0, n), SignalSearch())
+    guesser = UniformValueGuess([b"\x00", b"\x01"])
+    rows = shootout(sig_task, lambda trial: SemiHonestCheater(0.5, guesser))
+    print(format_table(rows))
+    print()
+    print(
+        "Note the ringer row: Golle–Mironov requires one-way f (§1.1),\n"
+        "so the guessable workload is refused — CBS is the generic scheme."
+    )
+
+
+if __name__ == "__main__":
+    main()

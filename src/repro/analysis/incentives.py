@@ -1,0 +1,149 @@
+"""Incentive economics: when does cheating pay? (paper §1 motivation).
+
+The paper's threat is economic: "When participants are paid for their
+contribution, they have strong incentives to cheat for maximizing
+their gain."  CBS's uncheatability definition (Def. 2.1) has two arms
+— detection probability below ``ε`` *or* cheating cost above task cost.
+This module quantifies the first arm as a utility calculation, closing
+the loop between Eq. (2) and the money:
+
+* A participant is paid ``payment`` for an accepted task and nothing
+  for a rejected one (optionally a ``penalty`` on detection, modelling
+  reputation loss or staking).
+* Honest utility: ``payment − n·C_f·unit_cost``.
+* Cheating utility at ratio ``r``: ``P_escape(r)·payment −
+  (1 − P_escape(r))·penalty − r·n·C_f·unit_cost``.
+
+The supervisor wants every ``r < 1`` to yield a *lower* expected
+utility than honesty; :func:`deterrent_sample_size` computes the
+smallest ``m`` achieving that given the cheater's best choice of
+``r`` (the inequality is hardest near ``r → 1``, where skipping a tiny
+fraction risks little).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.probability import cheat_success_probability
+
+
+@dataclass(frozen=True)
+class IncentiveModel:
+    """Payment/cost environment for one task.
+
+    Attributes
+    ----------
+    payment:
+        Reward for an accepted task (money units).
+    task_cost:
+        Full honest computation cost ``n·C_f`` (cost units).
+    unit_cost_value:
+        Money per cost unit (electricity/opportunity price); the
+        paper's cheater "maximizes its gain" in these terms.
+    penalty:
+        Money lost on detection (0 = just forfeit the payment).
+    q:
+        The workload's guess probability (Theorem 3's ``q``).
+    """
+
+    payment: float
+    task_cost: float
+    unit_cost_value: float = 1.0
+    penalty: float = 0.0
+    q: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.payment <= 0:
+            raise ValueError(f"payment must be positive, got {self.payment}")
+        if self.task_cost < 0 or self.unit_cost_value < 0 or self.penalty < 0:
+            raise ValueError("costs and penalty must be non-negative")
+        if not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {self.q}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def honest_utility(self) -> float:
+        """Expected profit of full honest computation (always accepted,
+        Theorem 1)."""
+        return self.payment - self.task_cost * self.unit_cost_value
+
+    def cheating_utility(self, r: float, m: int) -> float:
+        """Expected profit of cheating at honesty ratio ``r`` against
+        ``m`` samples."""
+        escape = cheat_success_probability(r, self.q, m)
+        compute_spend = r * self.task_cost * self.unit_cost_value
+        return (
+            escape * self.payment
+            - (1.0 - escape) * self.penalty
+            - compute_spend
+        )
+
+    def cheating_gain(self, r: float, m: int) -> float:
+        """Cheating utility minus honest utility (positive ⇒ cheat)."""
+        return self.cheating_utility(r, m) - self.honest_utility
+
+    def best_cheating_ratio(self, m: int, grid: int = 999) -> tuple[float, float]:
+        """The cheater's optimal ``r`` (grid search) and its gain."""
+        best_r, best_gain = 1.0, 0.0
+        for i in range(1, grid + 1):
+            r = i / (grid + 1)
+            gain = self.cheating_gain(r, m)
+            if gain > best_gain:
+                best_r, best_gain = r, gain
+        return best_r, best_gain
+
+    def is_deterrent(self, m: int, grid: int = 999) -> bool:
+        """True iff no honesty ratio beats honesty in expectation."""
+        _, gain = self.best_cheating_ratio(m, grid=grid)
+        return gain <= 0.0
+
+
+def deterrent_sample_size(
+    model: IncentiveModel, max_m: int = 10_000, grid: int = 499
+) -> int:
+    """Smallest ``m`` making honesty the cheater's best response.
+
+    Doubling search followed by binary search on the (monotone in
+    ``m``) deterrence predicate.  Raises :class:`ValueError` if even
+    ``max_m`` fails (e.g. ``q = 1`` — a perfectly guessable workload
+    can never be deterred by sampling alone, matching Eq. 3's
+    divergence).
+    """
+    if model.is_deterrent(1, grid=grid):
+        return 1
+    lo, hi = 1, 2
+    while not model.is_deterrent(hi, grid=grid):
+        lo, hi = hi, hi * 2
+        if hi > max_m:
+            raise ValueError(
+                f"no deterrent m <= {max_m} for this incentive model"
+            )
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if model.is_deterrent(mid, grid=grid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def utility_curve(
+    model: IncentiveModel, m: int, r_values: tuple[float, ...] | None = None
+) -> list[dict]:
+    """Rows of (r, escape, cheating utility, gain) for plotting."""
+    if r_values is None:
+        r_values = tuple(i / 10 for i in range(1, 10))
+    rows = []
+    for r in r_values:
+        rows.append(
+            {
+                "r": r,
+                "escape": cheat_success_probability(r, model.q, m),
+                "cheating_utility": model.cheating_utility(r, m),
+                "honest_utility": model.honest_utility,
+                "gain": model.cheating_gain(r, m),
+            }
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""Empirical estimators: validating closed forms against real runs.
+
+Eq. (2) and the ``1/r^m`` regrind expectation are verified by running
+the actual protocol implementations many times with independent seeds
+and comparing rates.  :func:`estimate_escape_rate` reports a point
+estimate with a Wilson score interval so benches and tests can assert
+"analytic value inside the 99% CI" instead of brittle exact bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cheating.strategies import Behavior
+from repro.core.scheme import VerificationScheme
+from repro.tasks.result import TaskAssignment
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate estimate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.low <= value <= self.high
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 2.576
+) -> tuple[float, float]:
+    """Wilson score interval (default ``z`` ≈ 99% two-sided)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def estimate_escape_rate(
+    scheme: VerificationScheme,
+    assignment: TaskAssignment,
+    behavior_factory: Callable[[int], Behavior],
+    n_trials: int,
+    seed0: int = 0,
+    z: float = 2.576,
+) -> RateEstimate:
+    """Fraction of runs where a cheater goes undetected (the Eq. 2 event).
+
+    ``behavior_factory(trial)`` builds the behaviour per trial so
+    stateful behaviours do not leak across runs; seeds are
+    ``seed0 + trial``, varying both sample selection and fabrications.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    escapes = 0
+    for trial in range(n_trials):
+        result = scheme.run(
+            assignment, behavior_factory(trial), seed=seed0 + trial
+        )
+        if result.outcome.accepted:
+            escapes += 1
+    low, high = wilson_interval(escapes, n_trials, z=z)
+    return RateEstimate(
+        successes=escapes, trials=n_trials, low=low, high=high
+    )
+
+
+def estimate_detection_rate(
+    scheme: VerificationScheme,
+    assignment: TaskAssignment,
+    behavior_factory: Callable[[int], Behavior],
+    n_trials: int,
+    seed0: int = 0,
+    z: float = 2.576,
+) -> RateEstimate:
+    """Complementary estimator: fraction of runs where the scheme
+    rejected (for honest behaviours this is the false-alarm rate)."""
+    escapes = estimate_escape_rate(
+        scheme, assignment, behavior_factory, n_trials, seed0=seed0, z=z
+    )
+    detections = escapes.trials - escapes.successes
+    low, high = wilson_interval(detections, escapes.trials, z=z)
+    return RateEstimate(
+        successes=detections, trials=escapes.trials, low=low, high=high
+    )

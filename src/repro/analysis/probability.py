@@ -1,0 +1,114 @@
+"""Eq. (2), Eq. (3) and the Fig. 2 series.
+
+Theorem 3 of the paper: a cheater with honesty ratio ``r`` facing ``m``
+uniform samples, whose guesses are correct with probability ``q``,
+escapes detection with probability::
+
+    Pr(cheating succeeds) = (r + (1 − r)·q)^m        (Eq. 2)
+
+Inverting for the sample size that pushes escape below ``ε``::
+
+    m >= log ε / log(r + (1 − r)·q)                  (Eq. 3)
+
+Fig. 2 plots Eq. (3) for ``ε = 1e−4`` with ``q ∈ {0, 0.5}`` over
+``r ∈ [0.1, 0.9]``; the paper quotes ``m = 33`` at ``(r=0.5, q=0.5)``
+and ``m = 14`` at ``(r=0.5, q≈0)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _check_r(r: float) -> None:
+    if not 0.0 <= r <= 1.0:
+        raise ValueError(f"honesty ratio r must be in [0, 1], got {r}")
+
+
+def _check_q(q: float) -> None:
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"guess probability q must be in [0, 1], got {q}")
+
+
+def cheat_success_probability(r: float, q: float, m: int) -> float:
+    """Eq. (2): ``(r + (1 − r)q)^m``."""
+    _check_r(r)
+    _check_q(q)
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    return (r + (1.0 - r) * q) ** m
+
+
+def detection_probability(r: float, q: float, m: int) -> float:
+    """Probability at least one sample exposes the cheater."""
+    return 1.0 - cheat_success_probability(r, q, m)
+
+
+def required_sample_size(epsilon: float, r: float, q: float) -> int:
+    """Eq. (3): smallest integer ``m`` with escape probability ≤ ε.
+
+    (The paper's ``m ≥ log ε / log(r + (1−r)q)`` is inclusive at the
+    boundary: when the ratio is an exact integer, that ``m`` achieves
+    exactly ε.)
+
+    Returns 0 when any single sample already suffices is impossible
+    (i.e. ``r = 0`` and ``q = 0`` needs ``m = 1``); raises if the base
+    ``r + (1−r)q`` equals 1 (a fully honest — or perfectly guessing —
+    participant can never be pushed below ε; the paper's formula
+    diverges there too).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    _check_r(r)
+    _check_q(q)
+    base = r + (1.0 - r) * q
+    if base >= 1.0:
+        raise ValueError(
+            f"escape base r + (1-r)q = {base} >= 1: no finite sample size"
+        )
+    if base <= 0.0:
+        return 1
+    return max(1, math.ceil(math.log(epsilon) / math.log(base)))
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    """One point of the Fig. 2 curves."""
+
+    r: float
+    q: float
+    required_m: int
+
+
+def fig2_series(
+    epsilon: float = 1e-4,
+    q_values: tuple[float, ...] = (0.0, 0.5),
+    r_values: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+) -> list[Fig2Point]:
+    """The required-sample-size curves of Fig. 2."""
+    return [
+        Fig2Point(r=r, q=q, required_m=required_sample_size(epsilon, r, q))
+        for q in q_values
+        for r in r_values
+    ]
+
+
+def escape_probability_with_distinct_samples(
+    r: float, m: int, n: int
+) -> float:
+    """Escape probability under *without-replacement* sampling, q = 0.
+
+    Hypergeometric refinement of Eq. (2): with ``n`` inputs of which
+    ``r·n`` were computed, drawing ``m`` distinct samples all from the
+    computed set has probability ``C(rn, m) / C(n, m)``.  Slightly
+    smaller than ``r^m`` (distinct samples are strictly better for the
+    supervisor); converges to Eq. (2) as ``n → ∞``.
+    """
+    _check_r(r)
+    if m < 0 or n <= 0 or m > n:
+        raise ValueError(f"need 0 <= m <= n, got m={m}, n={n}")
+    computed = round(r * n)
+    if m > computed:
+        return 0.0
+    return math.comb(computed, m) / math.comb(n, m)

@@ -1,0 +1,36 @@
+"""Parameter-sweep helper producing flat table rows.
+
+Experiments are cartesian sweeps (``r × q × m``, ``n × scheme``, ...);
+:func:`sweep` runs a row function over the grid and collects dict rows
+ready for :func:`repro.analysis.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+
+def sweep(
+    grid: Mapping[str, Sequence[Any]],
+    row_fn: Callable[..., Mapping[str, Any] | None],
+) -> list[dict[str, Any]]:
+    """Run ``row_fn(**point)`` over the cartesian grid.
+
+    Each grid point's parameters are merged into the returned row (the
+    row function's keys win on collision).  A row function may return
+    ``None`` to skip a point (e.g. infeasible parameter combinations).
+    """
+    if not grid:
+        raise ValueError("empty sweep grid")
+    names = list(grid)
+    rows: list[dict[str, Any]] = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        point = dict(zip(names, values))
+        produced = row_fn(**point)
+        if produced is None:
+            continue
+        row = dict(point)
+        row.update(produced)
+        rows.append(row)
+    return rows

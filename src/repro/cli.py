@@ -1,0 +1,283 @@
+"""Command-line experiment runner: ``repro-experiments`` / ``python -m repro.cli``.
+
+Gives downstream users one-command access to the paper's reproductions
+without touching pytest:
+
+* ``fig2`` — the Fig. 2 required-sample-size curves (Eq. 3);
+* ``eq2`` — analytic vs Monte-Carlo escape probability (Eq. 2);
+* ``comm`` — O(n) vs O(m log n) wire bytes over an ``n`` sweep;
+* ``rco`` — the §3.3 storage/recompute trade-off;
+* ``regrind`` — the §4.2 attack and its Eq. (5) economics;
+* ``deterrence`` — incentive-level sample sizing (Def. 2.1's cost arm);
+* ``demo`` — a single CBS run narrated step by step.
+
+All subcommands accept ``--seed`` and print the same tables the
+benchmark harness saves under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    cheat_success_probability,
+    estimate_escape_rate,
+    fig2_series,
+    format_table,
+)
+from repro.analysis.costs import uncheatable_g_rounds
+from repro.analysis.incentives import IncentiveModel, deterrent_sample_size
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.cheating.guessing import guess_model_for_q
+from repro.cheating.regrind import expected_regrind_attempts, run_regrind_attack
+from repro.core import CBSScheme, predicted_rco
+from repro.baselines import NaiveSamplingScheme
+from repro.merkle import get_hash
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    points = fig2_series(epsilon=args.epsilon)
+    by_r: dict[float, dict] = {}
+    for p in points:
+        row = by_r.setdefault(round(p.r, 2), {"r": round(p.r, 2)})
+        row[f"m (q={p.q:g})"] = p.required_m
+    print(
+        format_table(
+            [by_r[r] for r in sorted(by_r)],
+            title=f"Fig. 2 — required sample size (epsilon = {args.epsilon})",
+        )
+    )
+    return 0
+
+
+def _cmd_eq2(args: argparse.Namespace) -> int:
+    task = TaskAssignment("cli-eq2", RangeDomain(0, args.n), PasswordSearch())
+    rows = []
+    for m in (1, 2, 4, 8):
+        estimate = estimate_escape_rate(
+            CBSScheme(n_samples=m),
+            task,
+            lambda trial: SemiHonestCheater(args.r, guess_model_for_q(args.q)),
+            n_trials=args.trials,
+            seed0=args.seed,
+        )
+        rows.append(
+            {
+                "m": m,
+                "analytic": cheat_success_probability(args.r, args.q, m),
+                "measured": estimate.rate,
+                "ci": f"[{estimate.low:.3f}, {estimate.high:.3f}]",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Eq. (2) — escape probability at r={args.r}, q={args.q} "
+                f"({args.trials} runs/cell)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_comm(args: argparse.Namespace) -> int:
+    rows = []
+    for exp in range(8, args.max_exp + 1, 2):
+        n = 1 << exp
+        task = TaskAssignment(f"cli-comm-{n}", RangeDomain(0, n), PasswordSearch())
+        naive = NaiveSamplingScheme(args.m).run(task, HonestBehavior(), seed=args.seed)
+        cbs = CBSScheme(args.m, include_reports=False).run(
+            task, HonestBehavior(), seed=args.seed
+        )
+        rows.append(
+            {
+                "n": f"2^{exp}",
+                "naive_bytes": naive.participant_ledger.bytes_sent,
+                "cbs_bytes": cbs.participant_ledger.bytes_sent,
+                "reduction": round(
+                    naive.participant_ledger.bytes_sent
+                    / cbs.participant_ledger.bytes_sent,
+                    1,
+                ),
+            }
+        )
+    print(format_table(rows, title=f"Communication — measured bytes (m = {args.m})"))
+    return 0
+
+
+def _cmd_rco(args: argparse.Namespace) -> int:
+    n = args.n
+    task = TaskAssignment("cli-rco", RangeDomain(0, n), PasswordSearch())
+    rows = []
+    ell = 0
+    while (1 << ell) <= n:
+        scheme = CBSScheme(
+            n_samples=args.m,
+            subtree_height=ell or None,
+            with_replacement=False,
+            include_reports=False,
+        )
+        result = scheme.run(task, HonestBehavior(), seed=args.seed)
+        extra = result.participant_ledger.evaluations - n
+        rows.append(
+            {
+                "ell": ell,
+                "stored_digests": result.participant_ledger.storage_digests,
+                "rebuild_evals": extra,
+                "measured_rco": extra / n,
+                "paper_rco": predicted_rco(args.m, n, ell),
+            }
+        )
+        ell += 2
+    print(format_table(rows, title=f"§3.3 storage trade-off (n={n}, m={args.m})"))
+    return 0
+
+
+def _cmd_regrind(args: argparse.Namespace) -> int:
+    task = TaskAssignment(
+        "cli-regrind", RangeDomain(0, args.n), PasswordSearch(cost=args.f_cost)
+    )
+    print(
+        f"expected attempts 1/r^m = "
+        f"{expected_regrind_attempts(args.r, args.m):.1f}"
+    )
+    k = uncheatable_g_rounds(args.n, args.f_cost, args.r, args.m)
+    rows = []
+    for label, g in (("cheap g", "sha256"), (f"Eq.5 g (k={k})", f"sha256^{k}")):
+        result = run_regrind_attack(
+            task,
+            honesty_ratio=args.r,
+            n_samples=args.m,
+            sample_hash=get_hash(g),
+            seed=args.seed,
+            max_attempts=args.max_attempts,
+        )
+        rows.append(
+            {
+                "g": label,
+                "attempts": result.attempts,
+                "succeeded": result.succeeded,
+                "attack_cost": round(result.attack_cost),
+                "honest_cost": round(result.honest_task_cost),
+                "profitable": result.profitable,
+            }
+        )
+    print(format_table(rows, title="§4.2 regrinding attack economics"))
+    return 0
+
+
+def _cmd_deterrence(args: argparse.Namespace) -> int:
+    model = IncentiveModel(
+        payment=args.payment,
+        task_cost=args.task_cost,
+        penalty=args.penalty,
+        q=args.q,
+    )
+    try:
+        m_star = deterrent_sample_size(model)
+    except ValueError:
+        print("no finite m deters this model (q too high?)")
+        return 1
+    print(
+        f"honest utility: {model.honest_utility:.1f}; smallest deterrent "
+        f"m = {m_star}"
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    task = TaskAssignment("cli-demo", RangeDomain(0, args.n), PasswordSearch())
+    scheme = CBSScheme(n_samples=args.m)
+    honest = scheme.run(task, HonestBehavior(), seed=args.seed)
+    cheat = scheme.run(task, SemiHonestCheater(args.r), seed=args.seed)
+    rows = [
+        {
+            "participant": "honest",
+            "accepted": honest.outcome.accepted,
+            "evals": honest.participant_ledger.evaluations,
+            "bytes_sent": honest.participant_ledger.bytes_sent,
+        },
+        {
+            "participant": f"cheater (r={args.r})",
+            "accepted": cheat.outcome.accepted,
+            "evals": cheat.participant_ledger.evaluations,
+            "bytes_sent": cheat.participant_ledger.bytes_sent,
+        },
+    ]
+    print(format_table(rows, title=f"CBS demo: n={args.n}, m={args.m}"))
+    failure = cheat.outcome.first_failure
+    if failure is not None:
+        print(f"cheater exposed at sample index {failure.index} "
+              f"({failure.reason.value})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproductions of 'Uncheatable Grid Computing' (ICDCS 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig2", help="Fig. 2 required-sample-size curves")
+    p.add_argument("--epsilon", type=float, default=1e-4)
+    p.set_defaults(fn=_cmd_fig2)
+
+    p = sub.add_parser("eq2", help="Eq. (2) analytic vs Monte-Carlo")
+    p.add_argument("--r", type=float, default=0.5)
+    p.add_argument("--q", type=float, default=0.0)
+    p.add_argument("--n", type=int, default=300)
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_eq2)
+
+    p = sub.add_parser("comm", help="O(n) vs O(m log n) wire bytes")
+    p.add_argument("--m", type=int, default=50)
+    p.add_argument("--max-exp", type=int, default=14, dest="max_exp")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_comm)
+
+    p = sub.add_parser("rco", help="§3.3 storage/recompute trade-off")
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--m", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_rco)
+
+    p = sub.add_parser("regrind", help="§4.2 regrinding attack economics")
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--m", type=int, default=6)
+    p.add_argument("--r", type=float, default=0.8)
+    p.add_argument("--f-cost", type=float, default=100.0, dest="f_cost")
+    p.add_argument("--max-attempts", type=int, default=100_000,
+                   dest="max_attempts")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_regrind)
+
+    p = sub.add_parser("deterrence", help="incentive-level sample sizing")
+    p.add_argument("--payment", type=float, default=150.0)
+    p.add_argument("--task-cost", type=float, default=100.0, dest="task_cost")
+    p.add_argument("--penalty", type=float, default=0.0)
+    p.add_argument("--q", type=float, default=0.5)
+    p.set_defaults(fn=_cmd_deterrence)
+
+    p = sub.add_parser("demo", help="one narrated CBS run")
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--m", type=int, default=20)
+    p.add_argument("--r", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Supervisor-side sample verification (paper §3.1 Step 4, Theorems 1–2).
+
+For each challenged sample the supervisor performs the two checks the
+paper specifies, in order:
+
+1. **Correctness of f(x)** — via the task function's verifier (which
+   may be cheaper than re-computation, §3.1's factoring remark).  An
+   incorrect claimed result means the participant is caught.
+2. **Commitment consistency** — reconstruct ``Φ(R')`` from the claimed
+   result and the sibling digests ``λ_1..λ_H`` (the paper's
+   ``Λ(f(x), λ_1..λ_H)``) and compare with the committed ``Φ(R)``.
+   A mismatch means the value was not in the tree at commit time
+   (Theorem 2), so even a *now-correct* result cannot retroactively
+   prove the work was done before commitment.
+
+Malformed proofs (wrong index, wrong path length) are rejected without
+hashing — defensive checks a production verifier needs and tests
+exercise via failure injection.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import SampleProof
+from repro.core.scheme import RejectReason, SampleVerdict
+from repro.merkle.hashing import HashFunction
+from repro.merkle.tree import LeafEncoding
+from repro.tasks.function import TaskFunction
+from repro.tasks.domain import Domain
+from repro.utils.bitmath import next_power_of_two, tree_height
+
+
+def verify_sample_proof(
+    proof: SampleProof,
+    expected_index: int,
+    root: bytes,
+    n_leaves: int,
+    domain: Domain,
+    function: TaskFunction,
+    hash_fn: HashFunction,
+    leaf_encoding: LeafEncoding,
+) -> SampleVerdict:
+    """Run both Step-4 checks for one sample; return the verdict.
+
+    The caller charges verification cost to its ledger (this function
+    is pure protocol logic).
+    """
+    # Shape checks first: a malformed proof is rejected outright.
+    if proof.index != expected_index:
+        return SampleVerdict(
+            index=expected_index,
+            accepted=False,
+            reason=RejectReason.MALFORMED_PROOF,
+        )
+    expected_height = tree_height(next_power_of_two(n_leaves))
+    if proof.path.height != expected_height:
+        return SampleVerdict(
+            index=expected_index,
+            accepted=False,
+            reason=RejectReason.MALFORMED_PROOF,
+        )
+    if proof.path.leaf_index != expected_index:
+        return SampleVerdict(
+            index=expected_index,
+            accepted=False,
+            reason=RejectReason.MALFORMED_PROOF,
+        )
+    digest_size = hash_fn.digest_size
+    if any(len(sibling) != digest_size for sibling in proof.path.siblings):
+        return SampleVerdict(
+            index=expected_index,
+            accepted=False,
+            reason=RejectReason.MALFORMED_PROOF,
+        )
+
+    # Check 1: is the claimed f(x) actually correct?
+    x = domain[expected_index]
+    if not function.verify(x, proof.claimed_result):
+        return SampleVerdict(
+            index=expected_index,
+            accepted=False,
+            reason=RejectReason.WRONG_RESULT,
+        )
+
+    # Check 2: was this exact value committed?  Λ(f(x), λ1..λH) == Φ(R)?
+    reconstructed = proof.path.root_from_payload(proof.claimed_result, hash_fn)
+    if reconstructed != root:
+        return SampleVerdict(
+            index=expected_index,
+            accepted=False,
+            reason=RejectReason.ROOT_MISMATCH,
+        )
+
+    return SampleVerdict(index=expected_index, accepted=True, reason=RejectReason.OK)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy mirrors the main
+subsystems:
+
+* :class:`MerkleError` — malformed trees, out-of-range leaves, bad
+  authentication paths.
+* :class:`ProtocolError` — messages arriving out of order, duplicated
+  commitments, unknown participants.
+* :class:`VerificationError` — a *detected* cheating attempt.  Note that
+  schemes usually report cheating through a
+  :class:`repro.core.scheme.VerificationOutcome` rather than raising;
+  this exception is reserved for callers that prefer raising semantics.
+* :class:`TaskError` — invalid domains, unsupported workload
+  configurations.
+* :class:`SchemeConfigurationError` — a scheme applied to a workload it
+  does not support (e.g. the ringer scheme on a non-one-way function,
+  exactly the restriction §1.1 of the paper discusses).
+* :class:`CodecError` — wire-format encode/decode failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class MerkleError(ReproError):
+    """A Merkle tree operation failed (bad index, malformed proof...)."""
+
+
+class EmptyTreeError(MerkleError):
+    """A Merkle tree was requested over zero leaves."""
+
+
+class LeafIndexError(MerkleError):
+    """A leaf index was outside ``[0, n_leaves)``."""
+
+
+class ProofShapeError(MerkleError):
+    """An authentication path had the wrong length or digest sizes."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message arrived out of order or was malformed."""
+
+
+class VerificationError(ReproError):
+    """Raised (optionally) when a participant is caught cheating."""
+
+
+class TaskError(ReproError):
+    """A task, domain or workload was configured inconsistently."""
+
+
+class DomainError(TaskError):
+    """An input domain was empty, unordered or out of range."""
+
+
+class SchemeConfigurationError(ReproError):
+    """A verification scheme cannot be applied to the given workload.
+
+    The canonical instance: the Golle–Mironov ringer scheme requires a
+    one-way ``f`` (paper §1.1); applying it to a guessable function
+    raises this error instead of silently producing a useless defence.
+    """
+
+
+class CodecError(ReproError):
+    """Wire-format encoding or decoding failed."""
+
+
+class LedgerError(ReproError):
+    """An accounting operation was invalid (e.g. negative charge)."""

@@ -1,0 +1,10 @@
+"""Compatibility shim: the ledger lives in :mod:`repro.accounting`.
+
+It moved to the package root because cost accounting is cross-cutting
+(core schemes, Merkle hashing and the grid layer all charge ledgers),
+and the core package must not depend on the grid package.
+"""
+
+from repro.accounting import CostLedger
+
+__all__ = ["CostLedger"]

@@ -1,0 +1,93 @@
+"""Grid Resource Broker — the GRACE architecture mediator (paper §4).
+
+In the GRACE model the supervisor "assigns a big bulk of tasks to GRB,
+and relies on GRB to interact with and assign tasks to the
+participants"; the broker hides participants from the supervisor, which
+is precisely why the interactive CBS round is awkward and NI-CBS
+exists.  :class:`GridResourceBroker` implements that topology:
+
+* assignments flowing supervisor → broker are scheduled round-robin
+  (or by a pluggable policy) onto registered workers;
+* NI-CBS submissions flowing participant → broker are forwarded to the
+  supervisor verbatim;
+* the broker never inspects payloads — it only routes, so its ledger
+  measures pure relay overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.protocol import AssignMsg, NICBSSubmissionMsg
+from repro.exceptions import ProtocolError
+from repro.accounting import CostLedger
+from repro.grid.network import Network
+
+
+class GridResourceBroker:
+    """Round-robin mediating broker between supervisor and workers."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        supervisor_name: str,
+        scheduler: Callable[[list[str], AssignMsg], str] | None = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.supervisor_name = supervisor_name
+        self.scheduler = scheduler
+        self.ledger = CostLedger()
+        self._workers: list[str] = []
+        self._next_worker = 0
+        #: task_id -> worker, for audit trails.
+        self.placements: dict[str, str] = {}
+        network.attach(self)
+
+    def register_worker(self, worker_name: str) -> None:
+        """Add a participant to the scheduling pool."""
+        if worker_name in self._workers:
+            raise ProtocolError(f"worker {worker_name!r} already registered")
+        self._workers.append(worker_name)
+
+    @property
+    def workers(self) -> list[str]:
+        return list(self._workers)
+
+    # ------------------------------------------------------------------
+
+    def _pick_worker(self, msg: AssignMsg) -> str:
+        if not self._workers:
+            raise ProtocolError("no workers registered with broker")
+        if self.scheduler is not None:
+            choice = self.scheduler(list(self._workers), msg)
+            if choice not in self._workers:
+                raise ProtocolError(f"scheduler picked unknown worker {choice!r}")
+            return choice
+        choice = self._workers[self._next_worker % len(self._workers)]
+        self._next_worker += 1
+        return choice
+
+    def receive(self, sender: str, message: object) -> None:
+        """Route: assignments downstream, submissions upstream."""
+        if isinstance(message, AssignMsg):
+            if sender != self.supervisor_name:
+                raise ProtocolError(
+                    f"assignment from non-supervisor {sender!r}"
+                )
+            worker = self._pick_worker(message)
+            self.placements[message.task_id] = worker
+            self.ledger.bump("assignments_routed")
+            self.network.send(self.name, worker, message)
+        elif isinstance(message, NICBSSubmissionMsg):
+            if message.task_id not in self.placements:
+                raise ProtocolError(
+                    f"submission for unrouted task {message.task_id!r}"
+                )
+            self.ledger.bump("submissions_routed")
+            self.network.send(self.name, self.supervisor_name, message)
+        else:
+            raise ProtocolError(
+                f"{self.name}: unexpected message {type(message).__name__}"
+            )

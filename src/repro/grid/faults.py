@@ -1,0 +1,155 @@
+"""Fault injection: volunteer churn and supervisor retry policy.
+
+Real volunteer grids (SETI@home, the paper's §1 setting) lose work
+units constantly — machines go offline mid-task, results never return.
+Verification schemes must compose with a *retry policy*, and the
+retries cost real supervisor traffic and grid cycles.  Two pieces:
+
+* :class:`FlakyParticipant` — wraps any behaviour with a
+  per-assignment dropout coin: with probability ``dropout_rate`` the
+  participant does the (partial) work but never reports back.
+* :class:`RetryingScheme` — wraps any
+  :class:`~repro.core.scheme.VerificationScheme` with the supervisor's
+  policy: on dropout, reassign (fresh participant, fresh seed) up to
+  ``max_retries`` times; every abandoned attempt's cost is accounted
+  to the ``other_ledger`` (wasted grid cycles, like the double-check
+  baseline's replicas).
+
+Dropout is orthogonal to cheating: a flaky cheater can drop out *or*
+come back with a fabricated commitment, and the scheme's detection
+properties must be unaffected for attempts that do complete — the
+fault-injection tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting import CostLedger
+from repro.cheating.strategies import Behavior, ComputedWork
+from repro.core.scheme import (
+    RejectReason,
+    SchemeRunResult,
+    VerificationOutcome,
+    VerificationScheme,
+)
+from repro.exceptions import SchemeConfigurationError
+from repro.tasks.result import TaskAssignment
+from repro.utils.prf import prf_coin
+
+
+class DroppedOut(Exception):
+    """Raised inside a run when the participant vanishes.
+
+    Carries the compute the vanished volunteer burned before going
+    dark, so the retry policy can account the waste.
+    """
+
+    def __init__(self, task_id: str, spent_cost: float, evaluations: int):
+        super().__init__(task_id)
+        self.task_id = task_id
+        self.spent_cost = spent_cost
+        self.evaluations = evaluations
+
+
+@dataclass
+class FlakyParticipant:
+    """A behaviour wrapper that sometimes never reports back.
+
+    The dropout coin is deterministic in ``(task_id, salt)``, so a
+    retry with a fresh seed re-flips it — exactly how a reassignment to
+    a different volunteer behaves.
+    """
+
+    inner: Behavior
+    dropout_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise SchemeConfigurationError(
+                f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
+            )
+        self.name = f"flaky({self.inner.name}, p={self.dropout_rate:g})"
+
+    def produce(self, assignment: TaskAssignment, evaluate, salt: bytes = b""):
+        spent = {"cost": 0.0, "evals": 0}
+
+        def counting_evaluate(x):
+            spent["cost"] += assignment.function.cost
+            spent["evals"] += 1
+            return evaluate(x)
+
+        work = self.inner.produce(assignment, counting_evaluate, salt=salt)
+        if prf_coin(
+            b"dropout",
+            assignment.task_id.encode("utf-8"),
+            salt,
+            probability=self.dropout_rate,
+        ):
+            # The cycles were spent; the results never leave the machine.
+            raise DroppedOut(
+                assignment.task_id,
+                spent_cost=spent["cost"],
+                evaluations=spent["evals"],
+            )
+        return work
+
+    def corrupt_report(self, report, index):
+        return self.inner.corrupt_report(report, index)
+
+
+class RetryingScheme(VerificationScheme):
+    """Supervisor retry policy around any verification scheme.
+
+    On :class:`DroppedOut`, the task is reassigned with a derived seed;
+    all costs of abandoned attempts are folded into ``other_ledger``.
+    If every attempt drops out, the run is rejected with
+    ``PROTOCOL_VIOLATION`` (the supervisor cannot accept unreturned
+    work) and ``work`` is ``None``.
+    """
+
+    def __init__(self, inner: VerificationScheme, max_retries: int = 3) -> None:
+        if max_retries < 0:
+            raise SchemeConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.inner = inner
+        self.max_retries = max_retries
+        self.name = f"retrying({inner.name}, retries={max_retries})"
+
+    def run(
+        self,
+        assignment: TaskAssignment,
+        behavior: Behavior,
+        seed: int = 0,
+    ) -> SchemeRunResult:
+        wasted = CostLedger()
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            try:
+                result = self.inner.run(
+                    assignment, behavior, seed=seed * 7919 + attempt
+                )
+            except DroppedOut as dropped:
+                # Account the vanished volunteer's burned cycles.
+                wasted.evaluation_cost += dropped.spent_cost
+                wasted.evaluations += dropped.evaluations
+                wasted.bump("dropouts")
+                continue
+            result.other_ledger.merge(wasted)
+            result.other_ledger.bump("attempts", attempts)
+            return result
+        outcome = VerificationOutcome(
+            task_id=assignment.task_id,
+            accepted=False,
+            reason=RejectReason.PROTOCOL_VIOLATION,
+        )
+        wasted.bump("attempts", attempts)
+        return SchemeRunResult(
+            outcome=outcome,
+            participant_ledger=CostLedger(),
+            supervisor_ledger=CostLedger(),
+            work=None,
+            other_ledger=wasted,
+        )

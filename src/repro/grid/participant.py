@@ -1,0 +1,146 @@
+"""Participant node: an actor wrapping the CBS protocol objects.
+
+The actor layer (nodes + :class:`~repro.grid.network.Network`) exists so
+examples and integration tests can exercise the *message flow* of the
+paper's architecture — including the §4 broker topology where the
+supervisor never addresses participants directly.  Statistical
+experiments drive :class:`~repro.core.scheme.VerificationScheme`
+directly instead; both layers share the same protocol objects, so the
+costs agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cheating.strategies import Behavior
+from repro.core.cbs import CBSParticipant
+from repro.core.ni_cbs import NICBSParticipant
+from repro.core.protocol import AssignMsg, SampleChallengeMsg, VerdictMsg
+from repro.exceptions import ProtocolError
+from repro.accounting import CostLedger
+from repro.grid.network import Network
+from repro.merkle.hashing import HashFunction
+from repro.merkle.tree import LeafEncoding
+from repro.tasks.result import TaskAssignment
+
+
+class ParticipantNode:
+    """A grid participant reachable over the simulated network.
+
+    Parameters
+    ----------
+    name:
+        Network address.
+    network:
+        The fabric to attach to.
+    behavior:
+        Honest or cheating strategy (paper §2.2).
+    assignment_resolver:
+        Callback ``task_id -> TaskAssignment``; models the shared
+        work-unit catalogue (the real payload a grid client downloads).
+    protocol:
+        ``"cbs"`` (interactive) or ``"ni-cbs"``.
+    n_samples, sample_hash:
+        NI-CBS parameters (ignored for interactive CBS, where the
+        supervisor chooses the samples).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        behavior: Behavior,
+        assignment_resolver: Callable[[str], TaskAssignment],
+        protocol: str = "cbs",
+        n_samples: int = 16,
+        sample_hash: HashFunction | None = None,
+        hash_fn: HashFunction | None = None,
+        leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
+        subtree_height: int | None = None,
+        salt: bytes = b"",
+    ) -> None:
+        if protocol not in ("cbs", "ni-cbs"):
+            raise ProtocolError(f"unknown protocol {protocol!r}")
+        self.name = name
+        self.network = network
+        self.behavior = behavior
+        self.assignment_resolver = assignment_resolver
+        self.protocol = protocol
+        self.n_samples = n_samples
+        self.sample_hash = sample_hash
+        self.hash_fn = hash_fn
+        self.leaf_encoding = leaf_encoding
+        self.subtree_height = subtree_height
+        self.salt = salt
+        self.ledger = CostLedger()
+        self._sessions: dict[str, CBSParticipant] = {}
+        self.verdicts: dict[str, VerdictMsg] = {}
+        network.attach(self)
+
+    # ------------------------------------------------------------------
+
+    def receive(self, sender: str, message: object) -> None:
+        """Network dispatch."""
+        if isinstance(message, AssignMsg):
+            self._handle_assignment(sender, message)
+        elif isinstance(message, SampleChallengeMsg):
+            self._handle_challenge(sender, message)
+        elif isinstance(message, VerdictMsg):
+            self.verdicts[message.task_id] = message
+        else:
+            raise ProtocolError(
+                f"{self.name}: unexpected message {type(message).__name__}"
+            )
+
+    def _handle_assignment(self, sender: str, msg: AssignMsg) -> None:
+        assignment = self.assignment_resolver(msg.task_id)
+        if assignment.n_inputs != msg.n_inputs:
+            raise ProtocolError(
+                f"{self.name}: catalogue says {assignment.n_inputs} inputs, "
+                f"assignment message says {msg.n_inputs}"
+            )
+        if self.protocol == "cbs":
+            session = CBSParticipant(
+                assignment,
+                self.behavior,
+                hash_fn=self.hash_fn,
+                leaf_encoding=self.leaf_encoding,
+                subtree_height=self.subtree_height,
+                ledger=self.ledger,
+                salt=self.salt,
+            )
+            self._sessions[msg.task_id] = session
+            self.network.send(self.name, sender, session.compute_and_commit())
+        else:
+            session = NICBSParticipant(
+                assignment,
+                self.behavior,
+                n_samples=self.n_samples,
+                sample_hash=self.sample_hash,
+                hash_fn=self.hash_fn,
+                leaf_encoding=self.leaf_encoding,
+                subtree_height=self.subtree_height,
+                ledger=self.ledger,
+                salt=self.salt,
+            )
+            self._sessions[msg.task_id] = session
+            # Single-shot: submission goes back the way the work came
+            # (to the broker in the GRACE topology, §4).
+            self.network.send(self.name, sender, session.compute_and_submit())
+
+    def _handle_challenge(self, sender: str, msg: SampleChallengeMsg) -> None:
+        session = self._sessions.get(msg.task_id)
+        if session is None:
+            raise ProtocolError(
+                f"{self.name}: challenge for unknown task {msg.task_id!r}"
+            )
+        self.network.send(self.name, sender, session.prove(msg))
+
+    # ------------------------------------------------------------------
+
+    def session(self, task_id: str) -> CBSParticipant:
+        """The protocol session for a task (for tests/inspection)."""
+        if task_id not in self._sessions:
+            raise ProtocolError(f"no session for task {task_id!r}")
+        return self._sessions[task_id]

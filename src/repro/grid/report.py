@@ -1,0 +1,85 @@
+"""Report dataclasses for population-level simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheme import RejectReason, SchemeRunResult
+from repro.accounting import CostLedger
+
+
+@dataclass
+class ParticipantReport:
+    """One participant's run, labelled with ground truth."""
+
+    participant: str
+    behavior: str
+    honesty_ratio: float
+    accepted: bool
+    reason: RejectReason
+    participant_ledger: CostLedger
+    supervisor_ledger_delta: CostLedger
+
+    @property
+    def cheated(self) -> bool:
+        return self.honesty_ratio < 1.0
+
+
+@dataclass
+class DetectionReport:
+    """Aggregate outcome of a population simulation."""
+
+    scheme: str
+    participants: list[ParticipantReport] = field(default_factory=list)
+    #: Total supervisor-side costs across the population.
+    supervisor_ledger: CostLedger = field(default_factory=CostLedger)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cheaters(self) -> int:
+        return sum(1 for p in self.participants if p.cheated)
+
+    @property
+    def n_honest(self) -> int:
+        return len(self.participants) - self.n_cheaters
+
+    @property
+    def cheaters_caught(self) -> int:
+        return sum(1 for p in self.participants if p.cheated and not p.accepted)
+
+    @property
+    def honest_rejected(self) -> int:
+        """Soundness violations (must be 0 for CBS, Theorem 1)."""
+        return sum(1 for p in self.participants if not p.cheated and not p.accepted)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of cheaters caught (1 − the Eq. 2 event rate)."""
+        if self.n_cheaters == 0:
+            return 1.0
+        return self.cheaters_caught / self.n_cheaters
+
+    @property
+    def false_alarm_rate(self) -> float:
+        if self.n_honest == 0:
+            return 0.0
+        return self.honest_rejected / self.n_honest
+
+    @property
+    def supervisor_bytes_received(self) -> int:
+        """Supervisor ingress — the paper's headline network-load metric."""
+        return self.supervisor_ledger.bytes_received
+
+    def summary(self) -> dict:
+        """Flat summary row for tables."""
+        return {
+            "scheme": self.scheme,
+            "participants": len(self.participants),
+            "cheaters": self.n_cheaters,
+            "caught": self.cheaters_caught,
+            "detection_rate": self.detection_rate,
+            "false_alarms": self.honest_rejected,
+            "supervisor_bytes_in": self.supervisor_bytes_received,
+            "supervisor_verify_cost": self.supervisor_ledger.verification_cost,
+        }

@@ -1,0 +1,144 @@
+"""Supervisor node: assigns work and verifies over the network.
+
+Interactive mode (CBS): supervisor ↔ participant directly, with the
+extra commit/challenge round of §3.1.  Non-interactive mode (NI-CBS):
+the supervisor hands a bulk of assignments to a broker and verifies
+one-shot submissions as they come back — the §4 GRACE topology where
+"the supervisor does not even know which participant is conducting
+what tasks".
+"""
+
+from __future__ import annotations
+
+from repro.core.cbs import CBSSupervisor
+from repro.core.ni_cbs import NICBSSupervisor
+from repro.core.protocol import (
+    AssignMsg,
+    CommitmentMsg,
+    NICBSSubmissionMsg,
+    ProofBundleMsg,
+)
+from repro.core.scheme import VerificationOutcome
+from repro.exceptions import ProtocolError
+from repro.accounting import CostLedger
+from repro.grid.network import Network
+from repro.merkle.hashing import HashFunction
+from repro.merkle.tree import LeafEncoding
+from repro.tasks.result import TaskAssignment
+
+
+class SupervisorNode:
+    """The grid supervisor as a network actor."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        protocol: str = "cbs",
+        n_samples: int = 16,
+        sample_hash: HashFunction | None = None,
+        hash_fn: HashFunction | None = None,
+        leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
+        seed: int = 0,
+        with_replacement: bool = True,
+    ) -> None:
+        if protocol not in ("cbs", "ni-cbs"):
+            raise ProtocolError(f"unknown protocol {protocol!r}")
+        self.name = name
+        self.network = network
+        self.protocol = protocol
+        self.n_samples = n_samples
+        self.sample_hash = sample_hash
+        self.hash_fn = hash_fn
+        self.leaf_encoding = leaf_encoding
+        self.seed = seed
+        self.with_replacement = with_replacement
+        self.ledger = CostLedger()
+        self._assignments: dict[str, TaskAssignment] = {}
+        self._sessions: dict[str, CBSSupervisor] = {}
+        self._participant_for_task: dict[str, str] = {}
+        self.outcomes: dict[str, VerificationOutcome] = {}
+        network.attach(self)
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+
+    def assign(
+        self, assignment: TaskAssignment, recipient: str
+    ) -> None:
+        """Send one assignment to a participant (or a broker)."""
+        task_id = assignment.task_id
+        if task_id in self._assignments:
+            raise ProtocolError(f"task {task_id!r} already assigned")
+        self._assignments[task_id] = assignment
+        self._participant_for_task[task_id] = recipient
+        self.network.send(
+            self.name,
+            recipient,
+            AssignMsg(
+                task_id=task_id,
+                n_inputs=assignment.n_inputs,
+                workload=type(assignment.function).__name__,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Network dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, sender: str, message: object) -> None:
+        if isinstance(message, CommitmentMsg):
+            self._handle_commitment(sender, message)
+        elif isinstance(message, ProofBundleMsg):
+            self._handle_proofs(sender, message)
+        elif isinstance(message, NICBSSubmissionMsg):
+            self._handle_submission(sender, message)
+        else:
+            raise ProtocolError(
+                f"{self.name}: unexpected message {type(message).__name__}"
+            )
+
+    def _assignment_for(self, task_id: str) -> TaskAssignment:
+        if task_id not in self._assignments:
+            raise ProtocolError(f"{self.name}: unknown task {task_id!r}")
+        return self._assignments[task_id]
+
+    def _handle_commitment(self, sender: str, msg: CommitmentMsg) -> None:
+        if self.protocol != "cbs":
+            raise ProtocolError("commitments only arrive in interactive CBS")
+        assignment = self._assignment_for(msg.task_id)
+        session = CBSSupervisor(
+            assignment,
+            n_samples=self.n_samples,
+            hash_fn=self.hash_fn,
+            leaf_encoding=self.leaf_encoding,
+            seed=self.seed ^ hash(msg.task_id) & 0x7FFFFFFF,
+            ledger=self.ledger,
+            with_replacement=self.with_replacement,
+        )
+        session.receive_commitment(msg)
+        self._sessions[msg.task_id] = session
+        self.network.send(self.name, sender, session.make_challenge())
+
+    def _handle_proofs(self, sender: str, msg: ProofBundleMsg) -> None:
+        session = self._sessions.get(msg.task_id)
+        if session is None:
+            raise ProtocolError(f"{self.name}: proofs before commitment")
+        outcome = session.verify(msg)
+        self.outcomes[msg.task_id] = outcome
+        self.network.send(self.name, sender, session.verdict_message(outcome))
+
+    def _handle_submission(self, sender: str, msg: NICBSSubmissionMsg) -> None:
+        if self.protocol != "ni-cbs":
+            raise ProtocolError("one-shot submissions only arrive in NI-CBS")
+        assignment = self._assignment_for(msg.task_id)
+        verifier = NICBSSupervisor(
+            assignment,
+            n_samples=self.n_samples,
+            sample_hash=self.sample_hash,
+            hash_fn=self.hash_fn,
+            leaf_encoding=self.leaf_encoding,
+            ledger=self.ledger,
+        )
+        self.outcomes[msg.task_id] = verifier.verify(msg)

@@ -1,0 +1,53 @@
+"""Merkle-tree substrate for Commitment-Based Sampling (paper §3.1).
+
+The participant commits to all ``n`` results with a single root digest
+``Φ(R)``; each sampled result is then proven with an ``O(log n)``
+authentication path (the ``Φ`` values of the siblings along the
+leaf-to-root path — Fig. 1 of the paper).
+
+Public surface:
+
+* :class:`~repro.merkle.hashing.HashFunction` and
+  :func:`~repro.merkle.hashing.get_hash` — pluggable hash registry,
+  including :class:`~repro.merkle.hashing.IteratedHash` (``g = h^k``,
+  the deliberately slow hash of paper §4.2 / Eq. 5).
+* :class:`~repro.merkle.tree.MerkleTree` — full in-memory tree.
+* :class:`~repro.merkle.partial.PartialMerkleTree` — the §3.3
+  storage-optimized tree (top ``H − ℓ`` levels stored, height-``ℓ``
+  subtrees rebuilt on demand).
+* :class:`~repro.merkle.streaming.StreamingMerkleBuilder` —
+  ``O(log n)``-memory root computation.
+* :class:`~repro.merkle.proof.AuthenticationPath` — the ``λ1..λH``
+  sibling digests plus the root-reconstruction procedure
+  ``Λ(f(x), λ1..λH)`` used by the supervisor.
+"""
+
+from repro.merkle.hashing import (
+    CountingHash,
+    HashFunction,
+    IteratedHash,
+    available_hashes,
+    get_hash,
+)
+from repro.merkle.multiproof import MerkleMultiProof, build_multiproof
+from repro.merkle.partial import PartialMerkleTree
+from repro.merkle.proof import AuthenticationPath, compute_root_from_path
+from repro.merkle.streaming import StreamingMerkleBuilder
+from repro.merkle.tree import LeafEncoding, MerkleTree, encode_leaf
+
+__all__ = [
+    "HashFunction",
+    "IteratedHash",
+    "CountingHash",
+    "get_hash",
+    "available_hashes",
+    "MerkleTree",
+    "LeafEncoding",
+    "encode_leaf",
+    "PartialMerkleTree",
+    "StreamingMerkleBuilder",
+    "AuthenticationPath",
+    "compute_root_from_path",
+    "MerkleMultiProof",
+    "build_multiproof",
+]

@@ -1,0 +1,177 @@
+"""Hash-function registry for the Merkle substrate.
+
+The paper treats the hash as a pluggable one-way primitive ("such as
+MD5 or SHA", §3.1) and §4.2 constructs a *deliberately expensive* hash
+``g ≡ (MD5)^k`` to price the NI-CBS regrinding attack out of
+profitability (Eq. 5).  This module provides:
+
+* :class:`HashFunction` — a named wrapper over a ``bytes -> bytes``
+  digest with an abstract *cost* (in cost units, see
+  :mod:`repro.grid.accounting`) so analyses can reason about ``C_g``
+  without wall-clock noise.
+* :class:`IteratedHash` — ``g = h^k``; cost scales linearly with ``k``.
+* :class:`CountingHash` — a decorator that charges each invocation to a
+  :class:`~repro.grid.accounting.CostLedger`.
+* :func:`get_hash` — registry lookup (``sha256`` default; ``md5`` and
+  ``sha1`` retained for paper fidelity, ``blake2b`` for the ablation
+  experiment E9).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Protocol
+
+from repro.exceptions import ReproError
+
+
+class SupportsDigest(Protocol):
+    """Structural type for anything usable as a Merkle hash."""
+
+    name: str
+    digest_size: int
+
+    def digest(self, data: bytes) -> bytes: ...  # pragma: no cover
+
+
+class HashFunction:
+    """A named one-way hash with a fixed digest size and abstract cost.
+
+    Parameters
+    ----------
+    name:
+        Registry name (e.g. ``"sha256"``).
+    fn:
+        The raw ``bytes -> bytes`` digest function.
+    digest_size:
+        Output size in bytes.
+    cost:
+        Abstract cost of one invocation, in the same units used for
+        ``C_f`` by :class:`repro.tasks.function.TaskFunction`.  Defaults
+        to 1.0; the iterated hash multiplies this by its round count.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[bytes], bytes],
+        digest_size: int,
+        cost: float = 1.0,
+    ) -> None:
+        if digest_size <= 0:
+            raise ReproError(f"digest_size must be positive, got {digest_size}")
+        if cost < 0:
+            raise ReproError(f"cost must be non-negative, got {cost}")
+        self.name = name
+        self._fn = fn
+        self.digest_size = digest_size
+        self.cost = cost
+
+    def digest(self, data: bytes) -> bytes:
+        """Hash ``data`` and return the digest."""
+        return self._fn(data)
+
+    def __call__(self, data: bytes) -> bytes:
+        return self.digest(data)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashFunction(name={self.name!r}, digest_size={self.digest_size},"
+            f" cost={self.cost})"
+        )
+
+
+class IteratedHash(HashFunction):
+    """``g = h^k``: apply a base hash ``k`` times (paper §4.2).
+
+    NI-CBS derives sample indices from ``g^k(Φ(R))``; to defeat the
+    regrinding attack the paper makes ``g`` itself expensive by
+    iterating a fast hash.  The abstract cost is ``k × base.cost`` so
+    Eq. (5) can be evaluated directly from the objects.
+    """
+
+    def __init__(self, base: HashFunction, rounds: int) -> None:
+        if rounds < 1:
+            raise ReproError(f"rounds must be >= 1, got {rounds}")
+        self.base = base
+        self.rounds = rounds
+        super().__init__(
+            name=f"{base.name}^{rounds}",
+            fn=self._iterate,
+            digest_size=base.digest_size,
+            cost=base.cost * rounds,
+        )
+
+    def _iterate(self, data: bytes) -> bytes:
+        digest = data
+        for _ in range(self.rounds):
+            digest = self.base.digest(digest)
+        return digest
+
+
+class CountingHash(HashFunction):
+    """Wrap a hash so every invocation is charged to a ledger.
+
+    The ledger interface is duck-typed (`charge_hash(cost)`) to avoid a
+    circular import with :mod:`repro.grid.accounting`.
+    """
+
+    def __init__(self, inner: HashFunction, ledger) -> None:
+        self.inner = inner
+        self.ledger = ledger
+        super().__init__(
+            name=inner.name,
+            fn=self._counted,
+            digest_size=inner.digest_size,
+            cost=inner.cost,
+        )
+
+    def _counted(self, data: bytes) -> bytes:
+        self.ledger.charge_hash(self.inner.cost)
+        return self.inner.digest(data)
+
+
+def _stdlib(name: str) -> Callable[[bytes], bytes]:
+    def fn(data: bytes) -> bytes:
+        return hashlib.new(name, data).digest()
+
+    return fn
+
+
+_REGISTRY: dict[str, HashFunction] = {
+    "sha256": HashFunction("sha256", _stdlib("sha256"), 32),
+    "sha1": HashFunction("sha1", _stdlib("sha1"), 20),
+    "md5": HashFunction("md5", _stdlib("md5"), 16),
+    "blake2b": HashFunction(
+        "blake2b", lambda data: hashlib.blake2b(data, digest_size=32).digest(), 32
+    ),
+    "sha512": HashFunction("sha512", _stdlib("sha512"), 64),
+}
+
+
+def available_hashes() -> list[str]:
+    """Names of all registered hash functions."""
+    return sorted(_REGISTRY)
+
+
+def get_hash(name: str = "sha256") -> HashFunction:
+    """Look up a registered hash function by name.
+
+    ``"<base>^<k>"`` names (e.g. ``"md5^1000"``) build an
+    :class:`IteratedHash` on the fly, mirroring the paper's
+    ``g ≡ (MD5)^k`` construction.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    if "^" in name:
+        base_name, _, rounds_text = name.partition("^")
+        if base_name in _REGISTRY and rounds_text.isdigit():
+            return IteratedHash(_REGISTRY[base_name], int(rounds_text))
+    raise ReproError(
+        f"unknown hash {name!r}; available: {', '.join(available_hashes())}"
+    )
+
+
+def register_hash(fn: HashFunction) -> None:
+    """Add a custom hash to the registry (used by tests and ablations)."""
+    _REGISTRY[fn.name] = fn

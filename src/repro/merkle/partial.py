@@ -1,0 +1,173 @@
+"""Storage-optimized Merkle tree (paper §3.3, Fig. 3).
+
+Instead of storing the entire tree (``O(|D|)`` nodes), the participant
+keeps only the nodes at heights ``>= ℓ`` (the paper stores the tree "up
+to level H − ℓ" with the root at level 0 — same set of nodes).  Storage
+shrinks to ``S = 2^(H−ℓ+1)`` digests; in exchange, answering a sample
+challenge requires rebuilding the height-``ℓ`` subtree that contains the
+sampled leaf, which means *re-evaluating f* on the subtree's ``2^ℓ``
+inputs.  The paper's relative computation overhead is::
+
+    rco = m · 2^ℓ / |D| = 2m / S        (§3.3)
+
+:class:`PartialMerkleTree` exposes the same proving interface as the
+full tree and meters both rebuild events and leaf re-evaluations, which
+experiment E4 compares against the closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exceptions import LeafIndexError, MerkleError
+from repro.merkle.hashing import HashFunction, get_hash
+from repro.merkle.proof import AuthenticationPath
+from repro.merkle.streaming import StreamingMerkleBuilder
+from repro.merkle.tree import LeafEncoding, combine, empty_leaf_digest, encode_leaf
+from repro.utils.bitmath import next_power_of_two, tree_height
+
+
+class PartialMerkleTree:
+    """Merkle tree storing only heights ``>= subtree_height`` (ℓ).
+
+    Parameters
+    ----------
+    payloads:
+        Leaf payloads in domain order; consumed in a single streaming
+        pass (the full bottom of the tree is never held in memory).
+    leaf_provider:
+        Callback ``index -> payload`` used to *recompute* leaf payloads
+        when a subtree must be rebuilt for a proof.  In the paper this
+        is literally re-evaluating ``f(x_i)``; the grid layer passes a
+        metered evaluation so the recompute cost lands in the ledger.
+    subtree_height:
+        ``ℓ``: the height of the discarded bottom subtrees.  ``0``
+        stores everything below the root too (equivalent to a full
+        tree); ``height`` stores only the root.
+    hash_fn, leaf_encoding:
+        As for :class:`~repro.merkle.tree.MerkleTree`.
+    """
+
+    def __init__(
+        self,
+        payloads: Iterable[bytes],
+        leaf_provider: Callable[[int], bytes],
+        subtree_height: int,
+        hash_fn: HashFunction | None = None,
+        leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
+    ) -> None:
+        if subtree_height < 0:
+            raise MerkleError(f"subtree_height must be >= 0, got {subtree_height}")
+        self.hash_fn = hash_fn or get_hash("sha256")
+        self.leaf_encoding = leaf_encoding
+        self.leaf_provider = leaf_provider
+        self.subtree_height = subtree_height
+
+        builder = StreamingMerkleBuilder(
+            hash_fn=self.hash_fn,
+            leaf_encoding=leaf_encoding,
+            capture_above_level=subtree_height,
+        )
+        builder.add_leaves(payloads)
+        self._root = builder.finalize()
+        self.n_leaves = builder.n_leaves
+        self.height = builder.height
+        if subtree_height > self.height:
+            raise MerkleError(
+                f"subtree_height {subtree_height} exceeds tree height {self.height}"
+            )
+        self._stored = builder.captured_levels()
+
+        # Metering for experiment E4.
+        self.subtree_rebuilds = 0
+        self.leaves_recomputed = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        """The commitment ``Φ(R)``."""
+        return self._root
+
+    @property
+    def stored_node_count(self) -> int:
+        """Number of digests held in storage (the paper's ``S``, roughly).
+
+        For ``0 < ℓ <= H`` this is ``2^(H−ℓ+1) − 1``; the paper rounds
+        it to ``S = 2^(H−ℓ+1)``.
+        """
+        return sum(len(row) for row in self._stored.values())
+
+    def _check_leaf_index(self, index: int) -> None:
+        if not 0 <= index < self.n_leaves:
+            raise LeafIndexError(f"leaf index {index} outside [0, {self.n_leaves})")
+
+    # ------------------------------------------------------------------
+
+    def _rebuild_subtree(self, subtree_index: int) -> list[list[bytes]]:
+        """Recompute the height-ℓ subtree with leaf range
+        ``[subtree_index · 2^ℓ, (subtree_index + 1) · 2^ℓ)``.
+
+        Returns levels bottom-up: ``levels[0]`` is the subtree's leaf
+        row, ``levels[ℓ]`` is ``[subtree root]``.  Padding positions
+        beyond the real domain use the structural empty-leaf digest.
+        """
+        width = 1 << self.subtree_height
+        start = subtree_index * width
+        pad = empty_leaf_digest(self.hash_fn)
+        row: list[bytes] = []
+        for i in range(start, start + width):
+            if i < self.n_leaves:
+                payload = self.leaf_provider(i)
+                self.leaves_recomputed += 1
+                row.append(encode_leaf(payload, self.hash_fn, self.leaf_encoding))
+            else:
+                row.append(pad)
+        levels = [row]
+        while len(row) > 1:
+            row = [
+                combine(self.hash_fn, row[i], row[i + 1])
+                for i in range(0, len(row), 2)
+            ]
+            levels.append(row)
+        self.subtree_rebuilds += 1
+        return levels
+
+    def auth_path(self, index: int) -> AuthenticationPath:
+        """Authentication path for leaf ``index``.
+
+        Siblings at heights ``< ℓ`` come from the rebuilt subtree
+        (Fig. 3(b): the ``V1..V3`` nodes whose Φ values "need to be
+        recomputed"); siblings at heights ``>= ℓ`` come from storage.
+        """
+        self._check_leaf_index(index)
+        siblings: list[bytes] = []
+
+        if self.subtree_height > 0:
+            subtree_index = index >> self.subtree_height
+            subtree = self._rebuild_subtree(subtree_index)
+            local = index & ((1 << self.subtree_height) - 1)
+            node = local
+            for height in range(self.subtree_height):
+                siblings.append(subtree[height][node ^ 1])
+                node >>= 1
+
+        node = index >> self.subtree_height
+        for height in range(self.subtree_height, self.height):
+            row = self._stored[height]
+            siblings.append(row[node ^ 1])
+            node >>= 1
+
+        return AuthenticationPath(
+            leaf_index=index,
+            siblings=siblings,
+            n_leaves=self.n_leaves,
+            leaf_encoding=self.leaf_encoding,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialMerkleTree(n_leaves={self.n_leaves}, height={self.height},"
+            f" subtree_height={self.subtree_height},"
+            f" stored_nodes={self.stored_node_count})"
+        )

@@ -1,0 +1,114 @@
+"""Authentication paths and root reconstruction (paper §3.1–3.2).
+
+The supervisor verifies a sample ``x`` by recomputing the root from the
+claimed ``f(x)`` and the sibling digests ``λ1..λH`` supplied by the
+participant — the procedure the paper denotes
+``Λ(Φ(L), λ1, ..., λH) = Φ(R)`` (Theorem 1/2).  Only if the
+reconstructed root equals the committed root does the supervisor accept
+that the participant knew ``f(x)`` *before* committing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProofShapeError
+from repro.merkle import hashing
+
+
+def compute_root_from_path(
+    leaf_phi: bytes,
+    leaf_index: int,
+    siblings: list[bytes],
+    hash_fn: "hashing.HashFunction",
+) -> bytes:
+    """Reconstruct ``Φ(R')`` from a leaf ``Φ`` value and its siblings.
+
+    This is ``Λ(Φ(L), λ1..λH)``: starting at the leaf, combine with each
+    sibling in leaf-to-root order; the bit ``j`` of ``leaf_index``
+    determines whether the running digest is the left or right child at
+    level ``H − j``.
+    """
+    from repro.merkle.tree import combine  # local import: avoid cycle
+
+    digest = leaf_phi
+    node = leaf_index
+    for sibling in siblings:
+        if node & 1:
+            digest = combine(hash_fn, sibling, digest)
+        else:
+            digest = combine(hash_fn, digest, sibling)
+        node >>= 1
+    return digest
+
+
+@dataclass(frozen=True)
+class AuthenticationPath:
+    """The ``λ1..λH`` sibling digests proving one leaf against a root.
+
+    Attributes
+    ----------
+    leaf_index:
+        0-based index of the proven leaf within the domain.
+    siblings:
+        Sibling ``Φ`` values in leaf-to-root order (length = tree height).
+    n_leaves:
+        Number of real (non-padding) leaves, kept for sanity checks.
+    leaf_encoding:
+        The tree's leaf encoding, needed to recompute ``Φ(L)`` from the
+        claimed result payload.
+    """
+
+    leaf_index: int
+    siblings: list[bytes] = field(default_factory=list)
+    n_leaves: int = 0
+    leaf_encoding: "object" = None  # LeafEncoding; kept loose to avoid cycle
+
+    def __post_init__(self) -> None:
+        if self.leaf_index < 0:
+            raise ProofShapeError(f"negative leaf index {self.leaf_index}")
+        if self.n_leaves and self.leaf_index >= self.n_leaves:
+            raise ProofShapeError(
+                f"leaf index {self.leaf_index} outside [0, {self.n_leaves})"
+            )
+        sizes = {len(s) for s in self.siblings}
+        if len(sizes) > 1:
+            raise ProofShapeError(f"inconsistent sibling digest sizes: {sizes}")
+
+    @property
+    def height(self) -> int:
+        """Path length ``H`` (number of sibling digests)."""
+        return len(self.siblings)
+
+    def root_from_payload(
+        self, payload: bytes, hash_fn: "hashing.HashFunction"
+    ) -> bytes:
+        """Reconstruct the root from a claimed leaf *payload* (``f(x)``)."""
+        from repro.merkle.tree import LeafEncoding, encode_leaf
+
+        encoding = self.leaf_encoding or LeafEncoding.HASHED
+        leaf_phi = encode_leaf(payload, hash_fn, encoding)
+        return self.root_from_phi(leaf_phi, hash_fn)
+
+    def root_from_phi(
+        self, leaf_phi: bytes, hash_fn: "hashing.HashFunction"
+    ) -> bytes:
+        """Reconstruct the root from an already-encoded leaf ``Φ`` value."""
+        return compute_root_from_path(
+            leaf_phi, self.leaf_index, list(self.siblings), hash_fn
+        )
+
+    def verify(
+        self,
+        payload: bytes,
+        expected_root: bytes,
+        hash_fn: "hashing.HashFunction",
+    ) -> bool:
+        """Check whether ``payload`` at ``leaf_index`` matches ``expected_root``."""
+        return self.root_from_payload(payload, hash_fn) == expected_root
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes (see serialize module)."""
+        from repro.merkle.serialize import encode_auth_path
+
+        return len(encode_auth_path(self))

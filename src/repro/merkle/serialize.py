@@ -1,0 +1,61 @@
+"""Wire serialization of Merkle artefacts.
+
+Used by :mod:`repro.core.protocol` to turn commitments and proofs into
+concrete byte strings so the simulated network can account real sizes
+(experiment E3: the ``O(n)`` vs ``O(m log n)`` communication claim).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CodecError
+from repro.merkle.proof import AuthenticationPath
+from repro.merkle.tree import LeafEncoding
+from repro.utils.encoding import (
+    encode_bytes,
+    encode_bytes_list,
+    encode_uint,
+    read_bytes,
+    read_bytes_list,
+    read_uint,
+)
+
+_ENCODING_CODES = {LeafEncoding.HASHED: 0, LeafEncoding.RAW: 1}
+_ENCODING_FROM_CODE = {code: enc for enc, code in _ENCODING_CODES.items()}
+
+
+def encode_auth_path(path: AuthenticationPath) -> bytes:
+    """Serialize an authentication path."""
+    encoding = path.leaf_encoding or LeafEncoding.HASHED
+    out = bytearray()
+    out += encode_uint(path.leaf_index)
+    out += encode_uint(path.n_leaves)
+    out += encode_uint(_ENCODING_CODES[encoding])
+    out += encode_bytes_list(list(path.siblings))
+    return bytes(out)
+
+
+def decode_auth_path(data: bytes, offset: int = 0) -> tuple[AuthenticationPath, int]:
+    """Deserialize an authentication path at ``offset``."""
+    leaf_index, pos = read_uint(data, offset)
+    n_leaves, pos = read_uint(data, pos)
+    code, pos = read_uint(data, pos)
+    if code not in _ENCODING_FROM_CODE:
+        raise CodecError(f"unknown leaf-encoding code {code}")
+    siblings, pos = read_bytes_list(data, pos)
+    path = AuthenticationPath(
+        leaf_index=leaf_index,
+        siblings=siblings,
+        n_leaves=n_leaves,
+        leaf_encoding=_ENCODING_FROM_CODE[code],
+    )
+    return path, pos
+
+
+def encode_digest(digest: bytes) -> bytes:
+    """Serialize a single digest (length-prefixed)."""
+    return encode_bytes(digest)
+
+
+def decode_digest(data: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Deserialize a digest at ``offset``."""
+    return read_bytes(data, offset)

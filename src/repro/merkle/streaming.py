@@ -1,0 +1,148 @@
+"""Streaming Merkle-root computation in ``O(log n)`` memory.
+
+The full :class:`~repro.merkle.tree.MerkleTree` stores every node
+(``O(|D|)`` storage — exactly the problem §3.3 of the paper raises for
+``|D| ≫ 2^30``).  When the participant only needs the *commitment*
+``Φ(R)`` — or wants to materialize just the top levels for the
+storage-optimized variant — results can be folded in one pass with the
+classic stack algorithm: keep at most one pending digest per level.
+
+:class:`StreamingMerkleBuilder` is the engine under
+:class:`repro.merkle.partial.PartialMerkleTree`: it can optionally
+*capture* every node at or above a given level, yielding the stored top
+of the tree without ever holding the bottom.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EmptyTreeError, MerkleError
+from repro.merkle.hashing import HashFunction, get_hash
+from repro.merkle.tree import (
+    LeafEncoding,
+    combine,
+    empty_leaf_digest,
+    encode_leaf,
+)
+from repro.utils.bitmath import next_power_of_two, tree_height
+
+
+class StreamingMerkleBuilder:
+    """Fold leaf payloads into a Merkle root one at a time.
+
+    Parameters
+    ----------
+    hash_fn:
+        Hash function (default SHA-256).
+    leaf_encoding:
+        Leaf payload encoding (see :class:`~repro.merkle.tree.LeafEncoding`).
+    capture_above_level:
+        If not ``None``, record the digests of every node whose level is
+        ``<= capture_above_level`` *counted from the leaves upward in
+        the final tree*.  Because the final height is unknown until
+        :meth:`finalize`, the capture parameter is expressed as
+        "levels from the bottom": ``capture_above_level = ℓ`` captures
+        node digests at heights ``>= ℓ`` (i.e. the top ``H − ℓ + 1``
+        levels, matching paper §3.3's partial storage).
+    """
+
+    def __init__(
+        self,
+        hash_fn: HashFunction | None = None,
+        leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
+        capture_above_level: int | None = None,
+    ) -> None:
+        self.hash_fn = hash_fn or get_hash("sha256")
+        self.leaf_encoding = leaf_encoding
+        self.capture_above_level = capture_above_level
+        # _stack[h] holds the pending digest at height h (from leaves), or None.
+        self._stack: list[bytes | None] = []
+        self.n_leaves = 0
+        self._finalized_root: bytes | None = None
+        # captured[h] is the ordered list of digests produced at height h.
+        self._captured: dict[int, list[bytes]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _record(self, height: int, digest: bytes) -> None:
+        if (
+            self.capture_above_level is not None
+            and height >= self.capture_above_level
+        ):
+            self._captured.setdefault(height, []).append(digest)
+
+    def _push(self, digest: bytes) -> None:
+        """Insert a height-0 digest and merge complete pairs upward."""
+        height = 0
+        self._record(0, digest)
+        while True:
+            if height == len(self._stack):
+                self._stack.append(digest)
+                return
+            pending = self._stack[height]
+            if pending is None:
+                self._stack[height] = digest
+                return
+            digest = combine(self.hash_fn, pending, digest)
+            self._stack[height] = None
+            height += 1
+            self._record(height, digest)
+
+    def add_leaf(self, payload: bytes) -> None:
+        """Fold in the next leaf payload (domain order)."""
+        if self._finalized_root is not None:
+            raise MerkleError("builder already finalized")
+        self._push(encode_leaf(payload, self.hash_fn, self.leaf_encoding))
+        self.n_leaves += 1
+
+    def add_leaves(self, payloads) -> None:
+        """Fold in an iterable of leaf payloads."""
+        for payload in payloads:
+            self.add_leaf(payload)
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> bytes:
+        """Pad to a power of two, collapse the stack, return ``Φ(R)``.
+
+        Idempotent: further calls return the same root.
+        """
+        if self._finalized_root is not None:
+            return self._finalized_root
+        if self.n_leaves == 0:
+            raise EmptyTreeError("no leaves added")
+        padded = next_power_of_two(self.n_leaves)
+        pad = empty_leaf_digest(self.hash_fn)
+        for _ in range(padded - self.n_leaves):
+            self._push(pad)
+        self.n_leaves_padded = padded
+        # After padding, exactly the top stack slot holds the root.
+        top = [d for d in self._stack if d is not None]
+        if len(top) != 1:
+            raise MerkleError(
+                f"internal error: {len(top)} pending digests after padding"
+            )
+        self._finalized_root = top[0]
+        return self._finalized_root
+
+    @property
+    def root(self) -> bytes:
+        """The finalized root (finalizes on first access)."""
+        return self.finalize()
+
+    @property
+    def height(self) -> int:
+        """Height of the (padded) tree; valid once leaves were added."""
+        if self.n_leaves == 0:
+            raise EmptyTreeError("no leaves added")
+        return tree_height(next_power_of_two(self.n_leaves))
+
+    def captured_levels(self) -> dict[int, list[bytes]]:
+        """Digests recorded at each height ``>= capture_above_level``.
+
+        Keys are heights measured from the leaves (0 = leaf level);
+        values are node digests in left-to-right order.  Only meaningful
+        after :meth:`finalize`.
+        """
+        if self._finalized_root is None:
+            raise MerkleError("finalize() before reading captured levels")
+        return {h: list(row) for h, row in self._captured.items()}

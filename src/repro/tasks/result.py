@@ -1,0 +1,76 @@
+"""Task assignment and result containers shared across schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.tasks.domain import Domain
+from repro.tasks.function import TaskFunction
+from repro.tasks.screener import Screener
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """A unit of work handed to one participant (paper Problem 1).
+
+    Attributes
+    ----------
+    task_id:
+        Opaque identifier used by the protocol layer to correlate
+        commitments, challenges and proofs.
+    domain:
+        The subdomain ``D`` the participant must evaluate.
+    function:
+        The task function ``f``.
+    screener:
+        The screener ``S`` selecting results of interest (may be
+        ``None`` for pure verification experiments).
+    """
+
+    task_id: str
+    domain: Domain
+    function: TaskFunction
+    screener: Screener | None = None
+
+    @property
+    def n_inputs(self) -> int:
+        """``n = |D|``."""
+        return len(self.domain)
+
+
+@dataclass
+class TaskResult:
+    """One ``(index, result)`` pair produced by a participant."""
+
+    index: int
+    result: bytes
+
+
+@dataclass
+class ReportOfInterest:
+    """A screener hit reported back to the supervisor."""
+
+    task_id: str
+    index: int
+    input_value: Any
+    report: str
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes."""
+        return 8 + len(str(self.input_value)) + len(self.report)
+
+
+@dataclass
+class WorkOutput:
+    """Everything a participant produced for an assignment.
+
+    ``reports`` are the screener hits (the only payload an honest grid
+    normally returns); ``results`` is the full result vector, retained
+    participant-side for commitment/proof purposes and only shipped by
+    the naive baselines.
+    """
+
+    task_id: str
+    results: list[bytes] = field(default_factory=list)
+    reports: list[ReportOfInterest] = field(default_factory=list)

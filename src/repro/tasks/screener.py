@@ -1,0 +1,120 @@
+"""Screeners: selecting the "results of interest" (paper §2.1).
+
+The screener ``S`` takes ``(x, f(x))`` and returns a report string for
+valuable outputs (or nothing).  Its run time is "of negligible cost
+compared to the evaluation of f", which we model with a configurable
+small cost.  The malicious cheating model (§2.2) corrupts exactly this
+step — computing ``S(x, z)`` for random ``z`` — so screeners are
+first-class objects the behaviour models can interpose on.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import struct
+from typing import Any
+
+from repro.exceptions import TaskError
+
+
+class Screener(abc.ABC):
+    """Maps ``(x, result)`` pairs to optional report strings."""
+
+    #: Abstract cost of one screening call (negligible vs C_f by §2.1).
+    cost: float = 0.01
+
+    @abc.abstractmethod
+    def screen(self, x: Any, result: bytes) -> str | None:
+        """Return a report string if the result is of interest."""
+
+    def reset(self) -> None:
+        """Clear any cross-input state (stateful screeners override)."""
+
+
+class MatchScreener(Screener):
+    """Report inputs whose result equals a target digest.
+
+    The password-cracking screener: the supervisor publishes the target
+    hash; a hit report carries the input (the recovered key).
+    """
+
+    def __init__(self, target: bytes) -> None:
+        if not target:
+            raise TaskError("empty target digest")
+        self.target = target
+
+    def screen(self, x: Any, result: bytes) -> str | None:
+        if result == self.target:
+            return f"match:{x}"
+        return None
+
+
+class ThresholdScreener(Screener):
+    """Report results whose integer encoding crosses a threshold.
+
+    Used by the molecule-screening workload: docking scores are 4-byte
+    big-endian quantized levels; candidates below/above the cut are
+    reported for wet-lab follow-up.
+    """
+
+    def __init__(self, threshold: int, direction: str = "below") -> None:
+        if direction not in ("below", "above"):
+            raise TaskError(f"direction must be 'below' or 'above', got {direction!r}")
+        self.threshold = threshold
+        self.direction = direction
+
+    def screen(self, x: Any, result: bytes) -> str | None:
+        if len(result) != 4:
+            raise TaskError(
+                f"ThresholdScreener expects 4-byte results, got {len(result)}"
+            )
+        (level,) = struct.unpack(">I", result)
+        hit = level <= self.threshold if self.direction == "below" else level >= self.threshold
+        if hit:
+            return f"candidate:{x}:{level}"
+        return None
+
+
+class TopKScreener(Screener):
+    """Keep the ``k`` best (lowest-value) results seen so far.
+
+    A stateful screener for optimization workloads: only the running
+    top-k are of interest.  Reports are emitted when an input enters
+    the current top-k; the final :meth:`top` gives the survivors.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise TaskError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Max-heap via negation: root is the worst of the current best-k.
+        self._heap: list[tuple[int, Any]] = []
+
+    def screen(self, x: Any, result: bytes) -> str | None:
+        if len(result) != 4:
+            raise TaskError(f"TopKScreener expects 4-byte results, got {len(result)}")
+        (level,) = struct.unpack(">I", result)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-level, x))
+            return f"topk:{x}:{level}"
+        worst = -self._heap[0][0]
+        if level < worst:
+            heapq.heapreplace(self._heap, (-level, x))
+            return f"topk:{x}:{level}"
+        return None
+
+    def top(self) -> list[tuple[Any, int]]:
+        """Current best-k as ``(input, level)`` sorted best-first."""
+        return [(x, -neg) for neg, x in sorted(self._heap, reverse=True)]
+
+    def reset(self) -> None:
+        self._heap.clear()
+
+
+class ReportAllScreener(Screener):
+    """Report every result — degenerate screener used by the naive
+    sampling baseline, which requires *all* results on the wire."""
+
+    def screen(self, x: Any, result: bytes) -> str | None:
+        return f"result:{x}:{result.hex()}"

@@ -1,0 +1,114 @@
+"""Canonical wire codec: unsigned varints and length-prefixed bytes.
+
+Protocol messages (commitments, sample challenges, proofs — see
+:mod:`repro.core.protocol`) are serialized with this codec so the
+simulated network (:mod:`repro.grid.network`) can account communication
+costs in *actual bytes on the wire* rather than hand-waved O(·) terms.
+The format is the LEB128-style varint used by protobuf: 7 payload bits
+per byte, most-significant-bit set on every byte except the last.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CodecError
+
+
+def encode_uint(value: int) -> bytes:
+    """Encode a non-negative integer as a varint."""
+    if value < 0:
+        raise CodecError(f"cannot varint-encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_uint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; return ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long (more than 10 bytes)")
+
+
+def decode_uint(data: bytes) -> int:
+    """Decode a varint occupying the whole of ``data``."""
+    value, pos = read_uint(data, 0)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after varint")
+    return value
+
+
+def encode_bytes(payload: bytes) -> bytes:
+    """Encode a byte string with a varint length prefix."""
+    return encode_uint(len(payload)) + payload
+
+
+def read_bytes(data: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Decode a length-prefixed byte string at ``offset``."""
+    length, pos = read_uint(data, offset)
+    end = pos + length
+    if end > len(data):
+        raise CodecError(
+            f"length prefix {length} exceeds remaining {len(data) - pos} bytes"
+        )
+    return data[pos:end], end
+
+
+def decode_bytes(data: bytes) -> bytes:
+    """Decode a length-prefixed byte string occupying all of ``data``."""
+    payload, pos = read_bytes(data, 0)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after payload")
+    return payload
+
+
+def encode_uint_list(values: list[int]) -> bytes:
+    """Encode a list of non-negative integers (count, then varints)."""
+    out = bytearray(encode_uint(len(values)))
+    for value in values:
+        out += encode_uint(value)
+    return bytes(out)
+
+
+def read_uint_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
+    """Decode a list written by :func:`encode_uint_list`."""
+    count, pos = read_uint(data, offset)
+    values: list[int] = []
+    for _ in range(count):
+        value, pos = read_uint(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def encode_bytes_list(items: list[bytes]) -> bytes:
+    """Encode a list of byte strings (count, then length-prefixed items)."""
+    out = bytearray(encode_uint(len(items)))
+    for item in items:
+        out += encode_bytes(item)
+    return bytes(out)
+
+
+def read_bytes_list(data: bytes, offset: int = 0) -> tuple[list[bytes], int]:
+    """Decode a list written by :func:`encode_bytes_list`."""
+    count, pos = read_uint(data, offset)
+    items: list[bytes] = []
+    for _ in range(count):
+        item, pos = read_bytes(data, pos)
+        items.append(item)
+    return items, pos

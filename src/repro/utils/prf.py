@@ -1,0 +1,83 @@
+"""Deterministic pseudo-random helpers keyed on byte strings.
+
+The synthetic workloads (:mod:`repro.tasks.workloads`) need outputs that
+are (a) deterministic given the input, (b) statistically well-spread and
+(c) infeasible to predict without evaluating — i.e. a PRF.  We derive
+everything from SHA-256, which is more than adequate for a simulation
+substrate (the paper itself treats MD5/SHA as ideal one-way functions).
+
+These helpers are *not* part of the verification schemes; the schemes
+use the pluggable :mod:`repro.merkle.hashing` registry.  They exist so
+that workload outputs and simulation coins are reproducible bit-for-bit
+across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+
+def prf_bytes(*parts: bytes, n_bytes: int = 32) -> bytes:
+    """Return ``n_bytes`` of PRF output keyed on the given parts.
+
+    Parts are length-prefixed before hashing so ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` produce unrelated streams.  Output longer than one
+    digest is produced in counter mode.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    seed = hasher.digest()
+    out = bytearray()
+    counter = 0
+    while len(out) < n_bytes:
+        block = hashlib.sha256(seed + counter.to_bytes(8, "big")).digest()
+        out += block
+        counter += 1
+    return bytes(out[:n_bytes])
+
+
+def prf_int(*parts: bytes, bound: int) -> int:
+    """A PRF-derived integer uniform on ``[0, bound)``.
+
+    Uses rejection sampling over 64-bit draws so the distribution is
+    exactly uniform for any ``bound`` up to 2**64.
+    """
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    limit = (1 << 64) - ((1 << 64) % bound)
+    counter = 0
+    while True:
+        draw = int.from_bytes(
+            prf_bytes(*parts, counter.to_bytes(8, "big"), n_bytes=8), "big"
+        )
+        if draw < limit:
+            return draw % bound
+        counter += 1
+
+
+def prf_float(*parts: bytes) -> float:
+    """A PRF-derived float uniform on ``[0, 1)`` with 53-bit precision."""
+    draw = int.from_bytes(prf_bytes(*parts, n_bytes=8), "big") >> 11
+    return draw / float(1 << 53)
+
+
+def prf_coin(*parts: bytes, probability: float) -> bool:
+    """A PRF-derived Bernoulli coin: ``True`` with given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    return prf_float(*parts) < probability
+
+
+def prf_gauss(*parts: bytes, mean: float = 0.0, stdev: float = 1.0) -> float:
+    """A PRF-derived Gaussian sample (Box–Muller on two PRF uniforms)."""
+    import math
+
+    u1 = prf_float(*parts, b"gauss-u1")
+    u2 = prf_float(*parts, b"gauss-u2")
+    # Guard against log(0); the PRF cannot return exactly 1.0.
+    u1 = max(u1, 1e-300)
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return mean + stdev * z

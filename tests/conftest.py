@@ -1,0 +1,62 @@
+"""Shared fixtures: canonical assignments, functions and behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.tasks import (
+    MoleculeScreening,
+    PasswordSearch,
+    RangeDomain,
+    SignalSearch,
+    TaskAssignment,
+)
+
+
+@pytest.fixture
+def password_fn() -> PasswordSearch:
+    """One-way workload (q ≈ 0); cheap to evaluate in tests."""
+    return PasswordSearch()
+
+
+@pytest.fixture
+def signal_fn() -> SignalSearch:
+    """Boolean-output workload with q = 0.5 (Fig. 2's hard case)."""
+    return SignalSearch()
+
+
+@pytest.fixture
+def molecule_fn() -> MoleculeScreening:
+    """Quantized-score workload with small nonzero q."""
+    return MoleculeScreening(resolution=256)
+
+
+@pytest.fixture
+def small_domain() -> RangeDomain:
+    return RangeDomain(0, 64)
+
+
+@pytest.fixture
+def medium_domain() -> RangeDomain:
+    return RangeDomain(0, 500)
+
+
+@pytest.fixture
+def password_task(password_fn, medium_domain) -> TaskAssignment:
+    return TaskAssignment("task-pw", medium_domain, password_fn)
+
+
+@pytest.fixture
+def small_password_task(password_fn, small_domain) -> TaskAssignment:
+    return TaskAssignment("task-pw-small", small_domain, password_fn)
+
+
+@pytest.fixture
+def honest() -> HonestBehavior:
+    return HonestBehavior()
+
+
+@pytest.fixture
+def half_cheater() -> SemiHonestCheater:
+    return SemiHonestCheater(honesty_ratio=0.5)

@@ -1,0 +1,107 @@
+"""Tests for the cost ledger."""
+
+import pytest
+
+from repro.accounting import CostLedger
+from repro.exceptions import LedgerError
+
+
+class TestCharging:
+    def test_evaluation_accumulates(self):
+        ledger = CostLedger()
+        ledger.charge_evaluation(10.0)
+        ledger.charge_evaluation(5.0)
+        assert ledger.evaluations == 2
+        assert ledger.evaluation_cost == 15.0
+
+    def test_negative_charges_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(LedgerError):
+            ledger.charge_evaluation(-1.0)
+        with pytest.raises(LedgerError):
+            ledger.record_send(-5)
+        with pytest.raises(LedgerError):
+            ledger.bump("x", -1)
+
+    def test_traffic_counters(self):
+        ledger = CostLedger()
+        ledger.record_send(100)
+        ledger.record_send(50)
+        ledger.record_receive(30)
+        assert ledger.bytes_sent == 150
+        assert ledger.messages_sent == 2
+        assert ledger.bytes_received == 30
+        assert ledger.messages_received == 1
+
+    def test_storage_keeps_peak(self):
+        ledger = CostLedger()
+        ledger.record_storage(100)
+        ledger.record_storage(50)
+        ledger.record_storage(200)
+        assert ledger.storage_digests == 200
+
+    def test_free_form_counters(self):
+        ledger = CostLedger()
+        ledger.bump("attempts")
+        ledger.bump("attempts", 4)
+        assert ledger.counters["attempts"] == 5
+
+    def test_total_compute_cost(self):
+        ledger = CostLedger()
+        ledger.charge_evaluation(10.0)
+        ledger.charge_verification(3.0)
+        ledger.charge_hash(2.0)
+        ledger.charge_screening(0.5)
+        assert ledger.total_compute_cost == 15.5
+
+
+class TestSnapshotDiff:
+    def test_snapshot_is_independent(self):
+        ledger = CostLedger()
+        ledger.charge_evaluation(1.0)
+        snap = ledger.snapshot()
+        ledger.charge_evaluation(1.0)
+        assert snap.evaluations == 1
+        assert ledger.evaluations == 2
+
+    def test_diff_isolates_phase(self):
+        ledger = CostLedger()
+        ledger.charge_evaluation(10.0)
+        ledger.bump("phase1")
+        snap = ledger.snapshot()
+        ledger.charge_evaluation(7.0)
+        ledger.record_send(64)
+        ledger.bump("phase2")
+        delta = ledger.diff(snap)
+        assert delta.evaluation_cost == 7.0
+        assert delta.evaluations == 1
+        assert delta.bytes_sent == 64
+        assert delta.counters == {"phase2": 1}
+
+    def test_merge_accumulates(self):
+        a = CostLedger()
+        b = CostLedger()
+        a.charge_evaluation(5.0)
+        a.bump("x", 2)
+        b.charge_evaluation(3.0)
+        b.bump("x", 1)
+        b.bump("y", 7)
+        a.merge(b)
+        assert a.evaluation_cost == 8.0
+        assert a.evaluations == 2
+        assert a.counters == {"x": 3, "y": 7}
+
+    def test_merge_storage_takes_max(self):
+        a = CostLedger()
+        b = CostLedger()
+        a.record_storage(10)
+        b.record_storage(25)
+        a.merge(b)
+        assert a.storage_digests == 25
+
+    def test_as_dict_includes_counters(self):
+        ledger = CostLedger()
+        ledger.bump("regrind_attempts", 3)
+        d = ledger.as_dict()
+        assert d["regrind_attempts"] == 3
+        assert "evaluation_cost" in d

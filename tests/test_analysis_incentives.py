@@ -1,0 +1,116 @@
+"""Tests for the incentive-economics model (paper §1 motivation)."""
+
+import pytest
+
+from repro.analysis.incentives import (
+    IncentiveModel,
+    deterrent_sample_size,
+    utility_curve,
+)
+
+
+def model(**kwargs) -> IncentiveModel:
+    defaults = dict(payment=150.0, task_cost=100.0, unit_cost_value=1.0)
+    defaults.update(kwargs)
+    return IncentiveModel(**defaults)
+
+
+class TestUtilities:
+    def test_honest_utility_is_margin(self):
+        assert model().honest_utility == 50.0
+
+    def test_no_sampling_means_cheating_pays(self):
+        # m = 0: always accepted; skipping everything nets the full
+        # payment at zero compute.
+        m0 = model()
+        assert m0.cheating_utility(r=0.0, m=0) == 150.0
+        assert m0.cheating_gain(0.0, 0) == 100.0
+
+    def test_large_m_makes_honesty_dominant(self):
+        big = model()
+        assert big.is_deterrent(m=60)
+
+    def test_risk_neutral_cheater_deterred_at_m1_when_q_zero(self):
+        # A structural fact the model surfaces: with q = 0 and
+        # payment >= cost, expected cheating gain is
+        # (payment − cost)(r − 1) <= 0 already at m = 1.  Sampling's
+        # larger m buys the ε-guarantee of Eq. (3), not expectation-
+        # level deterrence.
+        assert model().is_deterrent(m=1)
+
+    def test_small_m_leaves_profitable_cheating_when_guessable(self):
+        # q = 0.5 (boolean outputs): at m = 1 the escape probability is
+        # (1 + r)/2, and skipping everything nets 75 − 25r > honest 50.
+        small = model(q=0.5)
+        r, gain = small.best_cheating_ratio(m=1)
+        assert gain > 0
+
+    def test_penalty_strengthens_deterrence(self):
+        no_pen = deterrent_sample_size(model(q=0.5))
+        with_pen = deterrent_sample_size(model(q=0.5, penalty=500.0))
+        assert with_pen <= no_pen
+
+    def test_q_weakens_deterrence(self):
+        clean = deterrent_sample_size(model(q=0.0))
+        guessy = deterrent_sample_size(model(q=0.5))
+        assert guessy > clean
+
+    def test_thin_margins_need_more_samples(self):
+        # Counter-intuitive but correct: a *large* payment deters
+        # (losing it on detection dominates the saved compute), while a
+        # payment barely above cost makes detection cheap to risk —
+        # thin-margin grids need more samples.
+        thin = deterrent_sample_size(model(q=0.5, payment=110.0))
+        fat = deterrent_sample_size(model(q=0.5, payment=1000.0))
+        assert thin > fat
+
+    def test_best_ratio_near_one_for_large_m(self):
+        # With many samples, the only almost-profitable cheat is to
+        # skip a sliver (r → 1).
+        r, _gain = model(q=0.5).best_cheating_ratio(m=30)
+        assert r > 0.8
+
+
+class TestDeterrentSampleSize:
+    def test_minimal_in_m(self):
+        probe = model(q=0.5)
+        m_star = deterrent_sample_size(probe)
+        assert m_star > 1
+        assert probe.is_deterrent(m_star)
+        assert not probe.is_deterrent(m_star - 1)
+
+    def test_q_one_undeterrable(self):
+        with pytest.raises(ValueError):
+            deterrent_sample_size(model(q=1.0), max_m=256)
+
+    def test_free_task_trivially_deterred(self):
+        # If computing costs nothing, skipping saves nothing.
+        free = model(task_cost=0.0)
+        assert deterrent_sample_size(free) == 1
+
+
+class TestUtilityCurve:
+    def test_rows_shape(self):
+        rows = utility_curve(model(), m=10)
+        assert len(rows) == 9
+        assert {"r", "escape", "cheating_utility", "gain"} <= set(rows[0])
+
+    def test_gain_negative_everywhere_when_deterrent(self):
+        probe = model(q=0.5)
+        m = deterrent_sample_size(probe)
+        rows = utility_curve(probe, m=m)
+        assert all(row["gain"] <= 1e-9 for row in rows)
+
+
+class TestValidation:
+    def test_bad_payment(self):
+        with pytest.raises(ValueError):
+            IncentiveModel(payment=0.0, task_cost=1.0)
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            IncentiveModel(payment=1.0, task_cost=1.0, q=2.0)
+
+    def test_negative_penalty(self):
+        with pytest.raises(ValueError):
+            IncentiveModel(payment=1.0, task_cost=1.0, penalty=-1.0)

@@ -1,0 +1,142 @@
+"""Tests for the empirical estimators (Eq. 2 validation machinery)."""
+
+import pytest
+
+from repro.analysis import cheat_success_probability
+from repro.analysis.montecarlo import (
+    RateEstimate,
+    estimate_detection_rate,
+    estimate_escape_rate,
+    wilson_interval,
+)
+from repro.cheating import BernoulliGuess, HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+@pytest.fixture
+def task():
+    return TaskAssignment("mc", RangeDomain(0, 200), PasswordSearch())
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_narrows_with_trials(self):
+        low1, high1 = wilson_interval(30, 100)
+        low2, high2 = wilson_interval(300, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_extremes_clamped(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        low, high = wilson_interval(50, 50)
+        assert high == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+
+
+class TestRateEstimate:
+    def test_rate(self):
+        est = RateEstimate(successes=25, trials=100, low=0.2, high=0.35)
+        assert est.rate == 0.25
+        assert est.contains(0.3)
+        assert not est.contains(0.5)
+
+
+class TestEstimators:
+    def test_eq2_inside_interval(self, task):
+        # The headline validation: measured escape rate brackets the
+        # analytic (r + (1-r)q)^m.
+        r, q, m = 0.5, 0.5, 3
+        est = estimate_escape_rate(
+            CBSScheme(n_samples=m),
+            task,
+            lambda trial: SemiHonestCheater(r, BernoulliGuess(q)),
+            n_trials=300,
+            seed0=17,
+        )
+        assert est.contains(cheat_success_probability(r, q, m))
+
+    def test_honest_never_rejected(self, task):
+        est = estimate_detection_rate(
+            CBSScheme(n_samples=10),
+            task,
+            lambda trial: HonestBehavior(),
+            n_trials=50,
+        )
+        # detection here = rejection; honest participants: zero.
+        assert est.successes == 0
+
+    def test_blatant_cheater_always_caught(self, task):
+        est = estimate_escape_rate(
+            CBSScheme(n_samples=40),
+            task,
+            lambda trial: SemiHonestCheater(0.2),
+            n_trials=50,
+        )
+        assert est.successes == 0
+
+    def test_validation(self, task):
+        with pytest.raises(ValueError):
+            estimate_escape_rate(
+                CBSScheme(4), task, lambda t: HonestBehavior(), n_trials=0
+            )
+
+
+class TestSweepAndTables:
+    def test_sweep_cartesian(self):
+        from repro.analysis import sweep
+
+        rows = sweep(
+            {"a": [1, 2], "b": [10, 20]},
+            lambda a, b: {"product": a * b},
+        )
+        assert len(rows) == 4
+        assert rows[0] == {"a": 1, "b": 10, "product": 10}
+
+    def test_sweep_skip(self):
+        from repro.analysis import sweep
+
+        rows = sweep(
+            {"a": [1, 2, 3]},
+            lambda a: None if a == 2 else {"sq": a * a},
+        )
+        assert [r["a"] for r in rows] == [1, 3]
+
+    def test_sweep_empty_grid_rejected(self):
+        from repro.analysis import sweep
+
+        with pytest.raises(ValueError):
+            sweep({}, lambda: {})
+
+    def test_format_table(self):
+        from repro.analysis import format_table
+
+        text = format_table(
+            [
+                {"r": 0.5, "m": 33, "ok": True},
+                {"r": 0.9, "m": 176, "ok": False},
+            ],
+            title="Fig. 2",
+        )
+        assert "Fig. 2" in text
+        assert "0.5" in text and "33" in text
+        assert "yes" in text and "no" in text
+
+    def test_format_table_empty(self):
+        from repro.analysis import format_table
+
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_missing_cells(self):
+        from repro.analysis import format_table
+
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "a" in text and "b" in text

@@ -1,0 +1,219 @@
+"""Tests for the baseline schemes (double-check, naive sampling,
+ringers, hardened probes) and the paper's positioning claims."""
+
+import pytest
+
+from repro.baselines import (
+    DoubleCheckScheme,
+    HardenedProbeScheme,
+    NaiveSamplingScheme,
+    RingerScheme,
+)
+from repro.cheating import (
+    BernoulliGuess,
+    HonestBehavior,
+    SemiHonestCheater,
+)
+from repro.core import CBSScheme
+from repro.core.scheme import RejectReason
+from repro.exceptions import SchemeConfigurationError
+from repro.tasks import (
+    PasswordSearch,
+    RangeDomain,
+    SignalSearch,
+    TaskAssignment,
+)
+
+
+@pytest.fixture
+def pw_task():
+    return TaskAssignment("t", RangeDomain(0, 200), PasswordSearch())
+
+
+@pytest.fixture
+def signal_task():
+    return TaskAssignment("t", RangeDomain(0, 200), SignalSearch())
+
+
+class TestDoubleCheck:
+    def test_honest_accepted(self, pw_task):
+        result = DoubleCheckScheme(2).run(pw_task, HonestBehavior(), seed=0)
+        assert result.outcome.accepted
+
+    def test_cheater_caught(self, pw_task):
+        result = DoubleCheckScheme(2).run(
+            pw_task, SemiHonestCheater(0.9), seed=0
+        )
+        assert not result.outcome.accepted
+        assert result.outcome.reason == RejectReason.REPLICA_DISAGREEMENT
+
+    def test_wasted_cycles(self, pw_task):
+        # The §1 complaint: k-replication does the work k times.
+        result = DoubleCheckScheme(3).run(pw_task, HonestBehavior(), seed=0)
+        assert result.participant_ledger.evaluations == 200
+        assert result.other_ledger.evaluations == 2 * 200
+
+    def test_on_communication(self, pw_task):
+        # Each replica ships all n results.
+        result = DoubleCheckScheme(2).run(pw_task, HonestBehavior(), seed=0)
+        assert result.supervisor_ledger.bytes_received > 200 * 16 * 2
+
+    def test_majority_vote_with_three_replicas(self, pw_task):
+        # Subject honest, one replica cheats: majority still honest,
+        # subject accepted.
+        scheme = DoubleCheckScheme(
+            3, replica_behaviors=[SemiHonestCheater(0.5), HonestBehavior()]
+        )
+        result = scheme.run(pw_task, HonestBehavior(), seed=1)
+        assert result.outcome.accepted
+
+    def test_two_replicas_disagreement_rejects_even_honest(self, pw_task):
+        # k=2 with a cheating replica: disagreement, no majority — the
+        # well-known weakness of plain double-checking.
+        scheme = DoubleCheckScheme(2, replica_behaviors=[SemiHonestCheater(0.5)])
+        result = scheme.run(pw_task, HonestBehavior(), seed=1)
+        assert not result.outcome.accepted
+        assert result.false_alarm
+
+    def test_validation(self):
+        with pytest.raises(SchemeConfigurationError):
+            DoubleCheckScheme(1)
+
+
+class TestNaiveSampling:
+    def test_honest_accepted(self, pw_task):
+        result = NaiveSamplingScheme(20).run(pw_task, HonestBehavior(), seed=0)
+        assert result.outcome.accepted
+
+    def test_cheater_caught(self, pw_task):
+        result = NaiveSamplingScheme(30).run(
+            pw_task, SemiHonestCheater(0.5), seed=0
+        )
+        assert not result.outcome.accepted
+        assert result.outcome.reason == RejectReason.WRONG_RESULT
+
+    def test_communication_linear_in_n(self):
+        fn = PasswordSearch()
+        sizes = {}
+        for n in (100, 400):
+            task = TaskAssignment("t", RangeDomain(0, n), fn)
+            result = NaiveSamplingScheme(10).run(task, HonestBehavior(), seed=0)
+            sizes[n] = result.participant_ledger.bytes_sent
+        # 4x domain ⇒ ~4x traffic (the O(n) cost CBS removes).
+        assert 3.5 < sizes[400] / sizes[100] < 4.5
+
+    def test_cbs_beats_naive_on_bytes_at_scale(self):
+        # O(m log n) vs O(n): the win appears once n ≫ m log n.  At
+        # n = 4096, m = 20 CBS ships ~8 KB vs ~70 KB for naive; at
+        # small n the naive scheme can actually be cheaper (E3 shows
+        # the crossover).
+        task = TaskAssignment("t", RangeDomain(0, 4096), PasswordSearch())
+        naive = NaiveSamplingScheme(20).run(task, HonestBehavior(), seed=0)
+        cbs = CBSScheme(20, include_reports=False).run(
+            task, HonestBehavior(), seed=0
+        )
+        assert (
+            cbs.participant_ledger.bytes_sent
+            < naive.participant_ledger.bytes_sent / 4
+        )
+
+    def test_lucky_guess_escapes(self, pw_task):
+        result = NaiveSamplingScheme(10).run(
+            pw_task, SemiHonestCheater(0.5, BernoulliGuess(1.0)), seed=0
+        )
+        assert result.outcome.accepted
+
+
+class TestRinger:
+    def test_honest_accepted(self, pw_task):
+        result = RingerScheme(8).run(pw_task, HonestBehavior(), seed=0)
+        assert result.outcome.accepted
+
+    def test_cheater_caught(self, pw_task):
+        result = RingerScheme(10).run(pw_task, SemiHonestCheater(0.5), seed=0)
+        assert not result.outcome.accepted
+        assert result.outcome.reason == RejectReason.MISSING_RINGER
+
+    def test_requires_one_way_function(self, signal_task):
+        # §1.1: "the ringer scheme is thus restricted to computations
+        # that have such a one-way property".
+        with pytest.raises(SchemeConfigurationError, match="one-way"):
+            RingerScheme(5).run(signal_task, HonestBehavior(), seed=0)
+
+    def test_supervisor_pays_d_evaluations_upfront(self, pw_task):
+        result = RingerScheme(12).run(pw_task, HonestBehavior(), seed=0)
+        assert result.supervisor_ledger.evaluations == 12
+
+    def test_communication_constant_in_n(self):
+        fn = PasswordSearch()
+        sizes = {}
+        for n in (100, 1600):
+            task = TaskAssignment("t", RangeDomain(0, n), fn)
+            result = RingerScheme(5).run(task, HonestBehavior(), seed=0)
+            sizes[n] = (
+                result.participant_ledger.bytes_sent
+                + result.supervisor_ledger.bytes_sent
+            )
+        # Ringer traffic is O(d), independent of n (indices in reports
+        # grow by a digit or two at most).
+        assert sizes[1600] < sizes[100] * 1.5
+
+    def test_escape_rate_roughly_r_to_d(self, pw_task):
+        # Pr(escape) ≈ r^d for r = 0.9, d = 3 ⇒ ~0.73.
+        escapes = sum(
+            RingerScheme(3).run(
+                pw_task, SemiHonestCheater(0.9), seed=seed
+            ).outcome.accepted
+            for seed in range(100)
+        )
+        assert 55 < escapes < 90
+
+    def test_validation(self, pw_task):
+        with pytest.raises(SchemeConfigurationError):
+            RingerScheme(0)
+        small = TaskAssignment("t", RangeDomain(0, 3), PasswordSearch())
+        with pytest.raises(SchemeConfigurationError):
+            RingerScheme(5).run(small, HonestBehavior(), seed=0)
+
+
+class TestHardenedProbes:
+    def test_honest_accepted(self, signal_task):
+        result = HardenedProbeScheme(10).run(
+            signal_task, HonestBehavior(), seed=0
+        )
+        assert result.outcome.accepted
+
+    def test_works_on_non_one_way_functions(self, signal_task):
+        # The Szajda et al. extension target: optimization/Monte-Carlo
+        # style guessable outputs where ringers are unusable.
+        result = HardenedProbeScheme(40).run(
+            signal_task, SemiHonestCheater(0.2), seed=0
+        )
+        assert not result.outcome.accepted
+
+    def test_guessable_outputs_leak_escapes(self, signal_task):
+        # With q = 0.5 boolean outputs, d probes leak ~(r+(1-r)q)^d.
+        scheme = HardenedProbeScheme(2)
+        escapes = sum(
+            scheme.run(
+                signal_task,
+                SemiHonestCheater(0.5, BernoulliGuess(0.5)),
+                seed=seed,
+            ).outcome.accepted
+            for seed in range(100)
+        )
+        # (0.75)^2 ≈ 0.56 expected escape rate.
+        assert 35 < escapes < 75
+
+    def test_communication_linear_in_n(self):
+        fn = SignalSearch()
+        sizes = {}
+        for n in (100, 400):
+            task = TaskAssignment("t", RangeDomain(0, n), fn)
+            result = HardenedProbeScheme(5).run(task, HonestBehavior(), seed=0)
+            sizes[n] = result.participant_ledger.bytes_sent
+        assert sizes[400] > 3 * sizes[100]
+
+    def test_validation(self):
+        with pytest.raises(SchemeConfigurationError):
+            HardenedProbeScheme(0)

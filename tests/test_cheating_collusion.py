@@ -1,0 +1,98 @@
+"""Collusion tests: replication breaks, CBS doesn't care."""
+
+import pytest
+
+from repro.baselines import DoubleCheckScheme
+from repro.cheating import ColludingCheater, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+from repro.accounting import CostLedger
+from repro.tasks.function import MeteredFunction
+
+
+@pytest.fixture
+def task():
+    return TaskAssignment("collude", RangeDomain(0, 200), PasswordSearch())
+
+
+def produce(behavior, task, salt=b""):
+    ledger = CostLedger()
+    metered = MeteredFunction(task.function, ledger)
+    return behavior.produce(task, metered.evaluate, salt=salt), ledger
+
+
+class TestCartelCoordination:
+    def test_cartel_members_agree_bytewise(self, task):
+        a = ColludingCheater(0.5, cartel_key=b"cartel-1")
+        b = ColludingCheater(0.5, cartel_key=b"cartel-1")
+        work_a, _ = produce(a, task, salt=b"run-A")
+        work_b, _ = produce(b, task, salt=b"run-B")  # different run salts!
+        assert work_a.leaf_payloads == work_b.leaf_payloads
+        assert work_a.honest_indices == work_b.honest_indices
+
+    def test_different_cartels_disagree(self, task):
+        a = ColludingCheater(0.5, cartel_key=b"cartel-1")
+        b = ColludingCheater(0.5, cartel_key=b"cartel-2")
+        work_a, _ = produce(a, task)
+        work_b, _ = produce(b, task)
+        assert work_a.leaf_payloads != work_b.leaf_payloads
+
+    def test_independent_cheaters_disagree_across_runs(self, task):
+        c = SemiHonestCheater(0.5)
+        work_a, _ = produce(c, task, salt=b"run-A")
+        work_b, _ = produce(c, task, salt=b"run-B")
+        assert work_a.leaf_payloads != work_b.leaf_payloads
+
+    def test_cartel_still_skips_work(self, task):
+        _, ledger = produce(ColludingCheater(0.5, b"k"), task)
+        assert ledger.evaluations == 100
+
+
+class TestCollusionVsSchemes:
+    def test_double_check_defeated_by_collusion(self, task):
+        # Both the subject and the replica belong to the cartel: their
+        # fabrications agree, majority voting accepts — redundancy's
+        # known failure mode.
+        cartel = b"shared-secret"
+        scheme = DoubleCheckScheme(
+            2, replica_behaviors=[ColludingCheater(0.5, cartel)]
+        )
+        result = scheme.run(task, ColludingCheater(0.5, cartel), seed=1)
+        assert result.outcome.accepted  # undetected cheating!
+        assert result.undetected_cheat
+
+    def test_double_check_catches_independent_cheaters(self, task):
+        scheme = DoubleCheckScheme(
+            2, replica_behaviors=[SemiHonestCheater(0.5)]
+        )
+        result = scheme.run(task, SemiHonestCheater(0.5), seed=1)
+        assert not result.outcome.accepted
+
+    def test_cbs_immune_to_collusion(self, task):
+        # CBS verifies against f itself, not against other replicas:
+        # the cartel is caught at the plain Eq. (2) rate.
+        cartel = b"shared-secret"
+        scheme = CBSScheme(n_samples=25)
+        for seed in range(10):
+            result = scheme.run(
+                task, ColludingCheater(0.5, cartel), seed=seed
+            )
+            assert not result.outcome.accepted, seed
+
+    def test_mixed_cartel_majority_three_replicas(self, task):
+        # Two cartel members + one honest replica under k=3 majority:
+        # the cartel's agreeing fabrications outvote the honest result,
+        # so the colluding subject is *accepted* — worse, the honest
+        # minority looks deviant.  Redundancy needs honest majorities.
+        cartel = b"cartel-x"
+        from repro.cheating import HonestBehavior
+
+        scheme = DoubleCheckScheme(
+            3,
+            replica_behaviors=[
+                ColludingCheater(0.5, cartel),
+                HonestBehavior(),
+            ],
+        )
+        result = scheme.run(task, ColludingCheater(0.5, cartel), seed=2)
+        assert result.outcome.accepted

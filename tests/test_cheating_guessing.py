@@ -1,0 +1,119 @@
+"""Tests for guess models (the paper's q parameter)."""
+
+import pytest
+
+from repro.cheating import BernoulliGuess, UniformValueGuess, ZeroGuess
+from repro.cheating.guessing import guess_model_for_q
+from repro.exceptions import TaskError
+
+
+def oracle(value: bytes):
+    return lambda: value
+
+
+class TestZeroGuess:
+    def test_never_matches_wide_outputs(self):
+        model = ZeroGuess()
+        truth = b"\xaa" * 16
+        for i in range(200):
+            guess = model.guess(i, i, oracle(truth), result_size=16)
+            assert guess != truth
+
+    def test_deterministic_per_index_and_salt(self):
+        model = ZeroGuess()
+        a = model.guess(3, 3, oracle(b""), result_size=8, salt=b"s")
+        b = model.guess(3, 3, oracle(b""), result_size=8, salt=b"s")
+        assert a == b
+
+    def test_salt_changes_guess(self):
+        model = ZeroGuess()
+        a = model.guess(3, 3, oracle(b""), result_size=8, salt=b"s1")
+        b = model.guess(3, 3, oracle(b""), result_size=8, salt=b"s2")
+        assert a != b
+
+    def test_respects_result_size(self):
+        model = ZeroGuess()
+        assert len(model.guess(0, 0, oracle(b""), result_size=5)) == 5
+
+
+class TestBernoulliGuess:
+    def test_q_extremes(self):
+        truth = b"\x42" * 8
+        always = BernoulliGuess(1.0)
+        never = BernoulliGuess(0.0)
+        assert always.guess(1, 1, oracle(truth), result_size=8) == truth
+        assert never.guess(1, 1, oracle(truth), result_size=8) != truth
+
+    def test_empirical_rate_matches_q(self):
+        q = 0.3
+        model = BernoulliGuess(q)
+        truth = b"\x11" * 8
+        hits = sum(
+            model.guess(i, i, oracle(truth), result_size=8) == truth
+            for i in range(2000)
+        )
+        assert abs(hits / 2000 - q) < 0.04
+
+    def test_wrong_guess_really_wrong(self):
+        model = BernoulliGuess(0.5)
+        truth = b"\x00"
+        for i in range(300):
+            guess = model.guess(i, i, oracle(truth), result_size=1)
+            # Either exactly the truth (lucky) or definitely different.
+            assert guess == truth or guess != truth  # tautology guard
+        # At least some of each for q=0.5.
+        outcomes = {
+            model.guess(i, i, oracle(truth), result_size=1) == truth
+            for i in range(100)
+        }
+        assert outcomes == {True, False}
+
+    def test_q_validated(self):
+        with pytest.raises(TaskError):
+            BernoulliGuess(-0.1)
+        with pytest.raises(TaskError):
+            BernoulliGuess(1.1)
+
+
+class TestUniformValueGuess:
+    def test_draws_from_alphabet(self):
+        model = UniformValueGuess([b"\x00", b"\x01"])
+        for i in range(100):
+            assert model.guess(i, i, oracle(b""), result_size=1) in (
+                b"\x00",
+                b"\x01",
+            )
+
+    def test_q_is_inverse_alphabet(self):
+        assert UniformValueGuess([b"a", b"b", b"c", b"d"]).q == 0.25
+
+    def test_never_calls_oracle(self):
+        def exploding():
+            raise AssertionError("oracle must not be called")
+
+        model = UniformValueGuess([b"\x00", b"\x01"])
+        model.guess(0, 0, exploding, result_size=1)
+
+    def test_roughly_uniform(self):
+        model = UniformValueGuess([b"\x00", b"\x01"])
+        zeros = sum(
+            model.guess(i, i, oracle(b""), result_size=1) == b"\x00"
+            for i in range(2000)
+        )
+        assert abs(zeros / 2000 - 0.5) < 0.04
+
+    def test_validation(self):
+        with pytest.raises(TaskError):
+            UniformValueGuess([])
+        with pytest.raises(TaskError):
+            UniformValueGuess([b"a", b"ab"])
+
+
+class TestFactory:
+    def test_zero_gives_zero_guess(self):
+        assert isinstance(guess_model_for_q(0.0), ZeroGuess)
+
+    def test_positive_gives_bernoulli(self):
+        model = guess_model_for_q(0.4)
+        assert isinstance(model, BernoulliGuess)
+        assert model.q == 0.4

@@ -1,0 +1,149 @@
+"""Tests for participant behaviours (honest / semi-honest / malicious)."""
+
+import pytest
+
+from repro.accounting import CostLedger
+from repro.cheating import (
+    BernoulliGuess,
+    HonestBehavior,
+    MaliciousBehavior,
+    SemiHonestCheater,
+)
+from repro.exceptions import TaskError
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+from repro.tasks.function import MeteredFunction
+
+
+@pytest.fixture
+def assignment():
+    return TaskAssignment("t", RangeDomain(0, 100), PasswordSearch())
+
+
+def metered(assignment):
+    ledger = CostLedger()
+    fn = MeteredFunction(assignment.function, ledger)
+    return fn.evaluate, ledger
+
+
+class TestHonestBehavior:
+    def test_all_payloads_correct(self, assignment):
+        evaluate, ledger = metered(assignment)
+        work = HonestBehavior().produce(assignment, evaluate)
+        assert work.honesty_ratio == 1.0
+        assert len(work.leaf_payloads) == 100
+        for i in range(100):
+            assert work.leaf_payloads[i] == assignment.function.evaluate(i)
+
+    def test_charges_full_cost(self, assignment):
+        evaluate, ledger = metered(assignment)
+        HonestBehavior().produce(assignment, evaluate)
+        assert ledger.evaluations == 100
+
+
+class TestSemiHonestCheater:
+    def test_honesty_ratio_realized(self, assignment):
+        for r in (0.1, 0.25, 0.5, 0.9):
+            evaluate, ledger = metered(assignment)
+            work = SemiHonestCheater(r).produce(assignment, evaluate)
+            assert work.honesty_ratio == pytest.approx(r)
+            assert ledger.evaluations == round(r * 100)
+
+    def test_honest_indices_hold_true_results(self, assignment):
+        evaluate, _ = metered(assignment)
+        work = SemiHonestCheater(0.4).produce(assignment, evaluate)
+        for i in work.honest_indices:
+            assert work.leaf_payloads[i] == assignment.function.evaluate(i)
+
+    def test_skipped_indices_hold_fabrications(self, assignment):
+        evaluate, _ = metered(assignment)
+        work = SemiHonestCheater(0.4).produce(assignment, evaluate)
+        skipped = set(range(100)) - work.honest_indices
+        assert skipped
+        for i in skipped:
+            assert work.leaf_payloads[i] != assignment.function.evaluate(i)
+
+    def test_prefix_selection(self, assignment):
+        evaluate, _ = metered(assignment)
+        cheater = SemiHonestCheater(0.3, selection="prefix")
+        work = cheater.produce(assignment, evaluate)
+        assert work.honest_indices == set(range(30))
+
+    def test_spread_selection_not_prefix(self, assignment):
+        evaluate, _ = metered(assignment)
+        work = SemiHonestCheater(0.3).produce(assignment, evaluate)
+        assert work.honest_indices != set(range(30))
+
+    def test_deterministic_given_salt(self, assignment):
+        e1, _ = metered(assignment)
+        e2, _ = metered(assignment)
+        w1 = SemiHonestCheater(0.5).produce(assignment, e1, salt=b"s")
+        w2 = SemiHonestCheater(0.5).produce(assignment, e2, salt=b"s")
+        assert w1.leaf_payloads == w2.leaf_payloads
+        assert w1.honest_indices == w2.honest_indices
+
+    def test_salt_varies_fabrications_not_subset(self, assignment):
+        e1, _ = metered(assignment)
+        e2, _ = metered(assignment)
+        w1 = SemiHonestCheater(0.5).produce(assignment, e1, salt=b"a")
+        w2 = SemiHonestCheater(0.5).produce(assignment, e2, salt=b"b")
+        assert w1.leaf_payloads != w2.leaf_payloads
+
+    def test_r_zero_computes_nothing(self, assignment):
+        evaluate, ledger = metered(assignment)
+        work = SemiHonestCheater(0.0).produce(assignment, evaluate)
+        assert work.honesty_ratio == 0.0
+        assert ledger.evaluations == 0
+
+    def test_r_one_equals_honest(self, assignment):
+        evaluate, ledger = metered(assignment)
+        work = SemiHonestCheater(1.0).produce(assignment, evaluate)
+        assert work.honesty_ratio == 1.0
+        assert ledger.evaluations == 100
+
+    def test_bernoulli_guesser_lucky_sometimes(self, assignment):
+        evaluate, _ = metered(assignment)
+        cheater = SemiHonestCheater(0.0, BernoulliGuess(0.5))
+        work = cheater.produce(assignment, evaluate)
+        correct = sum(
+            work.leaf_payloads[i] == assignment.function.evaluate(i)
+            for i in range(100)
+        )
+        assert 25 < correct < 75  # ~Binomial(100, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(TaskError):
+            SemiHonestCheater(1.5)
+        with pytest.raises(TaskError):
+            SemiHonestCheater(0.5, selection="middle")
+
+    def test_name_is_descriptive(self):
+        assert "r=0.5" in SemiHonestCheater(0.5).name
+
+
+class TestMaliciousBehavior:
+    def test_computes_everything(self, assignment):
+        evaluate, ledger = metered(assignment)
+        work = MaliciousBehavior().produce(assignment, evaluate)
+        assert work.honesty_ratio == 1.0
+        assert ledger.evaluations == 100
+
+    def test_corrupts_reports(self):
+        behavior = MaliciousBehavior(corruption_rate=1.0)
+        # A genuine report gets suppressed; a None gets forged.
+        assert behavior.corrupt_report("hit:5", 5) is None
+        forged = behavior.corrupt_report(None, 7)
+        assert forged is not None and forged.startswith("forged:")
+
+    def test_partial_corruption(self):
+        behavior = MaliciousBehavior(corruption_rate=0.5)
+        flips = sum(
+            behavior.corrupt_report("hit", i) is None for i in range(1000)
+        )
+        assert 380 < flips < 620
+
+    def test_honest_behavior_never_corrupts(self):
+        assert HonestBehavior().corrupt_report("hit", 1) == "hit"
+
+    def test_validation(self):
+        with pytest.raises(TaskError):
+            MaliciousBehavior(corruption_rate=0.0)

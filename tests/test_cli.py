@@ -1,0 +1,80 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("fig2", "eq2", "comm", "rco", "regrind",
+                        "deterrence", "demo"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestFig2:
+    def test_prints_paper_values(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.5" in out
+        assert "33" in out and "14" in out
+
+    def test_custom_epsilon(self, capsys):
+        assert main(["fig2", "--epsilon", "0.01"]) == 0
+        assert "0.01" in capsys.readouterr().out
+
+
+class TestEq2:
+    def test_runs_and_reports(self, capsys):
+        assert main(["eq2", "--n", "100", "--trials", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out and "measured" in out
+
+
+class TestComm:
+    def test_reduction_grows(self, capsys):
+        assert main(["comm", "--m", "20", "--max-exp", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "2^8" in out and "2^12" in out
+
+
+class TestRco:
+    def test_table_matches_formula(self, capsys):
+        assert main(["rco", "--n", "256", "--m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_rco" in out
+
+
+class TestRegrind:
+    def test_economics_table(self, capsys):
+        code = main(
+            ["regrind", "--n", "128", "--m", "4", "--r", "0.75", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profitable" in out
+        assert "expected attempts" in out
+
+
+class TestDeterrence:
+    def test_reports_m_star(self, capsys):
+        assert main(["deterrence", "--q", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "deterrent" in out
+
+    def test_undeterrable_exits_nonzero(self, capsys):
+        assert main(["deterrence", "--q", "1.0"]) == 1
+
+
+class TestDemo:
+    def test_honest_and_cheater_rows(self, capsys):
+        assert main(["demo", "--n", "512", "--m", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "honest" in out and "cheater" in out
+        assert "exposed at sample" in out

@@ -1,0 +1,149 @@
+"""Tests for the batched-multiproof CBS mode (E11 optimization)."""
+
+import pytest
+
+from repro.cheating import BernoulliGuess, HonestBehavior, SemiHonestCheater
+from repro.core import CBSParticipant, CBSScheme, CBSSupervisor
+from repro.core.protocol import BatchProofMsg
+from repro.core.scheme import RejectReason
+from repro.exceptions import MerkleError, ProtocolError, SchemeConfigurationError
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+@pytest.fixture
+def task():
+    return TaskAssignment("batch", RangeDomain(0, 512), PasswordSearch())
+
+
+class TestBatchedEndToEnd:
+    def test_honest_accepted(self, task):
+        scheme = CBSScheme(n_samples=16, batch_proofs=True)
+        for seed in range(5):
+            assert scheme.run(task, HonestBehavior(), seed=seed).outcome.accepted
+
+    def test_cheater_caught(self, task):
+        scheme = CBSScheme(n_samples=25, batch_proofs=True)
+        for seed in range(8):
+            result = scheme.run(task, SemiHonestCheater(0.5), seed=seed)
+            assert not result.outcome.accepted
+
+    def test_detection_equivalent_to_classic(self, task):
+        # Same seeds, same samples: batched and classic agree verdict
+        # for verdict.
+        classic = CBSScheme(n_samples=6)
+        batched = CBSScheme(n_samples=6, batch_proofs=True)
+        for seed in range(30):
+            behavior = SemiHonestCheater(0.7, BernoulliGuess(0.4))
+            a = classic.run(task, behavior, seed=seed)
+            b = batched.run(task, behavior, seed=seed)
+            assert a.outcome.accepted == b.outcome.accepted, seed
+
+    def test_bytes_strictly_smaller(self, task):
+        classic = CBSScheme(n_samples=20, include_reports=False)
+        batched = CBSScheme(
+            n_samples=20, include_reports=False, batch_proofs=True
+        )
+        a = classic.run(task, HonestBehavior(), seed=1)
+        b = batched.run(task, HonestBehavior(), seed=1)
+        assert (
+            b.participant_ledger.bytes_sent < a.participant_ledger.bytes_sent
+        )
+
+    def test_incompatible_with_partial_trees(self):
+        with pytest.raises(SchemeConfigurationError):
+            CBSScheme(n_samples=4, batch_proofs=True, subtree_height=3)
+
+
+class TestBatchedProtocolChecks:
+    def run_to_proofs(self, task, behavior=None, m=8, seed=0):
+        participant = CBSParticipant(task, behavior or HonestBehavior())
+        supervisor = CBSSupervisor(task, n_samples=m, seed=seed)
+        supervisor.receive_commitment(participant.compute_and_commit())
+        challenge = supervisor.make_challenge()
+        return participant, supervisor, participant.prove_batch(challenge)
+
+    def test_wrong_result_detected(self, task):
+        participant, supervisor, msg = self.run_to_proofs(task)
+        tampered = BatchProofMsg(
+            task_id=msg.task_id,
+            indices=msg.indices,
+            claimed_results=(b"\x00" * 16,) + msg.claimed_results[1:],
+            proof_bytes=msg.proof_bytes,
+        )
+        outcome = supervisor.verify_batch(tampered)
+        assert not outcome.accepted
+        assert outcome.reason == RejectReason.WRONG_RESULT
+
+    def test_index_set_mismatch_detected(self, task):
+        participant, supervisor, msg = self.run_to_proofs(task)
+        shifted = BatchProofMsg(
+            task_id=msg.task_id,
+            indices=tuple(i + 1 for i in msg.indices),
+            claimed_results=msg.claimed_results,
+            proof_bytes=msg.proof_bytes,
+        )
+        outcome = supervisor.verify_batch(shifted)
+        assert not outcome.accepted
+        assert outcome.reason == RejectReason.MALFORMED_PROOF
+
+    def test_garbage_proof_bytes_detected(self, task):
+        participant, supervisor, msg = self.run_to_proofs(task)
+        garbage = BatchProofMsg(
+            task_id=msg.task_id,
+            indices=msg.indices,
+            claimed_results=msg.claimed_results,
+            proof_bytes=b"\xff" * 10,
+        )
+        outcome = supervisor.verify_batch(garbage)
+        assert not outcome.accepted
+        assert outcome.reason == RejectReason.MALFORMED_PROOF
+
+    def test_correct_results_foreign_tree_detected(self, task):
+        # The §3 attack in batch form: correct f(x) values proven
+        # against a commitment built from garbage.
+        cheater_participant, supervisor, msg = self.run_to_proofs(
+            task, behavior=SemiHonestCheater(0.0, BernoulliGuess(0.0))
+        )
+        honest_fn = task.function
+        corrected = BatchProofMsg(
+            task_id=msg.task_id,
+            indices=msg.indices,
+            claimed_results=tuple(
+                honest_fn.evaluate(task.domain[i]) for i in msg.indices
+            ),
+            proof_bytes=msg.proof_bytes,
+        )
+        outcome = supervisor.verify_batch(corrected)
+        assert not outcome.accepted
+        assert outcome.reason == RejectReason.ROOT_MISMATCH
+
+    def test_duplicate_challenge_indices_collapse(self, task):
+        participant = CBSParticipant(task, HonestBehavior())
+        participant.compute_and_commit()
+        from repro.core.protocol import SampleChallengeMsg
+
+        msg = participant.prove_batch(
+            SampleChallengeMsg("batch", (5, 5, 9, 5, 9))
+        )
+        assert msg.indices == (5, 9)
+
+    def test_prove_batch_requires_commit(self, task):
+        from repro.core.protocol import SampleChallengeMsg
+
+        participant = CBSParticipant(task, HonestBehavior())
+        with pytest.raises(ProtocolError):
+            participant.prove_batch(SampleChallengeMsg("batch", (1,)))
+
+    def test_partial_backend_refuses_batch(self, task):
+        from repro.core.protocol import SampleChallengeMsg
+
+        participant = CBSParticipant(
+            task, HonestBehavior(), subtree_height=3
+        )
+        participant.compute_and_commit()
+        with pytest.raises(MerkleError):
+            participant.prove_batch(SampleChallengeMsg("batch", (1,)))
+
+    def test_codec_roundtrip(self, task):
+        _, _, msg = self.run_to_proofs(task)
+        assert BatchProofMsg.decode(msg.encode()) == msg

@@ -1,0 +1,142 @@
+"""Codec roundtrips and wire sizes for all protocol messages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    AssignMsg,
+    CommitmentMsg,
+    FullResultsMsg,
+    NICBSSubmissionMsg,
+    ProofBundleMsg,
+    ReportsMsg,
+    SampleChallengeMsg,
+    SampleProof,
+    VerdictMsg,
+)
+from repro.merkle import MerkleTree
+
+
+def sample_proofs(n: int = 8, count: int = 3) -> tuple[SampleProof, ...]:
+    leaves = [f"r{i}".encode() for i in range(n)]
+    tree = MerkleTree(leaves)
+    return tuple(
+        SampleProof(
+            index=i, claimed_result=leaves[i], path=tree.auth_path(i)
+        )
+        for i in range(count)
+    )
+
+
+class TestCommitmentMsg:
+    def test_roundtrip(self):
+        msg = CommitmentMsg(task_id="job-7", root=bytes(range(32)), n_leaves=1000)
+        assert CommitmentMsg.decode(msg.encode()) == msg
+
+    def test_wire_size_matches_encoding(self):
+        msg = CommitmentMsg(task_id="t", root=b"\x00" * 32, n_leaves=5)
+        assert msg.wire_size() == len(msg.encode())
+
+    @given(st.text(max_size=30), st.binary(min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=1 << 40))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, task_id, root, n):
+        msg = CommitmentMsg(task_id=task_id, root=root, n_leaves=n)
+        assert CommitmentMsg.decode(msg.encode()) == msg
+
+
+class TestSampleChallengeMsg:
+    def test_roundtrip(self):
+        msg = SampleChallengeMsg(task_id="t", indices=(4, 99, 0, 4))
+        assert SampleChallengeMsg.decode(msg.encode()) == msg
+
+    def test_empty_indices(self):
+        msg = SampleChallengeMsg(task_id="t", indices=())
+        assert SampleChallengeMsg.decode(msg.encode()) == msg
+
+    def test_size_linear_in_m(self):
+        small = SampleChallengeMsg("t", tuple(range(10))).wire_size()
+        large = SampleChallengeMsg("t", tuple(range(100))).wire_size()
+        assert large > small
+
+
+class TestProofBundle:
+    def test_roundtrip_preserves_proofs(self):
+        bundle = ProofBundleMsg(task_id="t", proofs=sample_proofs())
+        decoded = ProofBundleMsg.decode(bundle.encode())
+        assert decoded.task_id == "t"
+        assert len(decoded.proofs) == 3
+        for orig, got in zip(bundle.proofs, decoded.proofs):
+            assert got.index == orig.index
+            assert got.claimed_result == orig.claimed_result
+            assert got.path.siblings == orig.path.siblings
+
+    def test_decoded_proofs_still_verify(self):
+        leaves = [f"r{i}".encode() for i in range(8)]
+        tree = MerkleTree(leaves)
+        bundle = ProofBundleMsg(task_id="t", proofs=sample_proofs())
+        decoded = ProofBundleMsg.decode(bundle.encode())
+        for proof in decoded.proofs:
+            assert proof.path.verify(
+                proof.claimed_result, tree.root, tree.hash_fn
+            )
+
+    def test_wire_size(self):
+        bundle = ProofBundleMsg(task_id="t", proofs=sample_proofs())
+        assert bundle.wire_size() == len(bundle.encode())
+
+
+class TestNICBSSubmission:
+    def test_roundtrip(self):
+        tree = MerkleTree([f"r{i}".encode() for i in range(8)])
+        msg = NICBSSubmissionMsg(
+            task_id="t", root=tree.root, n_leaves=8, proofs=sample_proofs()
+        )
+        decoded = NICBSSubmissionMsg.decode(msg.encode())
+        assert decoded.root == tree.root
+        assert decoded.n_leaves == 8
+        assert len(decoded.proofs) == 3
+
+
+class TestFullResultsMsg:
+    def test_roundtrip(self):
+        msg = FullResultsMsg(task_id="t", results=(b"a", b"", b"ccc"))
+        assert FullResultsMsg.decode(msg.encode()) == msg
+
+    def test_size_linear_in_n(self):
+        small = FullResultsMsg("t", tuple(b"x" * 16 for _ in range(10)))
+        large = FullResultsMsg("t", tuple(b"x" * 16 for _ in range(1000)))
+        assert large.wire_size() > 90 * small.wire_size()
+
+
+class TestReportsMsg:
+    def test_roundtrip(self):
+        msg = ReportsMsg(task_id="t", reports=("match:5", "match:9"))
+        assert ReportsMsg.decode(msg.encode()) == msg
+
+    def test_unicode_reports(self):
+        msg = ReportsMsg(task_id="τ", reports=("héllo",))
+        assert ReportsMsg.decode(msg.encode()) == msg
+
+
+class TestVerdictMsg:
+    def test_roundtrip_accept(self):
+        msg = VerdictMsg(task_id="t", accepted=True)
+        assert VerdictMsg.decode(msg.encode()) == msg
+
+    def test_roundtrip_reject_with_reason(self):
+        msg = VerdictMsg(task_id="t", accepted=False, reason="root_mismatch")
+        assert VerdictMsg.decode(msg.encode()) == msg
+
+
+class TestAssignMsg:
+    def test_roundtrip(self):
+        msg = AssignMsg(task_id="t-9", n_inputs=4096, workload="PasswordSearch")
+        assert AssignMsg.decode(msg.encode()) == msg
+
+    def test_small_constant_size(self):
+        # Assignments are O(1) on the wire regardless of n.
+        small = AssignMsg("t", 10, "W").wire_size()
+        large = AssignMsg("t", 1 << 40, "W").wire_size()
+        assert large - small <= 8

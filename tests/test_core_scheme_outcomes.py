@@ -1,0 +1,99 @@
+"""Unit tests for outcome dataclasses and run-result classification."""
+
+from repro.accounting import CostLedger
+from repro.cheating.strategies import ComputedWork
+from repro.core.scheme import (
+    RejectReason,
+    SampleVerdict,
+    SchemeRunResult,
+    VerificationOutcome,
+)
+
+
+def make_result(honest_fraction: float, accepted: bool) -> SchemeRunResult:
+    n = 10
+    n_honest = round(honest_fraction * n)
+    work = ComputedWork(
+        leaf_payloads=[bytes([i]) for i in range(n)],
+        honest_indices=set(range(n_honest)),
+    )
+    return SchemeRunResult(
+        outcome=VerificationOutcome(task_id="t", accepted=accepted),
+        participant_ledger=CostLedger(),
+        supervisor_ledger=CostLedger(),
+        work=work,
+    )
+
+
+class TestVerificationOutcome:
+    def test_first_failure_none_when_clean(self):
+        outcome = VerificationOutcome(task_id="t", accepted=True)
+        outcome.verdicts = [SampleVerdict(index=1, accepted=True)]
+        assert outcome.first_failure is None
+
+    def test_first_failure_returns_earliest(self):
+        outcome = VerificationOutcome(task_id="t", accepted=False)
+        outcome.verdicts = [
+            SampleVerdict(index=1, accepted=True),
+            SampleVerdict(
+                index=5, accepted=False, reason=RejectReason.WRONG_RESULT
+            ),
+            SampleVerdict(
+                index=9, accepted=False, reason=RejectReason.ROOT_MISMATCH
+            ),
+        ]
+        failure = outcome.first_failure
+        assert failure is not None
+        assert failure.index == 5
+        assert failure.reason == RejectReason.WRONG_RESULT
+
+
+class TestRunClassification:
+    def test_true_detection(self):
+        result = make_result(honest_fraction=0.5, accepted=False)
+        assert result.cheated
+        assert result.true_detection
+        assert not result.false_alarm
+        assert not result.undetected_cheat
+
+    def test_undetected_cheat(self):
+        result = make_result(honest_fraction=0.5, accepted=True)
+        assert result.undetected_cheat
+        assert not result.true_detection
+        assert not result.false_alarm
+
+    def test_false_alarm(self):
+        result = make_result(honest_fraction=1.0, accepted=False)
+        assert result.false_alarm
+        assert not result.cheated
+        assert not result.true_detection
+
+    def test_clean_accept(self):
+        result = make_result(honest_fraction=1.0, accepted=True)
+        assert not result.cheated
+        assert not result.false_alarm
+        assert not result.undetected_cheat
+
+    def test_no_work_means_not_cheated(self):
+        result = make_result(1.0, True)
+        result.work = None
+        assert not result.cheated
+
+    def test_total_bytes_spans_all_parties(self):
+        result = make_result(1.0, True)
+        result.participant_ledger.record_send(100)
+        result.supervisor_ledger.record_send(30)
+        result.other_ledger.record_send(7)
+        assert result.total_bytes_on_wire == 137
+
+
+class TestComputedWork:
+    def test_honesty_ratio(self):
+        work = ComputedWork(
+            leaf_payloads=[b"a", b"b", b"c", b"d"],
+            honest_indices={0, 2},
+        )
+        assert work.honesty_ratio == 0.5
+
+    def test_empty_work_counts_honest(self):
+        assert ComputedWork(leaf_payloads=[]).honesty_ratio == 1.0

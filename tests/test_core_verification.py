@@ -1,0 +1,146 @@
+"""Failure-injection tests for supervisor-side sample verification.
+
+Theorem 2's guarantee is only as good as the verifier's checks; these
+tests tamper with every field of a valid proof and assert rejection
+with the right reason.
+"""
+
+import pytest
+
+from repro.core.protocol import SampleProof
+from repro.core.scheme import RejectReason
+from repro.core.verification import verify_sample_proof
+from repro.merkle import AuthenticationPath, MerkleTree, get_hash
+from repro.merkle.tree import LeafEncoding
+from repro.tasks import PasswordSearch, RangeDomain
+
+
+@pytest.fixture
+def setup():
+    fn = PasswordSearch()
+    domain = RangeDomain(0, 16)
+    leaves = [fn.evaluate(x) for x in domain]
+    tree = MerkleTree(leaves)
+    return fn, domain, leaves, tree
+
+
+def proof_for(tree, leaves, index) -> SampleProof:
+    return SampleProof(
+        index=index, claimed_result=leaves[index], path=tree.auth_path(index)
+    )
+
+
+def verify(proof, index, tree, domain, fn):
+    return verify_sample_proof(
+        proof=proof,
+        expected_index=index,
+        root=tree.root,
+        n_leaves=16,
+        domain=domain,
+        function=fn,
+        hash_fn=get_hash("sha256"),
+        leaf_encoding=LeafEncoding.HASHED,
+    )
+
+
+class TestHonestProofAccepted:
+    def test_every_index(self, setup):
+        fn, domain, leaves, tree = setup
+        for i in range(16):
+            verdict = verify(proof_for(tree, leaves, i), i, tree, domain, fn)
+            assert verdict.accepted
+            assert verdict.reason == RejectReason.OK
+
+
+class TestTamperedProofsRejected:
+    def test_wrong_claimed_result(self, setup):
+        # Committed a guess: the claimed value fails the f(x) check.
+        fn, domain, leaves, tree = setup
+        proof = SampleProof(
+            index=3, claimed_result=b"\x00" * 16, path=tree.auth_path(3)
+        )
+        verdict = verify(proof, 3, tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.WRONG_RESULT
+
+    def test_correct_result_wrong_commitment(self, setup):
+        # The §3 attack CBS exists to stop: compute f(x) only *after*
+        # learning the sample.  The value is correct but was never in
+        # the tree, so root reconstruction must fail.
+        fn, domain, leaves, tree = setup
+        forged_leaves = list(leaves)
+        forged_leaves[3] = b"\xff" * 16  # tree committed garbage at 3
+        forged_tree = MerkleTree(forged_leaves)
+        proof = SampleProof(
+            index=3,
+            claimed_result=leaves[3],  # now-correct f(x)
+            path=forged_tree.auth_path(3),
+        )
+        verdict = verify(proof, 3, forged_tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.ROOT_MISMATCH
+
+    def test_proof_for_different_index(self, setup):
+        fn, domain, leaves, tree = setup
+        verdict = verify(proof_for(tree, leaves, 5), 7, tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.MALFORMED_PROOF
+
+    def test_path_index_mismatch(self, setup):
+        fn, domain, leaves, tree = setup
+        honest = tree.auth_path(5)
+        mismatched = SampleProof(
+            index=7,
+            claimed_result=leaves[7],
+            path=honest,  # path says leaf 5
+        )
+        verdict = verify(mismatched, 7, tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.MALFORMED_PROOF
+
+    def test_truncated_path(self, setup):
+        fn, domain, leaves, tree = setup
+        full = tree.auth_path(2)
+        truncated = AuthenticationPath(
+            leaf_index=2,
+            siblings=list(full.siblings)[:-1],
+            n_leaves=full.n_leaves,
+            leaf_encoding=full.leaf_encoding,
+        )
+        proof = SampleProof(index=2, claimed_result=leaves[2], path=truncated)
+        verdict = verify(proof, 2, tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.MALFORMED_PROOF
+
+    def test_oversized_sibling_digests(self, setup):
+        fn, domain, leaves, tree = setup
+        full = tree.auth_path(2)
+        wrong_width = AuthenticationPath(
+            leaf_index=2,
+            siblings=[s + b"\x00" for s in full.siblings],
+            n_leaves=full.n_leaves,
+            leaf_encoding=full.leaf_encoding,
+        )
+        proof = SampleProof(index=2, claimed_result=leaves[2], path=wrong_width)
+        verdict = verify(proof, 2, tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.MALFORMED_PROOF
+
+    def test_swapped_siblings(self, setup):
+        fn, domain, leaves, tree = setup
+        full = tree.auth_path(2)
+        swapped = list(full.siblings)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        proof = SampleProof(
+            index=2,
+            claimed_result=leaves[2],
+            path=AuthenticationPath(
+                leaf_index=2,
+                siblings=swapped,
+                n_leaves=full.n_leaves,
+                leaf_encoding=full.leaf_encoding,
+            ),
+        )
+        verdict = verify(proof, 2, tree, domain, fn)
+        assert not verdict.accepted
+        assert verdict.reason == RejectReason.ROOT_MISMATCH

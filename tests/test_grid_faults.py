@@ -1,0 +1,114 @@
+"""Fault-injection tests: volunteer churn composed with verification."""
+
+import pytest
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme, NICBSScheme
+from repro.core.scheme import RejectReason
+from repro.exceptions import SchemeConfigurationError
+from repro.grid.faults import DroppedOut, FlakyParticipant, RetryingScheme
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+@pytest.fixture
+def task():
+    return TaskAssignment("flaky", RangeDomain(0, 200), PasswordSearch())
+
+
+class TestFlakyParticipant:
+    def test_zero_rate_never_drops(self, task):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.0)
+        scheme = CBSScheme(n_samples=10)
+        for seed in range(5):
+            assert scheme.run(task, flaky, seed=seed).outcome.accepted
+
+    def test_dropout_carries_burned_cost(self, task):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.999)
+        scheme = CBSScheme(n_samples=10)
+        with pytest.raises(DroppedOut) as exc_info:
+            scheme.run(task, flaky, seed=0)
+        dropped = exc_info.value
+        assert dropped.evaluations == 200
+        assert dropped.spent_cost == 200 * task.function.cost
+
+    def test_cheating_flaky_burns_partial_cost(self, task):
+        flaky = FlakyParticipant(SemiHonestCheater(0.5), dropout_rate=0.999)
+        with pytest.raises(DroppedOut) as exc_info:
+            CBSScheme(n_samples=10).run(task, flaky, seed=0)
+        assert exc_info.value.evaluations == 100
+
+    def test_rate_validated(self):
+        with pytest.raises(SchemeConfigurationError):
+            FlakyParticipant(HonestBehavior(), dropout_rate=1.0)
+        with pytest.raises(SchemeConfigurationError):
+            FlakyParticipant(HonestBehavior(), dropout_rate=-0.1)
+
+    def test_name_is_descriptive(self):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.25)
+        assert "honest" in flaky.name and "0.25" in flaky.name
+
+
+class TestRetryingScheme:
+    def test_transparent_for_reliable_participants(self, task):
+        plain = CBSScheme(n_samples=10)
+        retrying = RetryingScheme(plain, max_retries=3)
+        a = plain.run(task, HonestBehavior(), seed=0 * 7919 + 0)
+        b = retrying.run(task, HonestBehavior(), seed=0)
+        assert b.outcome.accepted == a.outcome.accepted
+        assert b.other_ledger.counters["attempts"] == 1
+        assert b.other_ledger.evaluations == 0
+
+    def test_retries_until_success(self, task):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.6)
+        retrying = RetryingScheme(CBSScheme(n_samples=10), max_retries=20)
+        successes = 0
+        for seed in range(10):
+            result = retrying.run(task, flaky, seed=seed)
+            if result.outcome.accepted:
+                successes += 1
+        assert successes == 10  # 20 retries at p=0.6 practically always land
+
+    def test_wasted_cycles_accounted(self, task):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.6)
+        retrying = RetryingScheme(CBSScheme(n_samples=10), max_retries=20)
+        found_waste = False
+        for seed in range(10):
+            result = retrying.run(task, flaky, seed=seed)
+            dropouts = result.other_ledger.counters.get("dropouts", 0)
+            if dropouts:
+                found_waste = True
+                # Each dropped honest attempt burned a full sweep.
+                assert result.other_ledger.evaluations == dropouts * 200
+        assert found_waste
+
+    def test_all_attempts_dropped_rejected(self, task):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.999)
+        retrying = RetryingScheme(CBSScheme(n_samples=10), max_retries=2)
+        result = retrying.run(task, flaky, seed=0)
+        assert not result.outcome.accepted
+        assert result.outcome.reason == RejectReason.PROTOCOL_VIOLATION
+        assert result.work is None
+        assert result.other_ledger.counters["dropouts"] == 3
+
+    def test_detection_unaffected_by_churn(self, task):
+        # A flaky *cheater* that does return is still caught.
+        flaky_cheater = FlakyParticipant(
+            SemiHonestCheater(0.5), dropout_rate=0.5
+        )
+        retrying = RetryingScheme(CBSScheme(n_samples=25), max_retries=30)
+        for seed in range(8):
+            result = retrying.run(task, flaky_cheater, seed=seed)
+            assert not result.outcome.accepted
+            # ...and rejected for cheating, not for vanishing.
+            assert result.outcome.reason == RejectReason.WRONG_RESULT
+
+    def test_soundness_preserved_under_churn(self, task):
+        flaky = FlakyParticipant(HonestBehavior(), dropout_rate=0.4)
+        retrying = RetryingScheme(NICBSScheme(n_samples=12), max_retries=30)
+        for seed in range(8):
+            result = retrying.run(task, flaky, seed=seed)
+            assert result.outcome.accepted
+
+    def test_validation(self, task):
+        with pytest.raises(SchemeConfigurationError):
+            RetryingScheme(CBSScheme(4), max_retries=-1)

@@ -1,0 +1,129 @@
+"""Tests for the simulated network fabric."""
+
+import pytest
+
+from repro.accounting import CostLedger
+from repro.core.protocol import VerdictMsg
+from repro.exceptions import ProtocolError
+from repro.grid import Network
+
+
+class Recorder:
+    """Minimal node: records everything it receives."""
+
+    def __init__(self, name: str, network: Network, reply_to: str | None = None):
+        self.name = name
+        self.ledger = CostLedger()
+        self.network = network
+        self.reply_to = reply_to
+        self.received: list[tuple[str, object]] = []
+        network.attach(self)
+
+    def receive(self, sender: str, message: object) -> None:
+        self.received.append((sender, message))
+        if self.reply_to is not None:
+            self.network.send(self.name, self.reply_to, message)
+            self.reply_to = None  # reply once
+
+
+def msg() -> VerdictMsg:
+    return VerdictMsg(task_id="t", accepted=True)
+
+
+class TestAttachment:
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        Recorder("a", net)
+        with pytest.raises(ProtocolError):
+            Recorder("a", net)
+
+    def test_unknown_endpoints_rejected(self):
+        net = Network()
+        Recorder("a", net)
+        with pytest.raises(ProtocolError):
+            net.send("a", "ghost", msg())
+        with pytest.raises(ProtocolError):
+            net.send("ghost", "a", msg())
+
+    def test_node_lookup(self):
+        net = Network()
+        node = Recorder("a", net)
+        assert net.node("a") is node
+        assert net.node_names == ["a"]
+
+
+class TestDelivery:
+    def test_fifo_order(self):
+        net = Network()
+        a = Recorder("a", net)
+        b = Recorder("b", net)
+        m1 = VerdictMsg(task_id="first", accepted=True)
+        m2 = VerdictMsg(task_id="second", accepted=True)
+        net.send("a", "b", m1)
+        net.send("a", "b", m2)
+        assert net.pending == 2
+        delivered = net.deliver_all()
+        assert delivered == 2
+        assert [m.task_id for _, m in b.received] == ["first", "second"]
+
+    def test_cascading_sends_delivered(self):
+        net = Network()
+        a = Recorder("a", net)
+        b = Recorder("b", net, reply_to="a")
+        net.send("a", "b", msg())
+        assert net.deliver_all() == 2
+        assert len(a.received) == 1
+
+    def test_loop_guard(self):
+        net = Network()
+
+        class Echo(Recorder):
+            def receive(self, sender, message):
+                self.network.send(self.name, sender, message)
+
+        Echo("a", net)
+        Echo("b", net)
+        net.send("a", "b", msg())
+        with pytest.raises(ProtocolError, match="cap"):
+            net.deliver_all(max_messages=50)
+
+
+class TestAccounting:
+    def test_ledgers_charged_both_ends(self):
+        net = Network()
+        a = Recorder("a", net)
+        b = Recorder("b", net)
+        m = msg()
+        net.send("a", "b", m)
+        assert a.ledger.bytes_sent == m.wire_size()
+        assert b.ledger.bytes_received == m.wire_size()
+
+    def test_link_stats(self):
+        net = Network()
+        Recorder("a", net)
+        Recorder("b", net)
+        net.send("a", "b", msg())
+        net.send("a", "b", msg())
+        stats = net.links[("a", "b")]
+        assert stats.messages == 2
+        assert stats.bytes == 2 * msg().wire_size()
+
+    def test_directional_aggregates(self):
+        net = Network()
+        Recorder("sup", net)
+        Recorder("p1", net)
+        Recorder("p2", net)
+        net.send("p1", "sup", msg())
+        net.send("p2", "sup", msg())
+        net.send("sup", "p1", msg())
+        assert net.bytes_into("sup") == 2 * msg().wire_size()
+        assert net.bytes_out_of("sup") == msg().wire_size()
+        assert net.total_messages == 3
+
+    def test_latency_model(self):
+        net = Network(latency_per_message=1.0, latency_per_byte=0.5)
+        Recorder("a", net)
+        Recorder("b", net)
+        net.send("a", "b", msg())
+        stats = net.links[("a", "b")]
+        assert stats.transfer_time == pytest.approx(1.0 + 0.5 * msg().wire_size())

@@ -1,0 +1,70 @@
+"""Unit tests for detection reports and aggregation."""
+
+from repro.accounting import CostLedger
+from repro.core.scheme import RejectReason
+from repro.grid.report import DetectionReport, ParticipantReport
+
+
+def participant(
+    name: str, honesty: float, accepted: bool
+) -> ParticipantReport:
+    return ParticipantReport(
+        participant=name,
+        behavior="test",
+        honesty_ratio=honesty,
+        accepted=accepted,
+        reason=RejectReason.OK if accepted else RejectReason.WRONG_RESULT,
+        participant_ledger=CostLedger(),
+        supervisor_ledger_delta=CostLedger(),
+    )
+
+
+class TestDetectionReport:
+    def build(self) -> DetectionReport:
+        report = DetectionReport(scheme="test-scheme")
+        report.participants = [
+            participant("p0", 1.0, True),    # honest accepted
+            participant("p1", 0.5, False),   # cheater caught
+            participant("p2", 0.5, True),    # cheater escaped
+            participant("p3", 1.0, False),   # false alarm
+            participant("p4", 0.9, False),   # cheater caught
+        ]
+        return report
+
+    def test_counts(self):
+        report = self.build()
+        assert report.n_cheaters == 3
+        assert report.n_honest == 2
+        assert report.cheaters_caught == 2
+        assert report.honest_rejected == 1
+
+    def test_rates(self):
+        report = self.build()
+        assert report.detection_rate == 2 / 3
+        assert report.false_alarm_rate == 1 / 2
+
+    def test_empty_population_edge_cases(self):
+        report = DetectionReport(scheme="empty")
+        assert report.detection_rate == 1.0
+        assert report.false_alarm_rate == 0.0
+
+    def test_all_honest_rates(self):
+        report = DetectionReport(scheme="honest")
+        report.participants = [participant("p0", 1.0, True)]
+        assert report.detection_rate == 1.0  # vacuously
+        assert report.false_alarm_rate == 0.0
+
+    def test_summary_keys(self):
+        report = self.build()
+        report.supervisor_ledger.record_receive(1000)
+        summary = report.summary()
+        assert summary["scheme"] == "test-scheme"
+        assert summary["participants"] == 5
+        assert summary["cheaters"] == 3
+        assert summary["caught"] == 2
+        assert summary["false_alarms"] == 1
+        assert summary["supervisor_bytes_in"] == 1000
+
+    def test_cheated_predicate(self):
+        assert participant("x", 0.99, True).cheated
+        assert not participant("x", 1.0, True).cheated

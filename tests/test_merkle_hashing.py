@@ -1,0 +1,111 @@
+"""Tests for the hash registry, iterated hashes and cost counting."""
+
+import hashlib
+
+import pytest
+
+from repro.accounting import CostLedger
+from repro.exceptions import ReproError
+from repro.merkle.hashing import (
+    CountingHash,
+    HashFunction,
+    IteratedHash,
+    available_hashes,
+    get_hash,
+    register_hash,
+)
+
+
+class TestRegistry:
+    def test_default_is_sha256(self):
+        h = get_hash()
+        assert h.name == "sha256"
+        assert h.digest_size == 32
+        assert h.digest(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_md5_matches_stdlib(self):
+        # The paper names MD5 explicitly (§3.1).
+        h = get_hash("md5")
+        assert h.digest_size == 16
+        assert h.digest(b"grid") == hashlib.md5(b"grid").digest()
+
+    def test_all_registered_hashes_usable(self):
+        for name in available_hashes():
+            h = get_hash(name)
+            digest = h.digest(b"payload")
+            assert len(digest) == h.digest_size
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(ReproError, match="unknown hash"):
+            get_hash("rot13")
+
+    def test_register_custom(self):
+        fn = HashFunction("testhash", lambda d: d[:4].ljust(4, b"\0"), 4)
+        register_hash(fn)
+        assert get_hash("testhash") is fn
+
+
+class TestIteratedHash:
+    def test_matches_manual_iteration(self):
+        # g = (MD5)^k, the paper's Eq. 5 construction.
+        g = IteratedHash(get_hash("md5"), rounds=7)
+        expected = b"seed"
+        for _ in range(7):
+            expected = hashlib.md5(expected).digest()
+        assert g.digest(b"seed") == expected
+
+    def test_cost_scales_with_rounds(self):
+        base = get_hash("md5")
+        assert IteratedHash(base, 1000).cost == 1000 * base.cost
+
+    def test_one_round_equals_base(self):
+        base = get_hash("sha256")
+        assert IteratedHash(base, 1).digest(b"x") == base.digest(b"x")
+
+    def test_registry_caret_syntax(self):
+        g = get_hash("md5^3")
+        manual = IteratedHash(get_hash("md5"), 3)
+        assert g.digest(b"v") == manual.digest(b"v")
+        assert g.cost == 3.0
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ReproError):
+            IteratedHash(get_hash("md5"), 0)
+
+
+class TestCountingHash:
+    def test_charges_per_invocation(self):
+        ledger = CostLedger()
+        counted = CountingHash(get_hash("sha256"), ledger)
+        for _ in range(5):
+            counted.digest(b"data")
+        assert ledger.hashes == 5
+        assert ledger.hash_cost == 5.0
+
+    def test_iterated_cost_charged(self):
+        ledger = CostLedger()
+        counted = CountingHash(get_hash("md5^10"), ledger)
+        counted.digest(b"data")
+        assert ledger.hashes == 1
+        assert ledger.hash_cost == 10.0
+
+    def test_transparent_digests(self):
+        ledger = CostLedger()
+        inner = get_hash("sha256")
+        counted = CountingHash(inner, ledger)
+        assert counted.digest(b"zz") == inner.digest(b"zz")
+        assert counted.digest_size == inner.digest_size
+
+
+class TestHashFunctionValidation:
+    def test_rejects_bad_digest_size(self):
+        with pytest.raises(ReproError):
+            HashFunction("bad", lambda d: d, 0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ReproError):
+            HashFunction("bad", lambda d: d, 4, cost=-1.0)
+
+    def test_callable_interface(self):
+        h = get_hash("sha256")
+        assert h(b"x") == h.digest(b"x")

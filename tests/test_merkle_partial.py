@@ -1,0 +1,140 @@
+"""Tests for the §3.3 storage-optimized partial Merkle tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LeafIndexError, MerkleError
+from repro.merkle import MerkleTree, PartialMerkleTree
+
+
+def make(n: int, ell: int):
+    leaves = [f"leaf-{i}".encode() for i in range(n)]
+    calls: list[int] = []
+
+    def provider(index: int) -> bytes:
+        calls.append(index)
+        return leaves[index]
+
+    partial = PartialMerkleTree(leaves, provider, subtree_height=ell)
+    return partial, leaves, calls
+
+
+class TestRootAgreement:
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 13, 16, 33, 64])
+    def test_root_matches_full_tree_all_ells(self, n):
+        full = MerkleTree([f"leaf-{i}".encode() for i in range(n)])
+        for ell in range(full.height + 1):
+            partial, _, _ = make(n, ell)
+            assert partial.root == full.root, (n, ell)
+
+
+class TestProofs:
+    def test_proofs_verify_against_full_root(self):
+        n = 32
+        full = MerkleTree([f"leaf-{i}".encode() for i in range(n)])
+        partial, leaves, _ = make(n, 3)
+        for i in range(n):
+            path = partial.auth_path(i)
+            assert path.verify(leaves[i], full.root, full.hash_fn), i
+
+    def test_proofs_identical_to_full_tree(self):
+        n = 16
+        full = MerkleTree([f"leaf-{i}".encode() for i in range(n)])
+        partial, _, _ = make(n, 2)
+        for i in range(n):
+            assert partial.auth_path(i).siblings == full.auth_path(i).siblings
+
+    def test_bounds_checked(self):
+        partial, _, _ = make(8, 2)
+        with pytest.raises(LeafIndexError):
+            partial.auth_path(8)
+
+    def test_ell_zero_needs_no_recompute(self):
+        partial, _, calls = make(16, 0)
+        partial.auth_path(7)
+        assert calls == []
+        assert partial.leaves_recomputed == 0
+
+
+class TestStorageComputeTradeoff:
+    def test_storage_shrinks_by_2_ell(self):
+        # §3.3: storing up to level H−ℓ costs O(|D| / 2^ℓ).
+        n = 64
+        stored = {}
+        for ell in range(0, 7):
+            partial, _, _ = make(n, ell)
+            stored[ell] = partial.stored_node_count
+        # Stored count is 2^(H−ℓ+1) − 1.
+        for ell in range(0, 7):
+            assert stored[ell] == (1 << (6 - ell + 1)) - 1
+
+    def test_rebuild_recomputes_2_ell_leaves(self):
+        # §3.3: one proof triggers a height-ℓ subtree rebuild costing
+        # 2^ℓ evaluations of f.
+        for ell in (1, 2, 3):
+            partial, _, calls = make(64, ell)
+            partial.auth_path(17)
+            assert len(calls) == 1 << ell
+            assert partial.leaves_recomputed == 1 << ell
+            assert partial.subtree_rebuilds == 1
+
+    def test_rebuild_targets_correct_subtree(self):
+        partial, _, calls = make(64, 3)
+        partial.auth_path(29)  # subtree index 3 covers leaves 24..31
+        assert calls == list(range(24, 32))
+
+    def test_padding_subtree_partially_recomputed(self):
+        # Leaves beyond the real domain are padding: no f calls there.
+        partial, _, calls = make(13, 2)  # padded to 16, subtrees of 4
+        partial.auth_path(12)  # subtree covers 12..15; only 12 real
+        assert calls == [12]
+
+    def test_m_proofs_cost_m_rebuilds(self):
+        partial, _, calls = make(64, 2)
+        for i in (0, 20, 40, 63):
+            partial.auth_path(i)
+        assert partial.subtree_rebuilds == 4
+        assert partial.leaves_recomputed == 4 * 4
+
+
+class TestValidation:
+    def test_negative_ell_rejected(self):
+        leaves = [b"a", b"b"]
+        with pytest.raises(MerkleError):
+            PartialMerkleTree(leaves, lambda i: leaves[i], subtree_height=-1)
+
+    def test_ell_above_height_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        with pytest.raises(MerkleError):
+            PartialMerkleTree(leaves, lambda i: leaves[i], subtree_height=3)
+
+    def test_provider_must_return_committed_payloads(self):
+        # A provider returning different data produces invalid proofs —
+        # exactly how a cheater who "recomputes" differently gets caught.
+        n = 16
+        leaves = [f"leaf-{i}".encode() for i in range(n)]
+        full = MerkleTree(leaves)
+        partial = PartialMerkleTree(
+            leaves, lambda i: b"different", subtree_height=2
+        )
+        path = partial.auth_path(5)
+        assert not path.verify(leaves[5], full.root, full.hash_fn)
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=1, max_value=48),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partial_equals_full_everywhere(self, n, data):
+        leaves = [bytes([i, (i * 7) % 256]) for i in range(n)]
+        full = MerkleTree(leaves)
+        ell = data.draw(st.integers(min_value=0, max_value=full.height))
+        index = data.draw(st.integers(min_value=0, max_value=n - 1))
+        partial = PartialMerkleTree(
+            leaves, lambda i: leaves[i], subtree_height=ell
+        )
+        assert partial.root == full.root
+        assert partial.auth_path(index).siblings == full.auth_path(index).siblings

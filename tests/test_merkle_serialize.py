@@ -1,0 +1,68 @@
+"""Tests for Merkle wire serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CodecError
+from repro.merkle import MerkleTree
+from repro.merkle.serialize import (
+    decode_auth_path,
+    decode_digest,
+    encode_auth_path,
+    encode_digest,
+)
+from repro.merkle.tree import LeafEncoding
+
+
+class TestAuthPathRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        tree = MerkleTree([bytes([i]) for i in range(20)])
+        path = tree.auth_path(13)
+        decoded, pos = decode_auth_path(encode_auth_path(path))
+        assert pos == len(encode_auth_path(path))
+        assert decoded.leaf_index == path.leaf_index
+        assert decoded.siblings == path.siblings
+        assert decoded.n_leaves == path.n_leaves
+        assert decoded.leaf_encoding == path.leaf_encoding
+
+    def test_decoded_path_still_verifies(self):
+        leaves = [f"v{i}".encode() for i in range(10)]
+        tree = MerkleTree(leaves)
+        decoded, _ = decode_auth_path(encode_auth_path(tree.auth_path(7)))
+        assert decoded.verify(leaves[7], tree.root, tree.hash_fn)
+
+    def test_raw_encoding_survives(self):
+        h_leaves = [
+            MerkleTree([b"x"]).hash_fn.digest(bytes([i])) for i in range(4)
+        ]
+        tree = MerkleTree(h_leaves, leaf_encoding=LeafEncoding.RAW)
+        decoded, _ = decode_auth_path(encode_auth_path(tree.auth_path(1)))
+        assert decoded.leaf_encoding == LeafEncoding.RAW
+
+    def test_unknown_encoding_code_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        data = bytearray(encode_auth_path(tree.auth_path(0)))
+        # Byte layout: leaf_index varint (1B for 0), n_leaves varint,
+        # then the encoding code.
+        data[2] = 9
+        with pytest.raises(CodecError):
+            decode_auth_path(bytes(data))
+
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n, data):
+        tree = MerkleTree([bytes([i % 256, 1]) for i in range(n)])
+        index = data.draw(st.integers(min_value=0, max_value=n - 1))
+        path = tree.auth_path(index)
+        decoded, _ = decode_auth_path(encode_auth_path(path))
+        assert decoded.siblings == path.siblings
+        assert decoded.leaf_index == index
+
+
+class TestDigest:
+    def test_roundtrip(self):
+        digest = bytes(range(32))
+        decoded, pos = decode_digest(encode_digest(digest))
+        assert decoded == digest
+        assert pos == len(encode_digest(digest))

@@ -1,0 +1,109 @@
+"""Tests for the O(log n)-memory streaming Merkle builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyTreeError, MerkleError
+from repro.merkle import MerkleTree, StreamingMerkleBuilder, get_hash
+from repro.merkle.tree import LeafEncoding
+
+
+def leaves(n: int) -> list[bytes]:
+    return [f"payload-{i}".encode() for i in range(n)]
+
+
+class TestRootEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 9, 31, 32, 100])
+    def test_matches_in_memory_tree(self, n):
+        data = leaves(n)
+        builder = StreamingMerkleBuilder()
+        builder.add_leaves(data)
+        assert builder.finalize() == MerkleTree(data).root
+
+    def test_matches_with_md5(self):
+        data = leaves(10)
+        builder = StreamingMerkleBuilder(hash_fn=get_hash("md5"))
+        builder.add_leaves(data)
+        assert builder.root == MerkleTree(data, hash_fn=get_hash("md5")).root
+
+    def test_raw_encoding(self):
+        h = get_hash("sha256")
+        data = [h.digest(bytes([i])) for i in range(6)]
+        builder = StreamingMerkleBuilder(leaf_encoding=LeafEncoding.RAW)
+        builder.add_leaves(data)
+        expected = MerkleTree(data, leaf_encoding=LeafEncoding.RAW).root
+        assert builder.root == expected
+
+    @given(st.lists(st.binary(max_size=24), min_size=1, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalence(self, data):
+        builder = StreamingMerkleBuilder()
+        builder.add_leaves(data)
+        assert builder.root == MerkleTree(data).root
+
+
+class TestLifecycle:
+    def test_finalize_idempotent(self):
+        builder = StreamingMerkleBuilder()
+        builder.add_leaves(leaves(5))
+        assert builder.finalize() == builder.finalize() == builder.root
+
+    def test_add_after_finalize_rejected(self):
+        builder = StreamingMerkleBuilder()
+        builder.add_leaf(b"a")
+        builder.finalize()
+        with pytest.raises(MerkleError):
+            builder.add_leaf(b"b")
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(EmptyTreeError):
+            StreamingMerkleBuilder().finalize()
+
+    def test_height_before_leaves_rejected(self):
+        with pytest.raises(EmptyTreeError):
+            StreamingMerkleBuilder().height
+
+    def test_height(self):
+        builder = StreamingMerkleBuilder()
+        builder.add_leaves(leaves(9))
+        assert builder.height == 4
+
+
+class TestMemoryBound:
+    def test_stack_stays_logarithmic(self):
+        builder = StreamingMerkleBuilder()
+        for i in range(1024):
+            builder.add_leaf(bytes([i % 256]))
+            assert len(builder._stack) <= 11
+        builder.finalize()
+
+
+class TestCapture:
+    def test_captured_top_levels_match_tree(self):
+        n, ell = 32, 2
+        data = leaves(n)
+        builder = StreamingMerkleBuilder(capture_above_level=ell)
+        builder.add_leaves(data)
+        builder.finalize()
+        captured = builder.captured_levels()
+        tree = MerkleTree(data)
+        # Height h from leaves = tree level (tree.height - h) from root.
+        for h, row in captured.items():
+            level = tree.height - h
+            assert row == tree._levels[level], h
+
+    def test_capture_requires_finalize(self):
+        builder = StreamingMerkleBuilder(capture_above_level=1)
+        builder.add_leaf(b"x")
+        with pytest.raises(MerkleError):
+            builder.captured_levels()
+
+    def test_capture_zero_includes_leaf_digests(self):
+        data = leaves(4)
+        builder = StreamingMerkleBuilder(capture_above_level=0)
+        builder.add_leaves(data)
+        builder.finalize()
+        captured = builder.captured_levels()
+        tree = MerkleTree(data)
+        assert captured[0] == tree._levels[tree.height]

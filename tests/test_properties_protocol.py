@@ -1,0 +1,123 @@
+"""Protocol-level property tests (hypothesis) for the paper's theorems.
+
+These drive the *whole* CBS/NI-CBS implementations — behaviours, tree,
+wire messages, verification — under randomly drawn parameters and check
+the paper's invariants:
+
+* **Theorem 1 (soundness):** honest participants are always accepted.
+* **Theorem 2 (binding):** any accepted sample's claimed result is the
+  true ``f(x)`` (a wrong value can only be accepted if it was both
+  committed *and* passes the f-check — impossible unless the guess
+  equalled the truth, in which case it isn't wrong).
+* **Conservation:** cheater evaluation counts are exactly ``r·n``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheating import BernoulliGuess, HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme, NICBSScheme
+from repro.tasks import PasswordSearch, RangeDomain, SignalSearch, TaskAssignment
+
+domain_sizes = st.integers(min_value=1, max_value=200)
+sample_counts = st.integers(min_value=1, max_value=30)
+seeds = st.integers(min_value=0, max_value=10_000)
+ratios = st.floats(min_value=0.0, max_value=1.0)
+
+
+def make_task(n: int, fn=None) -> TaskAssignment:
+    return TaskAssignment(f"prop-{n}", RangeDomain(0, n), fn or PasswordSearch())
+
+
+class TestSoundnessProperty:
+    @given(n=domain_sizes, m=sample_counts, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_honest_always_accepted_cbs(self, n, m, seed):
+        result = CBSScheme(n_samples=m).run(
+            make_task(n), HonestBehavior(), seed=seed
+        )
+        assert result.outcome.accepted
+
+    @given(n=domain_sizes, m=sample_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_honest_always_accepted_nicbs(self, n, m, seed):
+        result = NICBSScheme(n_samples=m).run(
+            make_task(n), HonestBehavior(), seed=seed
+        )
+        assert result.outcome.accepted
+
+    @given(n=domain_sizes, m=sample_counts, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_honest_accepted_with_signal_workload(self, n, m, seed):
+        result = CBSScheme(n_samples=m).run(
+            make_task(n, SignalSearch()), HonestBehavior(), seed=seed
+        )
+        assert result.outcome.accepted
+
+
+class TestBindingProperty:
+    @given(
+        n=st.integers(min_value=4, max_value=150),
+        m=sample_counts,
+        r=st.floats(min_value=0.0, max_value=0.95),
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accepted_samples_carry_true_results(self, n, m, r, seed):
+        task = make_task(n)
+        result = CBSScheme(n_samples=m, stop_on_first_failure=False).run(
+            task, SemiHonestCheater(r), seed=seed
+        )
+        for verdict in result.outcome.verdicts:
+            if verdict.accepted:
+                # Accepted ⇒ the sampled index was honestly computed
+                # (ZeroGuess never matches the true digest).
+                assert verdict.index in result.work.honest_indices
+
+    @given(
+        n=st.integers(min_value=4, max_value=150),
+        m=sample_counts,
+        r=st.floats(min_value=0.0, max_value=0.95),
+        q=st.floats(min_value=0.0, max_value=1.0),
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rejection_only_for_cheaters(self, n, m, r, q, seed):
+        task = make_task(n)
+        result = CBSScheme(n_samples=m).run(
+            task, SemiHonestCheater(r, BernoulliGuess(q)), seed=seed
+        )
+        if not result.outcome.accepted:
+            # Rejection implies some input really was skipped.
+            assert result.work.honesty_ratio < 1.0
+
+
+class TestConservationProperty:
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        r=ratios,
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cheater_work_is_exactly_r_n(self, n, r, seed):
+        task = make_task(n)
+        result = CBSScheme(n_samples=1).run(
+            task, SemiHonestCheater(r), seed=seed
+        )
+        assert result.participant_ledger.evaluations == round(r * n)
+
+    @given(n=domain_sizes, m=sample_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_supervisor_work_bounded_by_m(self, n, m, seed):
+        result = CBSScheme(n_samples=m).run(
+            make_task(n), HonestBehavior(), seed=seed
+        )
+        assert result.supervisor_ledger.verifications <= m
+
+    @given(n=domain_sizes, m=sample_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_wire_determinism(self, n, m, seed):
+        scheme = CBSScheme(n_samples=m)
+        a = scheme.run(make_task(n), HonestBehavior(), seed=seed)
+        b = scheme.run(make_task(n), HonestBehavior(), seed=seed)
+        assert a.total_bytes_on_wire == b.total_bytes_on_wire

@@ -1,0 +1,101 @@
+"""Tests for the factoring workload (asymmetric verification, §3.1)."""
+
+import pytest
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.exceptions import TaskError
+from repro.tasks import FactoringTask, RangeDomain, TaskAssignment
+from repro.tasks.workloads import _is_prime
+
+
+class TestFactoring:
+    def test_semiprime_structure(self):
+        fn = FactoringTask(bits=12)
+        for k in range(20):
+            n = fn.semiprime(k)
+            factor = int.from_bytes(fn.evaluate(k), "big")
+            assert n % factor == 0
+            assert _is_prime(factor)
+            assert _is_prime(n // factor)
+
+    def test_result_is_smaller_factor(self):
+        fn = FactoringTask(bits=12)
+        for k in range(20):
+            factor = int.from_bytes(fn.evaluate(k), "big")
+            assert factor * factor <= fn.semiprime(k)
+
+    def test_deterministic(self):
+        fn = FactoringTask(bits=12)
+        assert fn.evaluate(7) == fn.evaluate(7)
+        assert FactoringTask(bits=12).semiprime(7) == fn.semiprime(7)
+
+    def test_verify_accepts_truth_rejects_lies(self):
+        fn = FactoringTask(bits=12)
+        truth = fn.evaluate(5)
+        assert fn.verify(5, truth)
+        assert not fn.verify(5, b"\x00" * 8)
+        assert not fn.verify(5, (1).to_bytes(8, "big"))
+        n = fn.semiprime(5)
+        assert not fn.verify(5, n.to_bytes(8, "big"))
+        # The cofactor (larger prime) is rejected: canonical answer is
+        # the smaller factor.
+        small = int.from_bytes(truth, "big")
+        assert not fn.verify(5, (n // small).to_bytes(8, "big"))
+
+    def test_verify_rejects_wrong_width(self):
+        fn = FactoringTask(bits=12)
+        assert not fn.verify(5, b"\x01\x02")
+
+    def test_asymmetric_costs_declared(self):
+        fn = FactoringTask()
+        assert fn.effective_verify_cost < fn.cost / 100
+
+    def test_bits_validated(self):
+        with pytest.raises(TaskError):
+            FactoringTask(bits=4)
+        with pytest.raises(TaskError):
+            FactoringTask(bits=30)
+
+
+class TestAsymmetricVerificationEndToEnd:
+    """§3.1: the supervisor verifies without re-computing."""
+
+    def test_supervisor_pays_verify_cost_not_compute_cost(self):
+        fn = FactoringTask(bits=12, cost=500.0, verify_cost=1.0)
+        task = TaskAssignment("factor", RangeDomain(0, 64), fn)
+        result = CBSScheme(n_samples=10, include_reports=False).run(
+            task, HonestBehavior(), seed=0
+        )
+        assert result.outcome.accepted
+        # 10 verifications at verify_cost=1.0, not cost=500.
+        assert result.supervisor_ledger.verification_cost == 10.0
+        assert result.participant_ledger.evaluation_cost == 64 * 500.0
+
+    def test_cheater_still_caught(self):
+        fn = FactoringTask(bits=12)
+        task = TaskAssignment("factor", RangeDomain(0, 64), fn)
+        result = CBSScheme(n_samples=20).run(
+            task, SemiHonestCheater(0.5), seed=1
+        )
+        assert not result.outcome.accepted
+
+    def test_verification_cost_advantage_vs_recompute_workload(self):
+        # Same domain, same m: the factoring supervisor is ~500x
+        # cheaper per sample than one that must re-evaluate.
+        from repro.tasks import PasswordSearch
+
+        expensive_pw = PasswordSearch(cost=500.0)
+        cheap_verify = FactoringTask(bits=12, cost=500.0, verify_cost=1.0)
+        dom = RangeDomain(0, 64)
+        m = 10
+        pw_run = CBSScheme(m, include_reports=False).run(
+            TaskAssignment("pw", dom, expensive_pw), HonestBehavior(), seed=0
+        )
+        fac_run = CBSScheme(m, include_reports=False).run(
+            TaskAssignment("fa", dom, cheap_verify), HonestBehavior(), seed=0
+        )
+        assert (
+            fac_run.supervisor_ledger.verification_cost
+            < pw_run.supervisor_ledger.verification_cost / 100
+        )

@@ -1,0 +1,82 @@
+"""Tests for screeners (the paper's S(x, f(x)) programs)."""
+
+import struct
+
+import pytest
+
+from repro.exceptions import TaskError
+from repro.tasks import MatchScreener, ThresholdScreener, TopKScreener
+from repro.tasks.screener import ReportAllScreener
+
+
+def level(v: int) -> bytes:
+    return struct.pack(">I", v)
+
+
+class TestMatchScreener:
+    def test_reports_exact_match(self):
+        s = MatchScreener(target=b"\x01\x02")
+        assert s.screen(7, b"\x01\x02") == "match:7"
+
+    def test_ignores_non_match(self):
+        s = MatchScreener(target=b"\x01\x02")
+        assert s.screen(7, b"\x01\x03") is None
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(TaskError):
+            MatchScreener(target=b"")
+
+
+class TestThresholdScreener:
+    def test_below_direction(self):
+        s = ThresholdScreener(threshold=10, direction="below")
+        assert s.screen(1, level(5)) == "candidate:1:5"
+        assert s.screen(2, level(10)) == "candidate:2:10"
+        assert s.screen(3, level(11)) is None
+
+    def test_above_direction(self):
+        s = ThresholdScreener(threshold=100, direction="above")
+        assert s.screen(1, level(150)) is not None
+        assert s.screen(2, level(99)) is None
+
+    def test_direction_validated(self):
+        with pytest.raises(TaskError):
+            ThresholdScreener(threshold=5, direction="sideways")
+
+    def test_result_width_validated(self):
+        s = ThresholdScreener(threshold=5)
+        with pytest.raises(TaskError):
+            s.screen(1, b"\x00")
+
+
+class TestTopKScreener:
+    def test_keeps_k_best(self):
+        s = TopKScreener(k=2)
+        s.screen("a", level(50))
+        s.screen("b", level(30))
+        s.screen("c", level(40))
+        s.screen("d", level(10))
+        assert s.top() == [("d", 10), ("b", 30)]
+
+    def test_reports_on_entry_only(self):
+        s = TopKScreener(k=1)
+        assert s.screen("a", level(50)) is not None
+        assert s.screen("b", level(60)) is None  # not better
+        assert s.screen("c", level(40)) is not None  # new best
+
+    def test_reset_clears_state(self):
+        s = TopKScreener(k=1)
+        s.screen("a", level(5))
+        s.reset()
+        assert s.top() == []
+        assert s.screen("b", level(100)) is not None
+
+    def test_k_validated(self):
+        with pytest.raises(TaskError):
+            TopKScreener(k=0)
+
+
+class TestReportAllScreener:
+    def test_reports_everything(self):
+        s = ReportAllScreener()
+        assert s.screen(3, b"\xab") == "result:3:ab"

@@ -1,0 +1,183 @@
+"""Tests for the synthetic workloads (paper's motivating applications)."""
+
+import struct
+
+import pytest
+
+from repro.tasks import (
+    MersenneCheck,
+    MoleculeScreening,
+    MonteCarloEstimate,
+    OptimizationSearch,
+    PasswordSearch,
+    SignalSearch,
+)
+from repro.tasks.function import GuessableFunction, MeteredFunction
+from repro.accounting import CostLedger
+from repro.exceptions import TaskError
+
+
+class TestPasswordSearch:
+    def test_deterministic(self):
+        fn = PasswordSearch()
+        assert fn.evaluate(42) == fn.evaluate(42)
+
+    def test_distinct_keys_distinct_digests(self):
+        fn = PasswordSearch()
+        digests = {fn.evaluate(i) for i in range(1000)}
+        assert len(digests) == 1000
+
+    def test_is_one_way_with_zero_q(self):
+        fn = PasswordSearch()
+        assert fn.one_way
+        assert fn.guess_success_probability == 0.0
+
+    def test_result_size(self):
+        assert len(PasswordSearch(digest_bytes=16).evaluate(1)) == 16
+        assert PasswordSearch(digest_bytes=20).result_size == 20
+
+    def test_salt_separates_projects(self):
+        a = PasswordSearch(salt=b"project-a")
+        b = PasswordSearch(salt=b"project-b")
+        assert a.evaluate(7) != b.evaluate(7)
+
+    def test_target_for_matches_evaluate(self):
+        fn = PasswordSearch()
+        assert fn.target_for(99) == fn.evaluate(99)
+
+    def test_verify_via_recompute(self):
+        fn = PasswordSearch()
+        assert fn.verify(5, fn.evaluate(5))
+        assert not fn.verify(5, b"\x00" * 16)
+
+    def test_tiny_digest_rejected(self):
+        with pytest.raises(TaskError):
+            PasswordSearch(digest_bytes=2)
+
+
+class TestMoleculeScreening:
+    def test_quantized_range(self):
+        fn = MoleculeScreening(resolution=256)
+        for i in range(200):
+            (level,) = struct.unpack(">I", fn.evaluate(i))
+            assert 0 <= level < 256
+
+    def test_q_is_inverse_resolution(self):
+        assert MoleculeScreening(resolution=100).guess_success_probability == 0.01
+
+    def test_score_consistent_with_level(self):
+        fn = MoleculeScreening(resolution=1000)
+        score = fn.score(5)
+        (level,) = struct.unpack(">I", fn.evaluate(5))
+        assert level == min(int(score * 1000), 999)
+
+    def test_resolution_validated(self):
+        with pytest.raises(TaskError):
+            MoleculeScreening(resolution=1)
+
+
+class TestSignalSearch:
+    def test_boolean_output(self):
+        fn = SignalSearch()
+        assert fn.evaluate(1) in (b"\x00", b"\x01")
+
+    def test_unbiased_at_half_threshold(self):
+        fn = SignalSearch(threshold=0.5)
+        hits = sum(fn.evaluate(i) == b"\x01" for i in range(2000))
+        assert abs(hits / 2000 - 0.5) < 0.05
+        assert fn.guess_success_probability == 0.5
+
+    def test_skewed_threshold_raises_q(self):
+        # Optimal guesser predicts the majority symbol.
+        fn = SignalSearch(threshold=0.9)
+        assert fn.guess_success_probability == 0.9
+
+    def test_threshold_validated(self):
+        with pytest.raises(TaskError):
+            SignalSearch(threshold=0.0)
+
+
+class TestMersenneCheck:
+    def test_known_mersenne_primes(self):
+        # 2^p − 1 prime for p in {2, 3, 5, 7, 13, 17, 19, 31}.
+        fn = MersenneCheck()
+        for p in (2, 3, 5, 7, 13, 17, 19, 31):
+            assert fn.evaluate(p) == b"\x01", p
+
+    def test_known_composites(self):
+        # M_11 = 2047 = 23 × 89 is the classic composite; also
+        # composite exponents and p = 23, 29.
+        fn = MersenneCheck()
+        for p in (4, 6, 8, 9, 11, 23, 29):
+            assert fn.evaluate(p) == b"\x00", p
+
+    def test_p_below_two(self):
+        assert not MersenneCheck.is_mersenne_prime(0)
+        assert not MersenneCheck.is_mersenne_prime(1)
+
+
+class TestMonteCarloEstimate:
+    def test_deterministic_per_seed(self):
+        fn = MonteCarloEstimate(n_samples=32)
+        assert fn.evaluate(7) == fn.evaluate(7)
+
+    def test_hits_bounded_by_samples(self):
+        fn = MonteCarloEstimate(n_samples=50)
+        (hits,) = struct.unpack(">I", fn.evaluate(3))
+        assert 0 <= hits <= 50
+
+    def test_aggregate_estimates_pi(self):
+        fn = MonteCarloEstimate(n_samples=64)
+        total = sum(
+            struct.unpack(">I", fn.evaluate(i))[0] for i in range(200)
+        )
+        pi_estimate = 4.0 * total / (200 * 64)
+        assert abs(pi_estimate - 3.14159) < 0.1
+
+    def test_q_is_binomial_mode_probability(self):
+        fn = MonteCarloEstimate(n_samples=16)
+        assert 0.0 < fn.guess_success_probability < 0.5
+
+
+class TestOptimizationSearch:
+    def test_quantized_output(self):
+        fn = OptimizationSearch(resolution=512)
+        (level,) = struct.unpack(">I", fn.evaluate(12345))
+        assert 0 <= level < 512
+
+    def test_objective_has_wells(self):
+        # Some cells must be meaningfully better than the background.
+        fn = OptimizationSearch(n_wells=4, grid_side=64)
+        values = [fn.objective(i) for i in range(64 * 64)]
+        assert min(values) < 0.6 < max(values)
+
+    def test_cell_center_in_unit_square(self):
+        fn = OptimizationSearch(grid_side=32)
+        for i in (0, 31, 32, 1023):
+            x, y = fn.cell_center(i)
+            assert 0.0 < x < 1.0 and 0.0 < y < 1.0
+
+
+class TestWrappers:
+    def test_guessable_overrides_q_only(self):
+        inner = PasswordSearch()
+        wrapped = GuessableFunction(inner, q=0.25)
+        assert wrapped.guess_success_probability == 0.25
+        assert wrapped.evaluate(3) == inner.evaluate(3)
+        assert wrapped.one_way == inner.one_way
+        assert wrapped.result_size == inner.result_size
+
+    def test_guessable_validates_q(self):
+        with pytest.raises(TaskError):
+            GuessableFunction(PasswordSearch(), q=1.5)
+
+    def test_metered_charges_ledger(self):
+        ledger = CostLedger()
+        fn = MeteredFunction(MoleculeScreening(cost=50.0), ledger)
+        fn.evaluate(1)
+        fn.evaluate(2)
+        fn.verify(1, fn.inner.evaluate(1))
+        assert ledger.evaluations == 2
+        assert ledger.evaluation_cost == 100.0
+        assert ledger.verifications == 1
+        assert ledger.verification_cost == 50.0
