@@ -1,0 +1,124 @@
+"""Engine scaling — population-run throughput across execution backends.
+
+The tentpole claim of the execution engine: population simulations
+(one CBS protocol run per participant) scale with cores instead of
+being bound to one Python loop.  This bench runs the same population —
+identical results on every backend, pinned by tests/test_engine.py —
+on the serial, thread and process backends at domain sizes
+``D ∈ {2^10, 2^14, 2^18}`` and reports participants/sec.
+
+Emits ``benchmarks/results/engine_scaling.json`` (machine-readable,
+one row per backend × domain size) plus the usual rendered table.
+
+Interpretation notes: threads mostly document GIL overhead (protocol
+runs are pure-Python CPU work); processes must amortize pickling, so
+they lose at tiny D and win at large D — on a multi-core machine the
+process backend must beat serial at D = 2^18, and the test asserts
+exactly that.  On a single-core machine the assertion is vacuous and
+the JSON row records the environment honestly.
+"""
+
+import json
+import time
+
+from repro.analysis import format_table
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.engine import default_workers, get_executor
+from repro.grid import run_population
+from repro.tasks import PasswordSearch, RangeDomain
+
+D_EXPONENTS = (10, 14, 18)
+N_PARTICIPANTS = 64
+N_SAMPLES = 16
+ENGINES = ("serial", "threads", "processes")
+
+
+def _run_once(exp: int, executor) -> float:
+    """One population run; returns elapsed seconds."""
+    start = time.perf_counter()
+    report = run_population(
+        RangeDomain(0, 1 << exp),
+        PasswordSearch(),
+        CBSScheme(n_samples=N_SAMPLES),
+        behaviors=[HonestBehavior(), SemiHonestCheater(0.5)],
+        n_participants=N_PARTICIPANTS,
+        seed=1,
+        engine=executor,
+    )
+    elapsed = time.perf_counter() - start
+    assert len(report.participants) == N_PARTICIPANTS
+    assert report.detection_rate == 1.0
+    return elapsed
+
+
+def test_engine_scaling(results_dir, save_table):
+    workers = default_workers()
+    rows = []
+    serial_elapsed: dict[int, float] = {}
+    for engine in ENGINES:
+        executor = get_executor(engine, workers)
+        with executor:
+            for exp in D_EXPONENTS:
+                elapsed = _run_once(exp, executor)
+                if engine == "serial":
+                    serial_elapsed[exp] = elapsed
+                rows.append(
+                    {
+                        "engine": engine,
+                        "workers": executor.workers,
+                        "D": f"2^{exp}",
+                        "domain_size": 1 << exp,
+                        "participants": N_PARTICIPANTS,
+                        "elapsed_s": round(elapsed, 4),
+                        "participants_per_s": round(
+                            N_PARTICIPANTS / elapsed, 1
+                        ),
+                        "speedup_vs_serial": round(
+                            serial_elapsed[exp] / elapsed, 2
+                        ),
+                    }
+                )
+
+    payload = {
+        "bench": "engine_scaling",
+        "n_participants": N_PARTICIPANTS,
+        "n_samples": N_SAMPLES,
+        "available_cores": workers,
+        "rows": rows,
+    }
+    out = results_dir / "engine_scaling.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    save_table(
+        "engine_scaling",
+        format_table(
+            [
+                {k: r[k] for k in r if k != "domain_size"}
+                for r in rows
+            ],
+            title=(
+                f"Engine scaling — {N_PARTICIPANTS} participants, "
+                f"m = {N_SAMPLES}, {workers} core(s)"
+            ),
+        ),
+    )
+
+    by_engine = {
+        (r["engine"], r["domain_size"]): r["elapsed_s"] for r in rows
+    }
+    if workers >= 2:
+        # The acceptance claim: multi-core process runs beat serial at
+        # the largest population.  Shared CI runners are noisy, so a
+        # losing first measurement gets one best-of-two retry for each
+        # side before the assertion fires.
+        serial_t = by_engine[("serial", 1 << 18)]
+        proc_t = by_engine[("processes", 1 << 18)]
+        if proc_t >= serial_t:
+            with get_executor("serial") as ex:
+                serial_t = min(serial_t, _run_once(18, ex))
+            with get_executor("processes", workers) as ex:
+                proc_t = min(proc_t, _run_once(18, ex))
+        assert proc_t < serial_t, (
+            "process backend should beat serial at D = 2^18 on multi-core "
+            f"(processes {proc_t:.3f}s vs serial {serial_t:.3f}s)"
+        )

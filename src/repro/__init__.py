@@ -66,6 +66,16 @@ from repro.core import (
     VerificationOutcome,
     VerificationScheme,
 )
+from repro.engine import (
+    Executor,
+    ProcessPoolExecutor,
+    SchemeJob,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    derive_seed,
+    get_executor,
+    run_scheme_jobs,
+)
 from repro.grid import (
     DetectionReport,
     GridResourceBroker,
@@ -74,6 +84,7 @@ from repro.grid import (
     ParticipantNode,
     SimulationConfig,
     SupervisorNode,
+    run_population,
 )
 from repro.merkle import (
     AuthenticationPath,
@@ -82,6 +93,7 @@ from repro.merkle import (
     MerkleTree,
     PartialMerkleTree,
     StreamingMerkleBuilder,
+    chunked_root,
     get_hash,
 )
 from repro.tasks import (
@@ -136,6 +148,15 @@ __all__ = [
     "VerificationScheme",
     "VerificationOutcome",
     "SchemeRunResult",
+    # engine
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "get_executor",
+    "derive_seed",
+    "SchemeJob",
+    "run_scheme_jobs",
     # grid
     "Network",
     "ParticipantNode",
@@ -144,8 +165,10 @@ __all__ = [
     "GridSimulation",
     "SimulationConfig",
     "DetectionReport",
+    "run_population",
     # merkle
     "MerkleTree",
+    "chunked_root",
     "PartialMerkleTree",
     "StreamingMerkleBuilder",
     "AuthenticationPath",

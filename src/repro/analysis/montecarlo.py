@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.cheating.strategies import Behavior
 from repro.core.scheme import VerificationScheme
+from repro.engine import Executor, SchemeJob, run_scheme_jobs
 from repro.tasks.result import TaskAssignment
 
 
@@ -62,22 +63,32 @@ def estimate_escape_rate(
     n_trials: int,
     seed0: int = 0,
     z: float = 2.576,
+    engine: str | Executor = "serial",
+    workers: int | None = None,
 ) -> RateEstimate:
     """Fraction of runs where a cheater goes undetected (the Eq. 2 event).
 
     ``behavior_factory(trial)`` builds the behaviour per trial so
     stateful behaviours do not leak across runs; seeds are
     ``seed0 + trial``, varying both sample selection and fabrications.
+
+    Trials are independent, so they dispatch through the execution
+    engine (``engine``/``workers``, see :mod:`repro.engine`).  The
+    factory itself runs in-process — only the built behaviours travel
+    to workers — so closures and lambdas work on every backend.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
-    escapes = 0
-    for trial in range(n_trials):
-        result = scheme.run(
-            assignment, behavior_factory(trial), seed=seed0 + trial
+    jobs = [
+        SchemeJob(
+            assignment=assignment,
+            behavior=behavior_factory(trial),
+            seed=seed0 + trial,
         )
-        if result.outcome.accepted:
-            escapes += 1
+        for trial in range(n_trials)
+    ]
+    results = run_scheme_jobs(scheme, jobs, engine=engine, workers=workers)
+    escapes = sum(1 for result in results if result.outcome.accepted)
     low, high = wilson_interval(escapes, n_trials, z=z)
     return RateEstimate(
         successes=escapes, trials=n_trials, low=low, high=high
@@ -91,11 +102,20 @@ def estimate_detection_rate(
     n_trials: int,
     seed0: int = 0,
     z: float = 2.576,
+    engine: str | Executor = "serial",
+    workers: int | None = None,
 ) -> RateEstimate:
     """Complementary estimator: fraction of runs where the scheme
     rejected (for honest behaviours this is the false-alarm rate)."""
     escapes = estimate_escape_rate(
-        scheme, assignment, behavior_factory, n_trials, seed0=seed0, z=z
+        scheme,
+        assignment,
+        behavior_factory,
+        n_trials,
+        seed0=seed0,
+        z=z,
+        engine=engine,
+        workers=workers,
     )
     detections = escapes.trials - escapes.successes
     low, high = wilson_interval(detections, escapes.trials, z=z)

@@ -9,16 +9,24 @@ without touching pytest:
 * ``rco`` — the §3.3 storage/recompute trade-off;
 * ``regrind`` — the §4.2 attack and its Eq. (5) economics;
 * ``deterrence`` — incentive-level sample sizing (Def. 2.1's cost arm);
-* ``demo`` — a single CBS run narrated step by step.
+* ``demo`` — a single CBS run narrated step by step;
+* ``population`` — a full population simulation on a chosen execution
+  backend, reporting participants/sec.
 
 All subcommands accept ``--seed`` and print the same tables the
-benchmark harness saves under ``benchmarks/results/``.
+benchmark harness saves under ``benchmarks/results/``.  Subcommands
+that run many independent protocol executions (``eq2``,
+``population``) additionally accept ``--engine
+serial|threads|processes`` and ``--workers N`` to pick the execution
+backend (see :mod:`repro.engine`); backends change wall-clock only,
+never results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis import (
     cheat_success_probability,
@@ -33,6 +41,8 @@ from repro.cheating.guessing import guess_model_for_q
 from repro.cheating.regrind import expected_regrind_attempts, run_regrind_attack
 from repro.core import CBSScheme, predicted_rco
 from repro.baselines import NaiveSamplingScheme
+from repro.engine import ENGINE_NAMES, get_executor
+from repro.grid import run_population
 from repro.merkle import get_hash
 from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
 
@@ -55,22 +65,26 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_eq2(args: argparse.Namespace) -> int:
     task = TaskAssignment("cli-eq2", RangeDomain(0, args.n), PasswordSearch())
     rows = []
-    for m in (1, 2, 4, 8):
-        estimate = estimate_escape_rate(
-            CBSScheme(n_samples=m),
-            task,
-            lambda trial: SemiHonestCheater(args.r, guess_model_for_q(args.q)),
-            n_trials=args.trials,
-            seed0=args.seed,
-        )
-        rows.append(
-            {
-                "m": m,
-                "analytic": cheat_success_probability(args.r, args.q, m),
-                "measured": estimate.rate,
-                "ci": f"[{estimate.low:.3f}, {estimate.high:.3f}]",
-            }
-        )
+    # One warm pool across all four m-values (the loop would otherwise
+    # spawn and tear down a process pool per cell).
+    with get_executor(args.engine, args.workers) as executor:
+        for m in (1, 2, 4, 8):
+            estimate = estimate_escape_rate(
+                CBSScheme(n_samples=m),
+                task,
+                lambda trial: SemiHonestCheater(args.r, guess_model_for_q(args.q)),
+                n_trials=args.trials,
+                seed0=args.seed,
+                engine=executor,
+            )
+            rows.append(
+                {
+                    "m": m,
+                    "analytic": cheat_success_probability(args.r, args.q, m),
+                    "measured": estimate.rate,
+                    "ci": f"[{estimate.low:.3f}, {estimate.high:.3f}]",
+                }
+            )
     print(
         format_table(
             rows,
@@ -215,6 +229,59 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_population(args: argparse.Namespace) -> int:
+    domain = RangeDomain(0, args.n)
+    behaviors = [HonestBehavior(), SemiHonestCheater(args.r)]
+    start = time.perf_counter()
+    report = run_population(
+        domain,
+        PasswordSearch(),
+        CBSScheme(n_samples=args.m),
+        behaviors=behaviors,
+        n_participants=args.participants,
+        seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - start
+    row = report.summary()
+    row["engine"] = args.engine
+    row["elapsed_s"] = round(elapsed, 3)
+    row["participants_per_s"] = round(args.participants / elapsed, 1)
+    print(
+        format_table(
+            [row],
+            title=(
+                f"Population run — D = {args.n}, "
+                f"{args.participants} participants, m = {args.m}"
+            ),
+        )
+    )
+    return 0
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="serial",
+        help="execution backend for independent protocol runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="pool size for threads/processes (default: CPU count)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -232,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=300)
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    _add_engine_args(p)
     p.set_defaults(fn=_cmd_eq2)
 
     p = sub.add_parser("comm", help="O(n) vs O(m log n) wire bytes")
@@ -262,6 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--penalty", type=float, default=0.0)
     p.add_argument("--q", type=float, default=0.5)
     p.set_defaults(fn=_cmd_deterrence)
+
+    p = sub.add_parser(
+        "population", help="population simulation on a chosen backend"
+    )
+    p.add_argument("--n", type=int, default=1 << 14)
+    p.add_argument("--participants", type=int, default=64)
+    p.add_argument("--m", type=int, default=20)
+    p.add_argument("--r", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    _add_engine_args(p)
+    p.set_defaults(fn=_cmd_population)
 
     p = sub.add_parser("demo", help="one narrated CBS run")
     p.add_argument("--n", type=int, default=4096)

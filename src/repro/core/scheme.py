@@ -13,10 +13,14 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cheating.strategies import Behavior, ComputedWork
 from repro.accounting import CostLedger
 from repro.tasks.result import TaskAssignment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.jobs import SchemeJob
 
 
 class RejectReason(enum.Enum):
@@ -123,6 +127,21 @@ class VerificationScheme(abc.ABC):
         ``seed`` drives all randomness (sample selection, fabrication
         salts), making runs exactly reproducible.
         """
+
+    def run_batch(self, jobs: Sequence["SchemeJob"]) -> list[SchemeRunResult]:
+        """Execute a batch of independent runs, in job order.
+
+        This is the unit the execution engine ships to pooled workers
+        (one pickled :class:`~repro.engine.jobs.SchemeBatch` per
+        chunk).  The default is a plain loop — exactly equivalent to
+        calling :meth:`run` per job — but schemes may override it to
+        amortize per-batch setup, as long as per-job results stay
+        identical to the serial semantics.
+        """
+        return [
+            self.run(job.assignment, job.behavior, seed=job.seed)
+            for job in jobs
+        ]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

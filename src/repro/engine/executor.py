@@ -1,0 +1,191 @@
+"""Execution backends: one protocol, three implementations.
+
+An :class:`Executor` maps a function over a list of items and returns
+the results *in submission order* — that ordering guarantee is what
+lets the grid simulator, the Monte-Carlo estimators and the chunked
+Merkle builder produce byte-identical output on every backend.
+
+* :class:`SerialExecutor` — plain in-process loop; zero overhead, the
+  reference semantics every other backend must match.
+* :class:`ThreadPoolExecutor` — ``concurrent.futures`` threads.  No
+  pickling constraints; wins when the mapped function releases the GIL
+  (hashlib does for large buffers) or the workload is I/O-bound.
+* :class:`ProcessPoolExecutor` — ``concurrent.futures`` processes.
+  Requires the mapped function to be a module-level callable and every
+  item/result to be picklable; wins on CPU-bound populations once the
+  per-item work amortizes the IPC cost.
+
+Pools are created lazily on first :meth:`Executor.map` and reused until
+:meth:`Executor.close`, so one executor can serve a whole sweep without
+re-spawning workers per population.  All three are context managers.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import os
+from concurrent import futures as _futures
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.exceptions import EngineError
+
+#: Registry names accepted by :func:`get_executor`.
+ENGINE_NAMES = ("serial", "threads", "processes")
+
+
+def default_workers() -> int:
+    """Worker count matching the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class Executor(abc.ABC):
+    """Ordered-map execution backend (the engine protocol)."""
+
+    #: Registry name ("serial", "threads", "processes").
+    name: str = "executor"
+
+    @property
+    @abc.abstractmethod
+    def workers(self) -> int:
+        """Degree of parallelism this backend aims for (>= 1)."""
+
+    @abc.abstractmethod
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every item; results in submission order."""
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain loop in the calling thread."""
+
+    name = "serial"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        return [fn(item) for item in items]
+
+
+class _PooledExecutor(Executor):
+    """Shared lazy-pool plumbing for the thread/process backends."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self._workers = workers or default_workers()
+        self._pool: _futures.Executor | None = None
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @abc.abstractmethod
+    def _make_pool(self) -> _futures.Executor:
+        """Build the underlying ``concurrent.futures`` pool."""
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        if self._closed:
+            raise EngineError(f"{self.name} executor already closed")
+        if not items:
+            return []
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolExecutor(_PooledExecutor):
+    """Thread-backed executor; no pickling constraints."""
+
+    name = "threads"
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-engine"
+        )
+
+
+class ProcessPoolExecutor(_PooledExecutor):
+    """Process-backed executor for CPU-bound batches.
+
+    Mapped functions must be module-level and all items/results
+    picklable — the engine's batch jobs
+    (:func:`repro.engine.jobs.execute_batch`) are designed for exactly
+    this constraint.
+    """
+
+    name = "processes"
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ProcessPoolExecutor(max_workers=self._workers)
+
+
+def get_executor(
+    engine: str | Executor = "serial", workers: int | None = None
+) -> Executor:
+    """Resolve an engine spec to an :class:`Executor` instance.
+
+    ``engine`` may be an existing executor (returned unchanged, so
+    pools can be shared across calls — ``workers`` is then ignored) or
+    one of the registry names ``"serial"``, ``"threads"``,
+    ``"processes"``.
+    """
+    if isinstance(engine, Executor):
+        return engine
+    if engine == "serial":
+        return SerialExecutor()
+    if engine == "threads":
+        return ThreadPoolExecutor(workers=workers)
+    if engine == "processes":
+        return ProcessPoolExecutor(workers=workers)
+    raise EngineError(
+        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
+        "or an Executor instance"
+    )
+
+
+@contextlib.contextmanager
+def resolved_executor(
+    engine: str | Executor = "serial", workers: int | None = None
+) -> Iterator[Executor]:
+    """Resolve an engine spec for one scoped use.
+
+    The single ownership rule for every dispatch site: an executor
+    created here (from a name) is closed on exit; an :class:`Executor`
+    instance passed in is the caller's warm pool and is left open.
+    """
+    executor = get_executor(engine, workers)
+    try:
+        yield executor
+    finally:
+        if executor is not engine:
+            executor.close()

@@ -1,0 +1,37 @@
+"""Deterministic per-task seed derivation.
+
+Cross-backend reproducibility requires exactly one thing: every job's
+seed is fixed *before* dispatch, as a pure function of the master seed
+and the job index.  :func:`derive_seed` is the grid simulator's child
+rule — the formula its serial loop always used::
+
+    child = seed * 1_000_003 + index
+
+``1_000_003`` is prime and far larger than any population size used in
+the experiments, so distinct ``(seed, index)`` pairs never collide for
+``index < 1_000_003``; the mapping is also trivially computable inside
+a process-pool worker without shipping any RNG state.
+
+Note the Monte-Carlo estimators keep their own historical rule
+(``seed0 + trial`` — see :mod:`repro.analysis.montecarlo`); it is just
+as deterministic, and changing it would silently shift every published
+eq2/fig2 number.  Don't unify the two.
+"""
+
+from __future__ import annotations
+
+#: Prime stride separating consecutive master seeds.
+SEED_STRIDE = 1_000_003
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """The child seed for run ``index`` under master ``seed``.
+
+    Deterministic and injective for ``0 <= index < SEED_STRIDE`` —
+    distinct runs of one population (or trial sweep) never share a
+    seed, and the same ``(seed, index)`` always yields the same child
+    regardless of which executor backend performs the run.
+    """
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    return seed * SEED_STRIDE + index

@@ -18,6 +18,9 @@ subsystems:
   does not support (e.g. the ringer scheme on a non-one-way function,
   exactly the restriction §1.1 of the paper discusses).
 * :class:`CodecError` — wire-format encode/decode failures.
+* :class:`EngineError` — execution-engine (executor backend)
+  misconfiguration: unknown backend names, invalid worker counts,
+  submission to a closed executor.
 """
 
 from __future__ import annotations
@@ -70,6 +73,10 @@ class SchemeConfigurationError(ReproError):
 
 class CodecError(ReproError):
     """Wire-format encoding or decoding failed."""
+
+
+class EngineError(ReproError):
+    """An execution-engine backend was misconfigured or misused."""
 
 
 class LedgerError(ReproError):

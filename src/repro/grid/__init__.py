@@ -13,10 +13,11 @@ from repro.grid.faults import DroppedOut, FlakyParticipant, RetryingScheme
 from repro.grid.network import Network
 from repro.grid.participant import ParticipantNode
 from repro.grid.report import DetectionReport, ParticipantReport
-from repro.grid.simulation import GridSimulation, SimulationConfig
+from repro.grid.simulation import GridSimulation, SimulationConfig, run_population
 from repro.grid.supervisor import SupervisorNode
 
 __all__ = [
+    "run_population",
     "CostLedger",
     "Network",
     "ParticipantNode",

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.accounting import CostLedger
-from repro.cheating.strategies import Behavior, ComputedWork
+from repro.cheating.strategies import Behavior
 from repro.core.scheme import (
     RejectReason,
     SchemeRunResult,

@@ -17,7 +17,7 @@ paper's claims do not require.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 from repro.exceptions import ProtocolError

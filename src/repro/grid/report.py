@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.scheme import RejectReason, SchemeRunResult
+from repro.core.scheme import RejectReason
 from repro.accounting import CostLedger
 
 

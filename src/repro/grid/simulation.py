@@ -6,6 +6,15 @@ participants with assorted behaviours, the chosen scheme runs for each,
 and the aggregate :class:`~repro.grid.report.DetectionReport` records
 who was caught, at what cost, and how many bytes hit the supervisor.
 Experiments E2/E3/E7 are parameter sweeps over these simulations.
+
+Participant runs are independent protocol executions, so the
+simulation dispatches them through the pluggable execution engine
+(:mod:`repro.engine`): one :class:`~repro.engine.jobs.SchemeJob` per
+participant, seeded via :func:`~repro.engine.seeding.derive_seed`,
+batched onto the configured backend.  Report ordering and
+ledger-merge semantics are identical on every backend — the engine
+returns results in participant order and the merge loop below is the
+single aggregation point.
 """
 
 from __future__ import annotations
@@ -15,8 +24,8 @@ from typing import Sequence
 
 from repro.cheating.strategies import Behavior, HonestBehavior
 from repro.core.scheme import VerificationScheme
+from repro.engine import Executor, SchemeJob, derive_seed, run_scheme_jobs
 from repro.exceptions import TaskError
-from repro.accounting import CostLedger
 from repro.grid.report import DetectionReport, ParticipantReport
 from repro.tasks.domain import Domain
 from repro.tasks.function import TaskFunction
@@ -30,6 +39,21 @@ class SimulationConfig:
 
     ``behaviors`` is cycled over the population: with two entries and
     ten participants, participants 0, 2, 4... get the first behaviour.
+    One behaviour instance therefore serves many participants, and on
+    the thread/process backends its ``produce`` may run concurrently
+    and/or on pickled copies — behaviours must be stateless across
+    calls (all built-ins are; every per-run decision must derive from
+    the assignment, seed and salt).  A behaviour that mutates itself
+    would race under threads and silently diverge under processes;
+    build one instance per participant (as
+    :func:`repro.analysis.montecarlo.estimate_escape_rate` does with
+    its per-trial factory) if state is unavoidable.
+
+    ``engine`` selects the execution backend (``"serial"``,
+    ``"threads"``, ``"processes"``, or a live
+    :class:`~repro.engine.executor.Executor` to share a warm pool);
+    ``workers`` and ``batch_size`` tune it.  Backends never change
+    results — only wall-clock.
     """
 
     domain: Domain
@@ -39,6 +63,9 @@ class SimulationConfig:
     behaviors: Sequence[Behavior] = field(default_factory=lambda: [HonestBehavior()])
     screener: Screener | None = None
     seed: int = 0
+    engine: str | Executor = "serial"
+    workers: int | None = None
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_participants < 1:
@@ -55,30 +82,44 @@ class GridSimulation:
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
 
+    def jobs(self) -> list[SchemeJob]:
+        """The population as engine jobs, one per participant."""
+        cfg = self.config
+        return [
+            SchemeJob(
+                assignment=TaskAssignment(
+                    task_id=f"task-{i}",
+                    domain=subdomain,
+                    function=cfg.function,
+                    screener=cfg.screener,
+                ),
+                behavior=cfg.behaviors[i % len(cfg.behaviors)],
+                seed=derive_seed(cfg.seed, i),
+            )
+            for i, subdomain in enumerate(cfg.domain.partition(cfg.n_participants))
+        ]
+
     def run(self) -> DetectionReport:
         """Execute every participant's protocol; aggregate the report."""
         cfg = self.config
-        parts = cfg.domain.partition(cfg.n_participants)
-        report = DetectionReport(scheme=cfg.scheme.name)
+        jobs = self.jobs()
+        results = run_scheme_jobs(
+            cfg.scheme,
+            jobs,
+            engine=cfg.engine,
+            workers=cfg.workers,
+            batch_size=cfg.batch_size,
+        )
 
-        for i, subdomain in enumerate(parts):
-            behavior = cfg.behaviors[i % len(cfg.behaviors)]
-            assignment = TaskAssignment(
-                task_id=f"task-{i}",
-                domain=subdomain,
-                function=cfg.function,
-                screener=cfg.screener,
-            )
-            result = cfg.scheme.run(
-                assignment, behavior, seed=cfg.seed * 1_000_003 + i
-            )
+        report = DetectionReport(scheme=cfg.scheme.name)
+        for i, (job, result) in enumerate(zip(jobs, results)):
             work_ratio = (
                 result.work.honesty_ratio if result.work is not None else 1.0
             )
             report.participants.append(
                 ParticipantReport(
                     participant=f"participant-{i}",
-                    behavior=behavior.name,
+                    behavior=job.behavior.name,
                     honesty_ratio=work_ratio,
                     accepted=result.outcome.accepted,
                     reason=result.outcome.reason,
@@ -98,6 +139,9 @@ def run_population(
     n_participants: int = 4,
     screener: Screener | None = None,
     seed: int = 0,
+    engine: str | Executor = "serial",
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> DetectionReport:
     """One-call convenience wrapper over :class:`GridSimulation`."""
     return GridSimulation(
@@ -109,5 +153,8 @@ def run_population(
             behaviors=list(behaviors),
             screener=screener,
             seed=seed,
+            engine=engine,
+            workers=workers,
+            batch_size=batch_size,
         )
     ).run()

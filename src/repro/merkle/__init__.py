@@ -20,6 +20,10 @@ Public surface:
 * :class:`~repro.merkle.proof.AuthenticationPath` — the ``λ1..λH``
   sibling digests plus the root-reconstruction procedure
   ``Λ(f(x), λ1..λH)`` used by the supervisor.
+* :func:`~repro.merkle.tree.chunked_root` — parallel root
+  construction: contiguous leaf chunks become independent subtree
+  builds (dispatchable on any :mod:`repro.engine` backend) whose roots
+  fold to the identical ``Φ(R)``.
 """
 
 from repro.merkle.hashing import (
@@ -33,9 +37,19 @@ from repro.merkle.multiproof import MerkleMultiProof, build_multiproof
 from repro.merkle.partial import PartialMerkleTree
 from repro.merkle.proof import AuthenticationPath, compute_root_from_path
 from repro.merkle.streaming import StreamingMerkleBuilder
-from repro.merkle.tree import LeafEncoding, MerkleTree, encode_leaf
+from repro.merkle.tree import (
+    LeafEncoding,
+    MerkleTree,
+    chunked_root,
+    encode_leaf,
+    hash_leaves,
+    subtree_root,
+)
 
 __all__ = [
+    "chunked_root",
+    "hash_leaves",
+    "subtree_root",
     "HashFunction",
     "IteratedHash",
     "CountingHash",

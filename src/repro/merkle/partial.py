@@ -24,7 +24,6 @@ from repro.merkle.hashing import HashFunction, get_hash
 from repro.merkle.proof import AuthenticationPath
 from repro.merkle.streaming import StreamingMerkleBuilder
 from repro.merkle.tree import LeafEncoding, combine, empty_leaf_digest, encode_leaf
-from repro.utils.bitmath import next_power_of_two, tree_height
 
 
 class PartialMerkleTree:

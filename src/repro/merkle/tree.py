@@ -18,17 +18,29 @@ Two leaf encodings are supported (experiment E9 ablates them):
 Domains whose size is not a power of two are padded with a
 domain-separated empty-leaf digest (``hash(0x02 || "repro/empty")``);
 padding leaves are structural only and are never sampled by any scheme.
+
+For large domains the leaf level dominates build time, so this module
+also provides *chunked* construction: :func:`chunked_root` splits the
+(padded) leaf level into contiguous power-of-two chunks, has workers
+build each chunk's subtree root independently (:func:`subtree_root` /
+the picklable :func:`hash_leaf_chunk` job), and folds the chunk roots
+into ``Φ(R)``.  Because a complete binary tree over the padded leaves
+is exactly the fold of its aligned subtrees, the chunked root is
+byte-identical to :attr:`MerkleTree.root` on every execution backend.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.exceptions import EmptyTreeError, LeafIndexError, MerkleError
 from repro.merkle.hashing import HashFunction, get_hash
 from repro.merkle.proof import AuthenticationPath
 from repro.utils.bitmath import next_power_of_two, tree_height
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.executor import Executor
 
 _LEAF_TAG = b"\x00"
 _NODE_TAG = b"\x01"
@@ -71,6 +83,105 @@ def combine(hash_fn: HashFunction, left: bytes, right: bytes) -> bytes:
     return hash_fn.digest(_NODE_TAG + left + right)
 
 
+def hash_leaves(
+    payloads: Sequence[bytes],
+    hash_fn: HashFunction,
+    encoding: LeafEncoding = LeafEncoding.HASHED,
+    n_padding: int = 0,
+) -> list[bytes]:
+    """``Φ`` values for a contiguous run of leaves, plus padding.
+
+    The shared leaf-level primitive: :class:`MerkleTree` calls it once
+    over the whole domain; the chunked builder calls it per chunk in
+    pooled workers.
+    """
+    if n_padding < 0:
+        raise MerkleError(f"n_padding must be >= 0, got {n_padding}")
+    digests = [encode_leaf(payload, hash_fn, encoding) for payload in payloads]
+    if n_padding:
+        digests.extend([empty_leaf_digest(hash_fn)] * n_padding)
+    return digests
+
+
+def subtree_root(digests: Sequence[bytes], hash_fn: HashFunction) -> bytes:
+    """Fold a power-of-two-wide digest level to its subtree root."""
+    n = len(digests)
+    if n == 0 or n & (n - 1):
+        raise MerkleError(
+            f"subtree width must be a positive power of two, got {n}"
+        )
+    level = list(digests)
+    while len(level) > 1:
+        level = [
+            combine(hash_fn, level[i], level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def hash_leaf_chunk(
+    job: tuple[tuple[bytes, ...], int, str, str],
+) -> bytes:
+    """Worker-side chunk job: leaf payloads → subtree root.
+
+    ``job`` is ``(payloads, n_padding, hash_name, encoding_value)`` —
+    plain picklable values, so process-pool workers can rebuild the
+    hash function locally instead of shipping it over IPC.
+    """
+    payloads, n_padding, hash_name, encoding_value = job
+    hash_fn = get_hash(hash_name)
+    digests = hash_leaves(
+        payloads, hash_fn, LeafEncoding(encoding_value), n_padding=n_padding
+    )
+    return subtree_root(digests, hash_fn)
+
+
+def chunked_root(
+    payloads: Sequence[bytes],
+    hash_name: str = "sha256",
+    leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
+    executor: "Executor | str | None" = None,
+    chunk_size: int | None = None,
+) -> bytes:
+    """``Φ(R)`` via contiguous leaf chunks built as independent subtrees.
+
+    The padded leaf level is cut into aligned power-of-two chunks; each
+    chunk's subtree root is computed by :func:`hash_leaf_chunk` (on the
+    given :class:`~repro.engine.executor.Executor`, engine name, or
+    serially when ``executor`` is ``None``), and the roots are folded
+    with the internal-node rule.  Byte-identical to
+    ``MerkleTree(payloads, get_hash(hash_name), leaf_encoding).root``
+    for every chunk size and backend.
+
+    ``chunk_size`` must be a power of two; the default targets ~4
+    chunks per worker, with a floor that keeps IPC overhead amortized.
+    """
+    from repro.engine.executor import resolved_executor
+
+    n = len(payloads)
+    if n == 0:
+        raise EmptyTreeError("cannot build a Merkle tree over zero leaves")
+    padded = next_power_of_two(n)
+    with resolved_executor(executor if executor is not None else "serial") as exec_:
+        if chunk_size is None:
+            target_chunks = next_power_of_two(exec_.workers * 4)
+            chunk_size = max(1024, padded // target_chunks)
+        if chunk_size < 1 or chunk_size & (chunk_size - 1):
+            raise MerkleError(
+                f"chunk_size must be a positive power of two, got {chunk_size}"
+            )
+        chunk_size = min(chunk_size, padded)
+        hash_fn = get_hash(hash_name)
+        jobs = []
+        for start in range(0, padded, chunk_size):
+            chunk = tuple(payloads[start : min(start + chunk_size, n)])
+            jobs.append(
+                (chunk, chunk_size - len(chunk), hash_name, leaf_encoding.value)
+            )
+        roots = exec_.map(hash_leaf_chunk, jobs)
+        return subtree_root(roots, hash_fn)
+
+
 class MerkleTree:
     """A complete binary Merkle tree over a sequence of leaf payloads.
 
@@ -104,12 +215,12 @@ class MerkleTree:
         self.height = tree_height(next_power_of_two(self.n_leaves))
 
         padded = next_power_of_two(self.n_leaves)
-        leaf_level = [
-            encode_leaf(payload, self.hash_fn, leaf_encoding) for payload in payloads
-        ]
-        if padded > self.n_leaves:
-            pad = empty_leaf_digest(self.hash_fn)
-            leaf_level.extend([pad] * (padded - self.n_leaves))
+        leaf_level = hash_leaves(
+            payloads,
+            self.hash_fn,
+            leaf_encoding,
+            n_padding=padded - self.n_leaves,
+        )
 
         levels: list[list[bytes]] = [leaf_level]
         current = leaf_level

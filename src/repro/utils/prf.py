@@ -15,7 +15,6 @@ across runs and platforms.
 from __future__ import annotations
 
 import hashlib
-import struct
 
 
 def prf_bytes(*parts: bytes, n_bytes: int = 32) -> bytes:

@@ -1,0 +1,122 @@
+"""Tests for chunked/parallel Merkle construction (repro.merkle.tree).
+
+``chunked_root`` must be byte-identical to ``MerkleTree.root`` for
+every domain size, chunk size, leaf encoding and execution backend —
+a process worker building subtrees is only useful if the combined
+root still verifies against serially-built commitments.
+"""
+
+import pytest
+
+from repro.engine import ProcessPoolExecutor, SerialExecutor, ThreadPoolExecutor
+from repro.exceptions import EmptyTreeError, MerkleError
+from repro.merkle import (
+    MerkleTree,
+    chunked_root,
+    get_hash,
+    hash_leaves,
+    subtree_root,
+)
+from repro.merkle.tree import LeafEncoding, combine, empty_leaf_digest
+
+SHA = get_hash("sha256")
+
+
+def payloads_for(n: int) -> list[bytes]:
+    return [i.to_bytes(4, "big") for i in range(n)]
+
+
+class TestHashLeaves:
+    def test_matches_tree_leaf_level(self):
+        payloads = payloads_for(5)
+        tree = MerkleTree(payloads)
+        digests = hash_leaves(payloads, SHA, n_padding=3)
+        assert digests == [tree.phi(tree.height, i) for i in range(8)]
+
+    def test_padding_uses_empty_leaf_digest(self):
+        digests = hash_leaves([], SHA, n_padding=2)
+        assert digests == [empty_leaf_digest(SHA)] * 2
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(MerkleError):
+            hash_leaves([b"x"], SHA, n_padding=-1)
+
+
+class TestSubtreeRoot:
+    def test_single_digest_is_its_own_root(self):
+        assert subtree_root([b"\x00" * 32], SHA) == b"\x00" * 32
+
+    def test_matches_manual_fold(self):
+        digests = hash_leaves(payloads_for(4), SHA)
+        want = combine(
+            SHA,
+            combine(SHA, digests[0], digests[1]),
+            combine(SHA, digests[2], digests[3]),
+        )
+        assert subtree_root(digests, SHA) == want
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(MerkleError):
+            subtree_root([b"\x00" * 32] * 3, SHA)
+        with pytest.raises(MerkleError):
+            subtree_root([], SHA)
+
+
+class TestChunkedRoot:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 1000])
+    @pytest.mark.parametrize("chunk_size", [1, 4, 64])
+    def test_identical_to_full_tree(self, n, chunk_size):
+        payloads = payloads_for(n)
+        assert (
+            chunked_root(payloads, chunk_size=chunk_size)
+            == MerkleTree(payloads).root
+        )
+
+    def test_raw_encoding(self):
+        payloads = [SHA.digest(bytes([i])) for i in range(10)]
+        want = MerkleTree(payloads, leaf_encoding=LeafEncoding.RAW).root
+        got = chunked_root(
+            payloads, leaf_encoding=LeafEncoding.RAW, chunk_size=4
+        )
+        assert got == want
+
+    def test_alternate_hash(self):
+        payloads = payloads_for(33)
+        want = MerkleTree(payloads, hash_fn=get_hash("sha512")).root
+        assert chunked_root(payloads, hash_name="sha512", chunk_size=8) == want
+
+    def test_every_backend_agrees(self):
+        payloads = payloads_for(2000)
+        want = MerkleTree(payloads).root
+        for executor in (
+            SerialExecutor(),
+            ThreadPoolExecutor(workers=3),
+            ProcessPoolExecutor(workers=2),
+        ):
+            with executor:
+                got = chunked_root(payloads, executor=executor, chunk_size=256)
+            assert got == want, executor.name
+
+    def test_engine_name_accepted(self):
+        payloads = payloads_for(100)
+        want = MerkleTree(payloads).root
+        assert chunked_root(payloads, executor="threads", chunk_size=32) == want
+
+    def test_default_chunk_size(self):
+        payloads = payloads_for(300)
+        assert chunked_root(payloads) == MerkleTree(payloads).root
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(MerkleError):
+            chunked_root(payloads_for(16), chunk_size=3)
+
+    def test_oversized_chunk_clamped(self):
+        payloads = payloads_for(5)
+        assert (
+            chunked_root(payloads, chunk_size=1024)
+            == MerkleTree(payloads).root
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTreeError):
+            chunked_root([])
