@@ -11,13 +11,14 @@ from repro.analysis import format_table
 from repro.baselines import DoubleCheckScheme
 from repro.cheating import ColludingCheater, HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme
+from repro.engine import SchemeJob, run_scheme_jobs
 from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
 
 N = 400
 TRIALS = 40
 
 
-def collusion_rows() -> list[dict]:
+def collusion_rows(engine="serial") -> list[dict]:
     task = TaskAssignment("coll", RangeDomain(0, N), PasswordSearch())
     cartel = b"bench-cartel"
     rows = []
@@ -52,10 +53,14 @@ def collusion_rows() -> list[dict]:
         ),
     ]
     for label, scheme, behavior_factory in cases:
-        escapes = sum(
-            scheme.run(task, behavior_factory(seed), seed=seed).outcome.accepted
+        jobs = [
+            SchemeJob(
+                assignment=task, behavior=behavior_factory(seed), seed=seed
+            )
             for seed in range(TRIALS)
-        )
+        ]
+        results = run_scheme_jobs(scheme, jobs, engine=engine)
+        escapes = sum(result.outcome.accepted for result in results)
         rows.append(
             {
                 "setup": label,
@@ -66,8 +71,10 @@ def collusion_rows() -> list[dict]:
     return rows
 
 
-def test_collusion_comparison(benchmark, save_table):
-    rows = benchmark.pedantic(collusion_rows, rounds=1, iterations=1)
+def test_collusion_comparison(benchmark, save_table, bench_engine):
+    rows = benchmark.pedantic(
+        collusion_rows, args=(bench_engine,), rounds=1, iterations=1
+    )
     table = format_table(
         rows, title=f"E14 — collusion vs redundancy vs CBS (r=0.5, {TRIALS} runs)"
     )

@@ -18,6 +18,7 @@ from repro.cheating import (
     SemiHonestCheater,
 )
 from repro.core import CBSScheme, NICBSScheme
+from repro.engine import SchemeJob, run_scheme_jobs
 from repro.grid.simulation import run_population
 from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
 
@@ -27,7 +28,7 @@ DOMAIN = RangeDomain(0, 4000)
 FN = PasswordSearch()
 
 
-def detection_rows() -> list[dict]:
+def detection_rows(engine="serial") -> list[dict]:
     rows = []
     for scheme in (CBSScheme(M, include_reports=False), NICBSScheme(M)):
         for label, behavior, expected_detection in (
@@ -43,6 +44,7 @@ def detection_rows() -> list[dict]:
                 behaviors=[behavior],
                 n_participants=N_PARTICIPANTS,
                 seed=42,
+                engine=engine,
             )
             rejected = sum(1 for p in report.participants if not p.accepted)
             rows.append(
@@ -59,8 +61,10 @@ def detection_rows() -> list[dict]:
     return rows
 
 
-def test_population_detection(benchmark, save_table):
-    rows = benchmark.pedantic(detection_rows, rounds=1, iterations=1)
+def test_population_detection(benchmark, save_table, bench_engine):
+    rows = benchmark.pedantic(
+        detection_rows, args=(bench_engine,), rounds=1, iterations=1
+    )
     table = format_table(
         rows,
         title=f"E6 — population detection, m={M}, {N_PARTICIPANTS} participants/row",
@@ -78,7 +82,7 @@ def test_population_detection(benchmark, save_table):
         assert row["false_alarms"] == 0
 
 
-def test_malicious_model_out_of_scope(benchmark, save_table):
+def test_malicious_model_out_of_scope(benchmark, save_table, bench_engine):
     """§2.2: CBS targets semi-honest cheating; malicious participants
     (full computation, corrupted screener) pass commitment checks."""
 
@@ -90,6 +94,7 @@ def test_malicious_model_out_of_scope(benchmark, save_table):
             behaviors=[MaliciousBehavior()],
             n_participants=6,
             seed=7,
+            engine=bench_engine,
         )
         return report
 
@@ -106,18 +111,22 @@ def test_malicious_model_out_of_scope(benchmark, save_table):
     assert accepted == 6  # the documented limitation, reproduced
 
 
-def test_escape_rate_at_small_m(benchmark, save_table):
+def test_escape_rate_at_small_m(benchmark, save_table, bench_engine):
     """With deliberately small m, measured escapes match Theorem 3."""
 
     def run():
         m, r = 3, 0.5
         scheme = CBSScheme(m, include_reports=False)
-        escapes = 0
         trials = 400
         task = TaskAssignment("esc", RangeDomain(0, 200), FN)
-        for seed in range(trials):
-            result = scheme.run(task, SemiHonestCheater(r), seed=seed)
-            escapes += result.outcome.accepted
+        jobs = [
+            SchemeJob(
+                assignment=task, behavior=SemiHonestCheater(r), seed=seed
+            )
+            for seed in range(trials)
+        ]
+        results = run_scheme_jobs(scheme, jobs, engine=bench_engine)
+        escapes = sum(result.outcome.accepted for result in results)
         return m, r, escapes, trials
 
     m, r, escapes, trials = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -47,7 +47,7 @@ def schemes():
     ]
 
 
-def compare_on(task, cheater_factory) -> list[dict]:
+def compare_on(task, cheater_factory, engine="serial") -> list[dict]:
     rows = []
     for scheme in schemes():
         try:
@@ -58,7 +58,12 @@ def compare_on(task, cheater_factory) -> list[dict]:
             )
             continue
         escape = estimate_escape_rate(
-            scheme, task, cheater_factory, n_trials=TRIALS, seed0=500
+            scheme,
+            task,
+            cheater_factory,
+            n_trials=TRIALS,
+            seed0=500,
+            engine=engine,
         )
         rows.append(
             {
@@ -76,10 +81,10 @@ def compare_on(task, cheater_factory) -> list[dict]:
     return rows
 
 
-def test_one_way_workload_comparison(benchmark, save_table):
+def test_one_way_workload_comparison(benchmark, save_table, bench_engine):
     task = TaskAssignment("cmp-pw", RangeDomain(0, N), PasswordSearch())
     rows = benchmark.pedantic(
-        lambda: compare_on(task, lambda t: SemiHonestCheater(0.5)),
+        lambda: compare_on(task, lambda t: SemiHonestCheater(0.5), bench_engine),
         rounds=1,
         iterations=1,
     )
@@ -103,11 +108,13 @@ def test_one_way_workload_comparison(benchmark, save_table):
     assert by_name["double-check(k=2)"]["grid_waste_evals"] == N
 
 
-def test_generic_workload_comparison(benchmark, save_table):
+def test_generic_workload_comparison(benchmark, save_table, bench_engine):
     task = TaskAssignment("cmp-sig", RangeDomain(0, N), SignalSearch())
     guesser = UniformValueGuess([b"\x00", b"\x01"])
     rows = benchmark.pedantic(
-        lambda: compare_on(task, lambda t: SemiHonestCheater(0.5, guesser)),
+        lambda: compare_on(
+            task, lambda t: SemiHonestCheater(0.5, guesser), bench_engine
+        ),
         rounds=1,
         iterations=1,
     )

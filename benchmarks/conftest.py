@@ -21,6 +21,22 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def bench_engine():
+    """One warm multi-core executor shared by the experiment benches.
+
+    Population sweeps (E6/E7/E14) are embarrassingly parallel, so on a
+    multi-core host they dispatch onto a shared process pool; results
+    are backend-invariant (pinned by tests/test_engine.py), only
+    wall-clock changes.  Single-core hosts fall back to serial.
+    """
+    from repro.engine import default_workers, get_executor
+
+    name = "processes" if default_workers() > 1 else "serial"
+    with get_executor(name) as executor:
+        yield executor
+
+
 @pytest.fixture
 def save_table(results_dir):
     """Write a rendered table to results/<name>.txt and echo it."""

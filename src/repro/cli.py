@@ -11,7 +11,12 @@ without touching pytest:
 * ``deterrence`` — incentive-level sample sizing (Def. 2.1's cost arm);
 * ``demo`` — a single CBS run narrated step by step;
 * ``population`` — a full population simulation on a chosen execution
-  backend, reporting participants/sec.
+  backend, reporting participants/sec;
+* ``serve`` — the supervisor as a long-running asyncio TCP service
+  (the §4 GRACE topology; see :mod:`repro.service`);
+* ``loadgen`` — N concurrent honest/cheating participants against a
+  running supervisor (or a self-contained in-process one), reporting
+  detection plus submissions/sec and latency percentiles.
 
 All subcommands accept ``--seed`` and print the same tables the
 benchmark harness saves under ``benchmarks/results/``.  Subcommands
@@ -25,6 +30,7 @@ never results.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 
@@ -44,6 +50,13 @@ from repro.baselines import NaiveSamplingScheme
 from repro.engine import ENGINE_NAMES, get_executor
 from repro.grid import run_population
 from repro.merkle import get_hash
+from repro.service import (
+    ServiceConfig,
+    SupervisorServer,
+    WORKLOADS,
+    run_loadgen,
+    run_service_loadgen,
+)
 from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
 
 
@@ -260,6 +273,116 @@ def _cmd_population(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        domain=RangeDomain(0, args.n),
+        workload=args.workload,
+        protocol=args.protocol,
+        n_samples=args.m,
+        n_participants=args.participants,
+        seed=args.seed,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = _service_config(args)
+
+    async def serve() -> None:
+        server = SupervisorServer(
+            config,
+            engine=args.engine,
+            workers=args.workers,
+            session_ttl=args.session_ttl,
+        )
+        host, port = await server.start(args.host, args.port)
+        print(
+            f"supervisor listening on {host}:{port} — protocol "
+            f"{config.protocol}, D={args.n}, "
+            f"{config.n_participants} participant slots, m={config.n_samples}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("supervisor stopped")
+    return 0
+
+
+async def _loadgen_connect(args, behaviors):
+    """Drive a remote supervisor, retrying the first connect briefly."""
+    deadline = time.monotonic() + args.connect_timeout
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(args.host, args.port)
+            writer.close()
+            await writer.wait_closed()
+            break
+        except (ConnectionError, OSError):
+            if time.monotonic() >= deadline:
+                raise
+            await asyncio.sleep(0.2)
+    return await run_loadgen(
+        args.participants,
+        behaviors,
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    behaviors = [HonestBehavior(), SemiHonestCheater(args.r)]
+    if args.host is not None:
+        if args.port is None:
+            print("loadgen: --host requires --port", file=sys.stderr)
+            return 2
+        print(
+            "connected mode: the supervisor's own config governs the "
+            "workload — local --n/--m/--protocol/--workload/--seed/"
+            "--engine/--workers are ignored"
+        )
+        report, stats = asyncio.run(_loadgen_connect(args, behaviors))
+    else:
+        report, stats, _server = asyncio.run(
+            run_service_loadgen(
+                _service_config(args),
+                behaviors,
+                transport="tcp",
+                engine=args.engine,
+                workers=args.workers,
+                concurrency=args.concurrency,
+            )
+        )
+    row = report.summary() | stats.summary()
+    del row["participants"]  # duplicated between the two summaries
+    print(
+        format_table(
+            [row],
+            title=(
+                f"Load generation — {args.participants} participants "
+                f"({stats.n_completed} completed), r={args.r}"
+            ),
+        )
+    )
+    if args.check:
+        clean = (
+            stats.n_errors == 0
+            and stats.n_completed == args.participants
+            and report.honest_rejected == 0
+            and report.detection_rate == 1.0
+        )
+        if not clean:
+            print("loadgen --check FAILED", file=sys.stderr)
+            return 1
+        print("loadgen --check passed: clean detection report")
+    return 0
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
@@ -341,6 +464,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_engine_args(p)
     p.set_defaults(fn=_cmd_population)
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=1 << 12,
+                       help="global domain size D")
+        p.add_argument("--participants", type=_positive_int, default=64)
+        p.add_argument("--m", type=int, default=16,
+                       help="samples per task")
+        p.add_argument("--protocol", choices=("cbs", "ni-cbs"),
+                       default="ni-cbs")
+        p.add_argument("--workload", choices=sorted(WORKLOADS),
+                       default="PasswordSearch")
+        p.add_argument("--seed", type=int, default=0)
+        _add_engine_args(p)
+
+    p = sub.add_parser(
+        "serve", help="run the supervisor as an asyncio TCP service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7641)
+    p.add_argument("--session-ttl", type=float, default=300.0,
+                   dest="session_ttl",
+                   help="seconds before abandoned sessions are evicted")
+    add_service_args(p)
+    p.set_defaults(fn=_cmd_serve, engine="threads")
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive N honest/cheating participants against a supervisor",
+    )
+    p.add_argument("--host", default=None,
+                   help="connect to a running supervisor (else self-contained)")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--connect-timeout", type=float, default=15.0,
+                   dest="connect_timeout",
+                   help="seconds to retry the first TCP connect")
+    p.add_argument("--r", type=float, default=0.5,
+                   help="cheaters' honesty ratio")
+    p.add_argument("--concurrency", type=_positive_int, default=32)
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero unless the detection report is clean")
+    add_service_args(p)
+    p.set_defaults(fn=_cmd_loadgen, engine="threads")
 
     p = sub.add_parser("demo", help="one narrated CBS run")
     p.add_argument("--n", type=int, default=4096)

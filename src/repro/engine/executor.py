@@ -59,6 +59,18 @@ class Executor(abc.ABC):
     ) -> list[Any]:
         """Apply ``fn`` to every item; results in submission order."""
 
+    @property
+    def futures_pool(self) -> _futures.Executor | None:
+        """The underlying ``concurrent.futures`` pool, if one exists.
+
+        This is the asyncio bridge: the grid service hands this pool to
+        ``loop.run_in_executor`` so CPU-bound verification leaves the
+        event loop without a second layer of worker management.
+        ``None`` means the backend has no pool (serial) and callers
+        should run the work inline.
+        """
+        return None
+
     def close(self) -> None:
         """Release pooled workers (idempotent)."""
 
@@ -115,6 +127,14 @@ class _PooledExecutor(Executor):
         if self._pool is None:
             self._pool = self._make_pool()
         return list(self._pool.map(fn, items))
+
+    @property
+    def futures_pool(self) -> _futures.Executor:
+        if self._closed:
+            raise EngineError(f"{self.name} executor already closed")
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
 
     def close(self) -> None:
         self._closed = True

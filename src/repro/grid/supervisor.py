@@ -10,6 +10,8 @@ what tasks".
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.cbs import CBSSupervisor
 from repro.core.ni_cbs import NICBSSupervisor
 from repro.core.protocol import (
@@ -41,6 +43,7 @@ class SupervisorNode:
         leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
         seed: int = 0,
         with_replacement: bool = True,
+        seed_fn: Callable[[str], int] | None = None,
     ) -> None:
         if protocol not in ("cbs", "ni-cbs"):
             raise ProtocolError(f"unknown protocol {protocol!r}")
@@ -53,6 +56,12 @@ class SupervisorNode:
         self.leaf_encoding = leaf_encoding
         self.seed = seed
         self.with_replacement = with_replacement
+        #: Optional ``task_id -> session seed`` rule.  The default mixes
+        #: ``hash(task_id)`` into ``seed``, which is process-salted;
+        #: inject e.g. :func:`repro.engine.derive_seed` to make this
+        #: actor's challenges reproducible across runs and comparable
+        #: with the scheme layer and the asyncio service.
+        self.seed_fn = seed_fn
         self.ledger = CostLedger()
         self._assignments: dict[str, TaskAssignment] = {}
         self._sessions: dict[str, CBSSupervisor] = {}
@@ -108,12 +117,17 @@ class SupervisorNode:
         if self.protocol != "cbs":
             raise ProtocolError("commitments only arrive in interactive CBS")
         assignment = self._assignment_for(msg.task_id)
+        session_seed = (
+            self.seed_fn(msg.task_id)
+            if self.seed_fn is not None
+            else self.seed ^ hash(msg.task_id) & 0x7FFFFFFF
+        )
         session = CBSSupervisor(
             assignment,
             n_samples=self.n_samples,
             hash_fn=self.hash_fn,
             leaf_encoding=self.leaf_encoding,
-            seed=self.seed ^ hash(msg.task_id) & 0x7FFFFFFF,
+            seed=session_seed,
             ledger=self.ledger,
             with_replacement=self.with_replacement,
         )

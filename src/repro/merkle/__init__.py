@@ -24,6 +24,9 @@ Public surface:
   construction: contiguous leaf chunks become independent subtree
   builds (dispatchable on any :mod:`repro.engine` backend) whose roots
   fold to the identical ``Φ(R)``.
+* :func:`~repro.merkle.tree.chunked_proofs` — parallel proof
+  generation for sampled leaves, same chunk decomposition, paths
+  byte-identical to :meth:`~repro.merkle.tree.MerkleTree.auth_path`.
 """
 
 from repro.merkle.hashing import (
@@ -40,6 +43,7 @@ from repro.merkle.streaming import StreamingMerkleBuilder
 from repro.merkle.tree import (
     LeafEncoding,
     MerkleTree,
+    chunked_proofs,
     chunked_root,
     encode_leaf,
     hash_leaves,
@@ -48,6 +52,7 @@ from repro.merkle.tree import (
 
 __all__ = [
     "chunked_root",
+    "chunked_proofs",
     "hash_leaves",
     "subtree_root",
     "HashFunction",

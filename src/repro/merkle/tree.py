@@ -27,6 +27,12 @@ the picklable :func:`hash_leaf_chunk` job), and folds the chunk roots
 into ``Φ(R)``.  Because a complete binary tree over the padded leaves
 is exactly the fold of its aligned subtrees, the chunked root is
 byte-identical to :attr:`MerkleTree.root` on every execution backend.
+
+Proof *generation* parallelizes the same way: an authentication path
+is a within-chunk sibling run followed by top-of-tree siblings over
+the chunk roots, so :func:`chunked_proofs` has workers fold each
+sampled chunk (:func:`prove_leaf_chunk`) and splices the serialized
+top levels on — byte-identical to :meth:`MerkleTree.auth_path`.
 """
 
 from __future__ import annotations
@@ -180,6 +186,139 @@ def chunked_root(
             )
         roots = exec_.map(hash_leaf_chunk, jobs)
         return subtree_root(roots, hash_fn)
+
+
+def _fold_levels(
+    digests: Sequence[bytes], hash_fn: HashFunction
+) -> list[list[bytes]]:
+    """All levels of the fold of a power-of-two digest row, bottom first."""
+    n = len(digests)
+    if n == 0 or n & (n - 1):
+        raise MerkleError(
+            f"subtree width must be a positive power of two, got {n}"
+        )
+    levels = [list(digests)]
+    while len(levels[-1]) > 1:
+        current = levels[-1]
+        levels.append(
+            [
+                combine(hash_fn, current[i], current[i + 1])
+                for i in range(0, len(current), 2)
+            ]
+        )
+    return levels
+
+
+def _siblings_in_levels(levels: list[list[bytes]], index: int) -> list[bytes]:
+    """Sibling digests for ``index``, leaf-upward, root level excluded."""
+    siblings: list[bytes] = []
+    node = index
+    for level in levels[:-1]:
+        siblings.append(level[node ^ 1])
+        node >>= 1
+    return siblings
+
+
+def prove_leaf_chunk(
+    job: tuple[tuple[bytes, ...], int, str, str, tuple[int, ...]],
+) -> tuple[bytes, dict[int, list[bytes]]]:
+    """Worker-side proof job: chunk root + within-chunk sibling runs.
+
+    ``job`` is ``(payloads, n_padding, hash_name, encoding_value,
+    local_indices)`` — picklable values, like :func:`hash_leaf_chunk`,
+    plus the chunk-relative indices of the sampled leaves whose
+    partial authentication paths this chunk must supply.
+    """
+    payloads, n_padding, hash_name, encoding_value, local_indices = job
+    hash_fn = get_hash(hash_name)
+    digests = hash_leaves(
+        payloads, hash_fn, LeafEncoding(encoding_value), n_padding=n_padding
+    )
+    if not local_indices:
+        # The dominant case at large domains: most chunks carry no
+        # sampled leaf and only contribute their root to the top fold.
+        return subtree_root(digests, hash_fn), {}
+    levels = _fold_levels(digests, hash_fn)
+    paths = {
+        local: _siblings_in_levels(levels, local) for local in local_indices
+    }
+    return levels[-1][0], paths
+
+
+def chunked_proofs(
+    payloads: Sequence[bytes],
+    indices: Sequence[int],
+    hash_name: str = "sha256",
+    leaf_encoding: LeafEncoding = LeafEncoding.HASHED,
+    executor: "Executor | str | None" = None,
+    chunk_size: int | None = None,
+) -> list[AuthenticationPath]:
+    """Authentication paths for sampled leaves, built chunk-parallel.
+
+    The proof-generation sibling of :func:`chunked_root`: the padded
+    leaf level is cut into aligned power-of-two chunks, each chunk's
+    subtree is folded by a worker (:func:`prove_leaf_chunk`) which
+    also extracts the within-chunk sibling runs for the sampled leaves
+    it contains, and the serial tail folds the chunk roots and splices
+    the top-of-tree siblings on.  Paths are byte-identical to
+    ``MerkleTree(payloads, ...).auth_path(i)`` for every chunk size
+    and backend, in the order the indices were given (duplicates
+    allowed — with-replacement challenges produce them).
+    """
+    from repro.engine.executor import resolved_executor
+
+    n = len(payloads)
+    if n == 0:
+        raise EmptyTreeError("cannot build a Merkle tree over zero leaves")
+    for index in indices:
+        if not 0 <= index < n:
+            raise LeafIndexError(f"leaf index {index} outside [0, {n})")
+    padded = next_power_of_two(n)
+    with resolved_executor(executor if executor is not None else "serial") as exec_:
+        if chunk_size is None:
+            target_chunks = next_power_of_two(exec_.workers * 4)
+            chunk_size = max(1024, padded // target_chunks)
+        if chunk_size < 1 or chunk_size & (chunk_size - 1):
+            raise MerkleError(
+                f"chunk_size must be a positive power of two, got {chunk_size}"
+            )
+        chunk_size = min(chunk_size, padded)
+        hash_fn = get_hash(hash_name)
+
+        wanted: dict[int, set[int]] = {}
+        for index in indices:
+            wanted.setdefault(index // chunk_size, set()).add(
+                index % chunk_size
+            )
+        jobs = []
+        for chunk_no, start in enumerate(range(0, padded, chunk_size)):
+            chunk = tuple(payloads[start : min(start + chunk_size, n)])
+            jobs.append(
+                (
+                    chunk,
+                    chunk_size - len(chunk),
+                    hash_name,
+                    leaf_encoding.value,
+                    tuple(sorted(wanted.get(chunk_no, ()))),
+                )
+            )
+        results = exec_.map(prove_leaf_chunk, jobs)
+
+    top_levels = _fold_levels([root for root, _paths in results], hash_fn)
+    paths: list[AuthenticationPath] = []
+    for index in indices:
+        chunk_no, local = divmod(index, chunk_size)
+        siblings = list(results[chunk_no][1][local])
+        siblings.extend(_siblings_in_levels(top_levels, chunk_no))
+        paths.append(
+            AuthenticationPath(
+                leaf_index=index,
+                siblings=siblings,
+                n_leaves=n,
+                leaf_encoding=leaf_encoding,
+            )
+        )
+    return paths
 
 
 class MerkleTree:

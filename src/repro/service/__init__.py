@@ -1,0 +1,110 @@
+"""Grid service layer: the supervisor as a networked asyncio system.
+
+Everything below :mod:`repro.core` treats the paper's protocols as
+in-process function calls; this package runs them as a service — the
+§4 GRACE deployment shape, and the architecture the related
+storage-subnet work uses for commitment verification against remote,
+untrusted clients:
+
+* :mod:`repro.service.codec` — length-prefixed JSON frames wrapping
+  the canonical binary protocol messages (base64 payloads), plus the
+  shared workload catalogue.
+* :mod:`repro.service.sessions` — the assignment → commitment →
+  outcome lifecycle store with TTL eviction of abandoned sessions.
+* :mod:`repro.service.server` — :class:`SupervisorServer`, a
+  concurrent asyncio TCP (or in-process) supervisor with
+  per-connection bounded queues and verification offloaded onto the
+  execution engine via ``loop.run_in_executor``.
+* :mod:`repro.service.client` — the async participant.
+* :mod:`repro.service.loadgen` — N concurrent honest/cheating
+  participants, reporting a
+  :class:`~repro.grid.report.DetectionReport` plus throughput and
+  latency percentiles.
+
+CLI entry points: ``repro-experiments serve`` and
+``repro-experiments loadgen``.
+"""
+
+from repro.service.codec import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    WORKLOADS,
+    ChallengeFrame,
+    CommitmentFrame,
+    ErrorFrame,
+    Frame,
+    ProofsFrame,
+    SubmissionFrame,
+    TaskAssign,
+    TaskRequest,
+    VerdictFrame,
+    decode_frame,
+    decode_frame_payload,
+    encode_frame,
+    read_frame,
+    resolve_workload,
+    write_frame,
+)
+from repro.service.client import ParticipantRun, ServiceClient
+from repro.service.loadgen import (
+    LoadgenStats,
+    percentile,
+    run_loadgen,
+    run_service_loadgen,
+    run_service_loadgen_sync,
+)
+from repro.service.server import (
+    MemoryStreamWriter,
+    ServiceConfig,
+    ServiceStats,
+    SupervisorServer,
+    memory_duplex,
+)
+from repro.service.sessions import (
+    Session,
+    SessionState,
+    SessionStore,
+    StoreStats,
+)
+
+__all__ = [
+    # codec
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "WORKLOADS",
+    "resolve_workload",
+    "Frame",
+    "TaskRequest",
+    "TaskAssign",
+    "CommitmentFrame",
+    "ChallengeFrame",
+    "ProofsFrame",
+    "SubmissionFrame",
+    "VerdictFrame",
+    "ErrorFrame",
+    "encode_frame",
+    "decode_frame",
+    "decode_frame_payload",
+    "read_frame",
+    "write_frame",
+    # sessions
+    "Session",
+    "SessionState",
+    "SessionStore",
+    "StoreStats",
+    # server
+    "ServiceConfig",
+    "ServiceStats",
+    "SupervisorServer",
+    "MemoryStreamWriter",
+    "memory_duplex",
+    # client
+    "ServiceClient",
+    "ParticipantRun",
+    # loadgen
+    "LoadgenStats",
+    "percentile",
+    "run_loadgen",
+    "run_service_loadgen",
+    "run_service_loadgen_sync",
+]

@@ -1,0 +1,222 @@
+"""Async participant client for the supervisor service.
+
+One :class:`ServiceClient` drives one connection through a full
+protocol round: request a slot, rebuild the
+:class:`~repro.tasks.result.TaskAssignment` from the assign frame's
+service envelope (domain bounds + the shared workload catalogue), run
+the behaviour-driven participant protocol objects from
+:mod:`repro.core`, and return the verdict with ground truth attached.
+
+Because the participant side reuses :class:`CBSParticipant` /
+:class:`NICBSParticipant` with the same salt rule as the scheme layer
+(``salt = seed.to_bytes(8, "big")``), a client at seed ``s`` produces
+byte-identical commitments and proofs to ``CBSScheme.run(...,
+seed=s)`` — which is what makes service runs comparable, outcome for
+outcome, with synchronous simulations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from dataclasses import dataclass
+
+from repro.accounting import CostLedger
+from repro.cheating.strategies import Behavior
+from repro.core.cbs import CBSParticipant
+from repro.core.ni_cbs import NICBSParticipant
+from repro.core.scheme import RejectReason
+from repro.exceptions import ProtocolError
+from repro.merkle.hashing import get_hash
+from repro.merkle.tree import LeafEncoding
+from repro.service.codec import (
+    MAX_FRAME_BYTES,
+    ChallengeFrame,
+    CommitmentFrame,
+    ErrorFrame,
+    Frame,
+    ProofsFrame,
+    SubmissionFrame,
+    TaskAssign,
+    TaskRequest,
+    VerdictFrame,
+    read_frame,
+    resolve_workload,
+    write_frame,
+)
+from repro.tasks.domain import RangeDomain
+from repro.tasks.result import TaskAssignment
+
+
+@dataclass
+class ParticipantRun:
+    """One completed protocol round, verdict plus ground truth."""
+
+    participant: int
+    task_id: str
+    behavior: str
+    honesty_ratio: float
+    accepted: bool
+    reason: RejectReason
+    protocol: str
+    n_samples: int
+    latency_s: float
+    ledger: CostLedger
+
+
+def _reason_from_wire(reason: str) -> RejectReason:
+    if not reason:
+        return RejectReason.OK
+    try:
+        return RejectReason(reason)
+    except ValueError:
+        return RejectReason.PROTOCOL_VIOLATION
+
+
+class ServiceClient:
+    """One participant connection to the supervisor service."""
+
+    def __init__(self, reader, writer, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+
+    @classmethod
+    async def open_tcp(
+        cls, host: str, port: int, max_frame: int = MAX_FRAME_BYTES
+    ) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame=max_frame)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone
+            pass
+
+    # ------------------------------------------------------------------
+
+    async def _send(self, frame: Frame) -> None:
+        await write_frame(self._writer, frame, max_frame=self._max_frame)
+
+    async def _recv(self, expected: type) -> Frame:
+        frame = await read_frame(self._reader, max_frame=self._max_frame)
+        if frame is None:
+            raise ProtocolError("supervisor closed the connection")
+        if isinstance(frame, ErrorFrame):
+            raise ProtocolError(f"supervisor error: {frame.message}")
+        if not isinstance(frame, expected):
+            raise ProtocolError(
+                f"expected {expected.__name__}, got {type(frame).__name__}"
+            )
+        return frame
+
+    # ------------------------------------------------------------------
+
+    async def request_task(self, participant: int | None = None) -> TaskAssign:
+        """Ask for a slot; returns the supervisor's assign frame."""
+        await self._send(TaskRequest(participant=participant))
+        assign = await self._recv(TaskAssign)
+        n = assign.domain_stop - assign.domain_start
+        if n != assign.assign.n_inputs:
+            raise ProtocolError(
+                f"assign frame domain spans {n} inputs, "
+                f"AssignMsg says {assign.assign.n_inputs}"
+            )
+        return assign
+
+    @staticmethod
+    def build_assignment(assign: TaskAssign) -> TaskAssignment:
+        """Reconstruct the task from the wire envelope (shared kernel)."""
+        return TaskAssignment(
+            task_id=assign.assign.task_id,
+            domain=RangeDomain(assign.domain_start, assign.domain_stop),
+            function=resolve_workload(assign.assign.workload),
+        )
+
+    async def run_participant(
+        self,
+        behavior: Behavior,
+        participant: int | None = None,
+        compute_pool=None,
+    ) -> ParticipantRun:
+        """Run one full protocol round under ``behavior``.
+
+        ``compute_pool`` is an optional ``concurrent.futures`` pool
+        for the CPU-heavy participant side (evaluating ``f``, building
+        the Merkle tree) so a load generator's event loop stays
+        responsive; ``None`` computes inline.
+        """
+        start = time.perf_counter()
+        assign = await self.request_task(participant)
+        assignment = self.build_assignment(assign)
+        ledger = CostLedger()
+        hash_fn = get_hash(assign.hash_name)
+        leaf_encoding = LeafEncoding(assign.leaf_encoding)
+        salt = assign.seed.to_bytes(8, "big")
+
+        if assign.protocol == "cbs":
+            session = CBSParticipant(
+                assignment,
+                behavior,
+                hash_fn=hash_fn,
+                leaf_encoding=leaf_encoding,
+                ledger=ledger,
+                salt=salt,
+            )
+            commitment = await self._compute(
+                compute_pool, session.compute_and_commit
+            )
+            await self._send(CommitmentFrame(msg=commitment))
+            challenge = await self._recv(ChallengeFrame)
+            bundle = await self._compute(
+                compute_pool, session.prove, challenge.msg
+            )
+            await self._send(ProofsFrame(msg=bundle))
+        elif assign.protocol == "ni-cbs":
+            session = NICBSParticipant(
+                assignment,
+                behavior,
+                n_samples=assign.n_samples,
+                sample_hash=get_hash(assign.sample_hash_name),
+                hash_fn=hash_fn,
+                leaf_encoding=leaf_encoding,
+                ledger=ledger,
+                salt=salt,
+            )
+            submission = await self._compute(
+                compute_pool, session.compute_and_submit
+            )
+            await self._send(SubmissionFrame(msg=submission))
+        else:
+            raise ProtocolError(f"unknown protocol {assign.protocol!r}")
+
+        verdict = await self._recv(VerdictFrame)
+        if verdict.msg.task_id != assignment.task_id:
+            raise ProtocolError(
+                f"verdict for task {verdict.msg.task_id!r}, "
+                f"expected {assignment.task_id!r}"
+            )
+        assert session.work is not None
+        return ParticipantRun(
+            participant=assign.participant,
+            task_id=assignment.task_id,
+            behavior=behavior.name,
+            honesty_ratio=session.work.honesty_ratio,
+            accepted=verdict.msg.accepted,
+            reason=_reason_from_wire(verdict.msg.reason),
+            protocol=assign.protocol,
+            n_samples=assign.n_samples,
+            latency_s=time.perf_counter() - start,
+            ledger=ledger,
+        )
+
+    @staticmethod
+    async def _compute(pool, fn, *args):
+        if pool is None:
+            return fn(*args)
+        return await asyncio.get_running_loop().run_in_executor(
+            pool, functools.partial(fn, *args)
+        )

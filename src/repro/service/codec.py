@@ -1,0 +1,393 @@
+"""Length-prefixed JSON frame codec for the grid service wire protocol.
+
+The asyncio service (:mod:`repro.service.server`) speaks framed JSON
+over a byte stream: every frame is a 4-byte big-endian payload length
+followed by a UTF-8 JSON object carrying a ``"t"`` type tag.  Protocol
+messages — commitments, challenges, proof bundles, one-shot NI-CBS
+submissions, verdicts — are *not* re-modelled in JSON: their canonical
+binary encodings from :mod:`repro.core.protocol` (which in turn reuse
+:mod:`repro.merkle.serialize` for authentication paths) ride inside
+the envelope base64-encoded, so the wire bytes the E3 accounting
+measures are exactly the bytes a remote participant ships.
+
+Frame vocabulary (client ↔ supervisor):
+
+* ``task_request`` → ``assign`` — a participant asks for (or names)
+  its slot; the supervisor answers with the :class:`AssignMsg` plus
+  the service envelope (domain bounds, scheme parameters, seed) the
+  client needs to reconstruct the :class:`TaskAssignment` locally.
+* ``commitment`` → ``challenge`` → ``proofs`` → ``verdict`` — the
+  interactive CBS round of §3.1.
+* ``submission`` → ``verdict`` — the one-shot NI-CBS flow of §4.
+* ``error`` — the supervisor's terminal complaint before it closes a
+  misbehaving connection.
+
+Hostile bytes are a fact of life for a listening socket: every decode
+path raises :class:`~repro.exceptions.ProtocolError` (frame layer) or
+:class:`~repro.exceptions.CodecError` (inner binary message) — both
+:class:`~repro.exceptions.ReproError` — and never an uncaught
+``KeyError``/``UnicodeDecodeError``/``binascii.Error``.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.core.protocol import (
+    AssignMsg,
+    CommitmentMsg,
+    NICBSSubmissionMsg,
+    ProofBundleMsg,
+    SampleChallengeMsg,
+    VerdictMsg,
+)
+from repro.exceptions import ProtocolError
+from repro.tasks.function import TaskFunction
+from repro.tasks.workloads import (
+    FactoringTask,
+    MersenneCheck,
+    MoleculeScreening,
+    MonteCarloEstimate,
+    OptimizationSearch,
+    PasswordSearch,
+    SignalSearch,
+)
+
+#: Width of the frame length prefix.
+FRAME_HEADER_BYTES = 4
+
+#: Default ceiling on a single frame's JSON payload.  Large enough for
+#: a full NI-CBS submission at big domains, small enough that a
+#: hostile length prefix cannot balloon server memory.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Workload catalogue
+# ----------------------------------------------------------------------
+
+#: The shared work-unit catalogue: in real grids the client software
+#: embeds the kernel, so the wire only names it (AssignMsg.workload).
+WORKLOADS: dict[str, Callable[[], TaskFunction]] = {
+    "PasswordSearch": PasswordSearch,
+    "MoleculeScreening": MoleculeScreening,
+    "SignalSearch": SignalSearch,
+    "MersenneCheck": MersenneCheck,
+    "MonteCarloEstimate": MonteCarloEstimate,
+    "OptimizationSearch": OptimizationSearch,
+    "FactoringTask": FactoringTask,
+}
+
+
+def resolve_workload(name: str) -> TaskFunction:
+    """Instantiate the named workload with its canonical parameters."""
+    if name not in WORKLOADS:
+        raise ProtocolError(f"unknown workload {name!r}")
+    return WORKLOADS[name]()
+
+
+# ----------------------------------------------------------------------
+# Frame dataclasses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """Client → supervisor: grant me a participant slot.
+
+    ``participant`` pins a specific slot (the load generator does this
+    so runs are reproducible); ``None`` asks for the next free one.
+    """
+
+    participant: int | None = None
+
+
+@dataclass(frozen=True)
+class TaskAssign:
+    """Supervisor → client: the assignment plus its service envelope.
+
+    ``assign`` is the canonical :class:`AssignMsg`; the extra fields
+    carry what the in-memory simulator shares implicitly — the
+    subdomain bounds, scheme parameters and the per-task seed that
+    makes the run reproducible on both sides.
+    """
+
+    assign: AssignMsg
+    participant: int
+    domain_start: int
+    domain_stop: int
+    protocol: str
+    n_samples: int
+    hash_name: str
+    sample_hash_name: str
+    leaf_encoding: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class CommitmentFrame:
+    msg: CommitmentMsg
+
+
+@dataclass(frozen=True)
+class ChallengeFrame:
+    msg: SampleChallengeMsg
+
+
+@dataclass(frozen=True)
+class ProofsFrame:
+    msg: ProofBundleMsg
+
+
+@dataclass(frozen=True)
+class SubmissionFrame:
+    msg: NICBSSubmissionMsg
+
+
+@dataclass(frozen=True)
+class VerdictFrame:
+    msg: VerdictMsg
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    message: str
+
+
+Frame = Union[
+    TaskRequest,
+    TaskAssign,
+    CommitmentFrame,
+    ChallengeFrame,
+    ProofsFrame,
+    SubmissionFrame,
+    VerdictFrame,
+    ErrorFrame,
+]
+
+#: type tag ↔ (frame class, wrapped binary message class)
+_MSG_FRAMES = {
+    "commitment": (CommitmentFrame, CommitmentMsg),
+    "challenge": (ChallengeFrame, SampleChallengeMsg),
+    "proofs": (ProofsFrame, ProofBundleMsg),
+    "submission": (SubmissionFrame, NICBSSubmissionMsg),
+    "verdict": (VerdictFrame, VerdictMsg),
+}
+_FRAME_TAGS = {cls: tag for tag, (cls, _msg) in _MSG_FRAMES.items()}
+
+
+# ----------------------------------------------------------------------
+# Field helpers (validation-first: hostile JSON must not crash)
+# ----------------------------------------------------------------------
+
+
+def _b64(raw: bytes) -> str:
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _unb64(value: object, what: str) -> bytes:
+    if not isinstance(value, str):
+        raise ProtocolError(f"{what}: expected base64 string")
+    try:
+        return base64.b64decode(value, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise ProtocolError(f"{what}: invalid base64: {exc}") from exc
+
+
+def _int_field(obj: dict, key: str) -> int:
+    value = obj.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"frame field {key!r} must be an integer")
+    return value
+
+
+def _str_field(obj: dict, key: str) -> str:
+    value = obj.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(f"frame field {key!r} must be a string")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Encode
+# ----------------------------------------------------------------------
+
+
+def _payload_dict(frame: Frame) -> dict:
+    if isinstance(frame, TaskRequest):
+        obj: dict = {"t": "task_request"}
+        if frame.participant is not None:
+            obj["participant"] = frame.participant
+        return obj
+    if isinstance(frame, TaskAssign):
+        return {
+            "t": "assign",
+            "m": _b64(frame.assign.encode()),
+            "participant": frame.participant,
+            "domain": [frame.domain_start, frame.domain_stop],
+            "protocol": frame.protocol,
+            "n_samples": frame.n_samples,
+            "hash": frame.hash_name,
+            "sample_hash": frame.sample_hash_name,
+            "leaf_encoding": frame.leaf_encoding,
+            "seed": frame.seed,
+        }
+    if isinstance(frame, ErrorFrame):
+        return {"t": "error", "message": frame.message}
+    tag = _FRAME_TAGS.get(type(frame))
+    if tag is not None:
+        return {"t": tag, "m": _b64(frame.msg.encode())}
+    raise ProtocolError(f"cannot encode frame of type {type(frame).__name__}")
+
+
+def encode_frame(frame: Frame, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one frame: 4-byte length prefix + JSON payload."""
+    payload = json.dumps(
+        _payload_dict(frame), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds limit {max_frame}"
+        )
+    return len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload
+
+
+# ----------------------------------------------------------------------
+# Decode
+# ----------------------------------------------------------------------
+
+
+def decode_frame_payload(payload: bytes) -> Frame:
+    """Decode the JSON payload of one frame (length prefix stripped)."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    tag = obj.get("t")
+    if not isinstance(tag, str):
+        raise ProtocolError("frame missing string type tag 't'")
+
+    if tag == "task_request":
+        participant: int | None = None
+        if "participant" in obj and obj["participant"] is not None:
+            participant = _int_field(obj, "participant")
+            if participant < 0:
+                raise ProtocolError("participant index must be >= 0")
+        return TaskRequest(participant=participant)
+
+    if tag == "assign":
+        assign = AssignMsg.decode(_unb64(obj.get("m"), "assign message"))
+        domain = obj.get("domain")
+        if (
+            not isinstance(domain, list)
+            or len(domain) != 2
+            or not all(
+                isinstance(v, int) and not isinstance(v, bool) for v in domain
+            )
+        ):
+            raise ProtocolError("assign 'domain' must be [start, stop] ints")
+        if domain[1] <= domain[0]:
+            raise ProtocolError(
+                f"assign domain [{domain[0]}, {domain[1]}) is empty"
+            )
+        # Value-level validation: a client must never crash with a
+        # non-ReproError because a buggy or hostile supervisor sent
+        # legal JSON with illegal values.
+        protocol = _str_field(obj, "protocol")
+        if protocol not in ("cbs", "ni-cbs"):
+            raise ProtocolError(f"unknown protocol {protocol!r}")
+        leaf_encoding = _str_field(obj, "leaf_encoding")
+        if leaf_encoding not in ("hashed", "raw"):
+            raise ProtocolError(f"unknown leaf encoding {leaf_encoding!r}")
+        n_samples = _int_field(obj, "n_samples")
+        if n_samples < 1:
+            raise ProtocolError(f"n_samples must be >= 1, got {n_samples}")
+        participant = _int_field(obj, "participant")
+        if participant < 0:
+            raise ProtocolError("participant index must be >= 0")
+        seed = _int_field(obj, "seed")
+        if not 0 <= seed < 1 << 63:
+            raise ProtocolError(f"seed {seed} outside [0, 2^63)")
+        return TaskAssign(
+            assign=assign,
+            participant=participant,
+            domain_start=domain[0],
+            domain_stop=domain[1],
+            protocol=protocol,
+            n_samples=n_samples,
+            hash_name=_str_field(obj, "hash"),
+            sample_hash_name=_str_field(obj, "sample_hash"),
+            leaf_encoding=leaf_encoding,
+            seed=seed,
+        )
+
+    if tag == "error":
+        return ErrorFrame(message=_str_field(obj, "message"))
+
+    entry = _MSG_FRAMES.get(tag)
+    if entry is None:
+        raise ProtocolError(f"unknown frame type {tag!r}")
+    frame_cls, msg_cls = entry
+    return frame_cls(msg=msg_cls.decode(_unb64(obj.get("m"), f"{tag} message")))
+
+
+def decode_frame(data: bytes, max_frame: int = MAX_FRAME_BYTES) -> Frame:
+    """Decode a complete frame buffer (header + payload, nothing else)."""
+    if len(data) < FRAME_HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated frame header ({len(data)} of {FRAME_HEADER_BYTES} bytes)"
+        )
+    length = int.from_bytes(data[:FRAME_HEADER_BYTES], "big")
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    body = data[FRAME_HEADER_BYTES:]
+    if len(body) != length:
+        raise ProtocolError(
+            f"frame length prefix says {length} bytes, buffer has {len(body)}"
+        )
+    return decode_frame_payload(body)
+
+
+# ----------------------------------------------------------------------
+# Async stream helpers
+# ----------------------------------------------------------------------
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> Frame | None:
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``None`` on clean EOF (no partial header); raises
+    :class:`ProtocolError` on a truncated or oversized frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(FRAME_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid frame header") from exc
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame ({len(exc.partial)} of {length} bytes)"
+        ) from exc
+    return decode_frame_payload(payload)
+
+
+async def write_frame(
+    writer, frame: Frame, max_frame: int = MAX_FRAME_BYTES
+) -> None:
+    """Write one frame and drain — the backpressure point for senders."""
+    writer.write(encode_frame(frame, max_frame=max_frame))
+    await writer.drain()

@@ -1,0 +1,581 @@
+"""The supervisor as a concurrent asyncio service.
+
+This is the paper's §4 topology made executable: one long-lived
+supervisor process verifying commitment-based submissions from many
+remote, untrusted participants it never meets.  The in-memory
+:class:`~repro.grid.network.Network` loop exercises the *message
+flow*; this server exercises the *system* — framed bytes on sockets,
+concurrent sessions, backpressure, abandoned-session eviction, and
+CPU-bound proof verification offloaded from the event loop onto the
+execution engine (:mod:`repro.engine`).
+
+Determinism is preserved end to end: task ``i`` gets subdomain ``i``
+of the configured domain and seed ``derive_seed(config.seed, i)`` —
+exactly the job list :class:`~repro.grid.simulation.GridSimulation`
+builds — so a service run at a fixed seed produces byte-identical
+:class:`~repro.core.scheme.VerificationOutcome`s to the synchronous
+scheme layer (the parity tests pin this).
+
+Concurrency model:
+
+* one reader task per connection feeds a **bounded** frame queue; when
+  the queue fills, the reader stops reading and TCP flow control
+  pushes back on the client — a flooding participant slows itself, not
+  the supervisor;
+* one processor task per connection consumes frames in order (CBS
+  rounds are stateful, so per-connection ordering matters);
+* verification is shipped to the engine's worker pool through
+  ``loop.run_in_executor`` as module-level picklable jobs, bounded by
+  a server-wide semaphore so a burst of submissions queues instead of
+  swamping the pool;
+* a sweeper task periodically evicts abandoned sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import time
+from dataclasses import dataclass
+
+from repro.core.cbs import CBSSupervisor
+from repro.core.ni_cbs import NICBSSupervisor
+from repro.core.protocol import (
+    AssignMsg,
+    CommitmentMsg,
+    NICBSSubmissionMsg,
+    ProofBundleMsg,
+    VerdictMsg,
+)
+from repro.core.scheme import VerificationOutcome
+from repro.engine import Executor, derive_seed, get_executor
+from repro.exceptions import ProtocolError, ReproError
+from repro.merkle.hashing import get_hash
+from repro.merkle.tree import LeafEncoding
+from repro.service.codec import (
+    MAX_FRAME_BYTES,
+    ChallengeFrame,
+    CommitmentFrame,
+    ErrorFrame,
+    Frame,
+    ProofsFrame,
+    SubmissionFrame,
+    TaskAssign,
+    TaskRequest,
+    VerdictFrame,
+    read_frame,
+    resolve_workload,
+    write_frame,
+)
+from repro.service.sessions import Session, SessionState, SessionStore
+from repro.tasks.domain import RangeDomain
+from repro.tasks.result import TaskAssignment
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one service deployment needs.
+
+    Mirrors :class:`~repro.grid.simulation.SimulationConfig` minus the
+    behaviours (those live client-side, where cheating happens): the
+    global domain is partitioned across ``n_participants`` slots, task
+    ``i`` is seeded ``derive_seed(seed, i)``, and the scheme
+    parameters are shipped to clients in the assign frame.
+
+    Only :class:`~repro.tasks.domain.RangeDomain` travels over the
+    wire — remote clients rebuild their subdomain from two integers,
+    which is also how real grids describe work units (key ranges,
+    chunk ids).
+    """
+
+    domain: RangeDomain
+    workload: str = "PasswordSearch"
+    protocol: str = "ni-cbs"
+    n_samples: int = 16
+    hash_name: str = "sha256"
+    sample_hash_name: str = "sha256"
+    leaf_encoding: LeafEncoding = LeafEncoding.HASHED
+    n_participants: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("cbs", "ni-cbs"):
+            raise ProtocolError(f"unknown protocol {self.protocol!r}")
+        if not isinstance(self.domain, RangeDomain):
+            raise ProtocolError(
+                "the service ships domain bounds on the wire; only "
+                f"RangeDomain is supported, got {type(self.domain).__name__}"
+            )
+        if self.n_participants < 1:
+            raise ProtocolError(
+                f"n_participants must be >= 1, got {self.n_participants}"
+            )
+        resolve_workload(self.workload)  # fail fast on unknown kernels
+
+
+@dataclass
+class ServiceStats:
+    """Live counters exposed for smoke tests and ops curiosity."""
+
+    connections: int = 0
+    frames_in: int = 0
+    verifications: int = 0
+    errors: int = 0
+
+
+# ----------------------------------------------------------------------
+# Worker-side verification jobs (module-level: picklable for processes)
+# ----------------------------------------------------------------------
+
+
+def _verify_cbs_job(
+    assignment: TaskAssignment,
+    n_samples: int,
+    hash_name: str,
+    leaf_encoding_value: str,
+    seed: int,
+    commitment: CommitmentMsg,
+    bundle: ProofBundleMsg,
+) -> VerificationOutcome:
+    """Rebuild the CBS supervisor and run Step 4 in a pooled worker.
+
+    Everything the verdict depends on is deterministic given the
+    arguments — the challenge re-drawn from ``seed`` matches the one
+    the server issued — so the rebuilt supervisor reproduces exactly
+    what a long-lived in-process session would have computed.
+    """
+    supervisor = CBSSupervisor(
+        assignment,
+        n_samples=n_samples,
+        hash_fn=get_hash(hash_name),
+        leaf_encoding=LeafEncoding(leaf_encoding_value),
+        seed=seed,
+    )
+    supervisor.receive_commitment(commitment)
+    supervisor.make_challenge()
+    return supervisor.verify(bundle)
+
+
+def _verify_nicbs_job(
+    assignment: TaskAssignment,
+    n_samples: int,
+    sample_hash_name: str,
+    hash_name: str,
+    leaf_encoding_value: str,
+    submission: NICBSSubmissionMsg,
+) -> VerificationOutcome:
+    """One-shot NI-CBS verification in a pooled worker."""
+    supervisor = NICBSSupervisor(
+        assignment,
+        n_samples=n_samples,
+        sample_hash=get_hash(sample_hash_name),
+        hash_fn=get_hash(hash_name),
+        leaf_encoding=LeafEncoding(leaf_encoding_value),
+    )
+    return supervisor.verify(submission)
+
+
+# ----------------------------------------------------------------------
+# In-process transport (tests and self-contained load generation)
+# ----------------------------------------------------------------------
+
+
+class MemoryStreamWriter:
+    """Write end of an in-process duplex: feeds the peer's reader.
+
+    Duck-types the slice of :class:`asyncio.StreamWriter` the codec
+    and server use (``write``/``drain``/``close``/``wait_closed``), so
+    the same connection handler serves TCP sockets and tests without a
+    loopback socket.
+    """
+
+    def __init__(self, peer_reader: asyncio.StreamReader) -> None:
+        self._peer = peer_reader
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise ProtocolError("write to closed in-process transport")
+        self._peer.feed_data(data)
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._peer.feed_eof()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+    def get_extra_info(self, name: str, default=None):
+        return default
+
+
+def memory_duplex() -> tuple[
+    tuple[asyncio.StreamReader, MemoryStreamWriter],
+    tuple[asyncio.StreamReader, MemoryStreamWriter],
+]:
+    """Two connected (reader, writer) endpoints in one process."""
+    a_reader = asyncio.StreamReader()
+    b_reader = asyncio.StreamReader()
+    return (a_reader, MemoryStreamWriter(b_reader)), (
+        b_reader,
+        MemoryStreamWriter(a_reader),
+    )
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+
+
+class SupervisorServer:
+    """Concurrent supervisor service over TCP or in-process streams."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        engine: str | Executor = "threads",
+        workers: int | None = None,
+        *,
+        session_ttl: float = 300.0,
+        queue_size: int = 32,
+        max_pending_verifications: int = 128,
+        max_frame: int = MAX_FRAME_BYTES,
+        clock=time.monotonic,
+    ) -> None:
+        if queue_size < 1:
+            raise ProtocolError(f"queue_size must be >= 1, got {queue_size}")
+        if max_pending_verifications < 1:
+            raise ProtocolError(
+                "max_pending_verifications must be >= 1, "
+                f"got {max_pending_verifications}"
+            )
+        self.config = config
+        self._executor = get_executor(engine, workers)
+        self._owns_executor = self._executor is not engine
+        self._queue_size = queue_size
+        self._max_frame = max_frame
+        self._verify_slots = asyncio.Semaphore(max_pending_verifications)
+        self.sessions = SessionStore(ttl=session_ttl, clock=clock)
+        self.stats = ServiceStats()
+
+        function = resolve_workload(config.workload)
+        subdomains = config.domain.partition(config.n_participants)
+        self._assignments: list[TaskAssignment] = [
+            TaskAssignment(
+                task_id=f"task-{i}", domain=subdomain, function=function
+            )
+            for i, subdomain in enumerate(subdomains)
+        ]
+        self._seeds = [
+            derive_seed(config.seed, i) for i in range(config.n_participants)
+        ]
+        self._next_participant = 0
+
+        self._server: asyncio.base_events.Server | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind the TCP listener; returns the actual (host, port)."""
+        if self._server is not None:
+            raise ProtocolError("server already started")
+        # A *sync* connected-callback that spawns our own task: if
+        # start_server wrapped a coroutine itself, its done-callback
+        # would call task.exception() and log noise when stop()
+        # cancels straggling connections.
+        self._server = await asyncio.start_server(
+            self._spawn_connection, host, port
+        )
+        self._ensure_sweeper()
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def connect_memory(self) -> tuple[asyncio.StreamReader, MemoryStreamWriter]:
+        """Open an in-process connection; returns the client endpoint."""
+        (server_reader, server_writer), client = memory_duplex()
+        self._ensure_sweeper()
+        self._spawn_connection(server_reader, server_writer)
+        return client
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ProtocolError("start() the server before serve_forever()")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close listener, connections, sweeper and (owned) executor."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._conn_tasks:
+            # Let in-flight rounds drain briefly, then cancel stragglers.
+            _done, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=1.0
+            )
+            for task in pending:
+                task.cancel()
+            for task in pending:
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await task
+        self._conn_tasks.clear()
+        if self._owns_executor:
+            self._executor.close()
+
+    def _ensure_sweeper(self) -> None:
+        if self._sweeper is None or self._sweeper.done():
+            self._sweeper = asyncio.ensure_future(self._sweep_loop())
+
+    async def _sweep_loop(self) -> None:
+        interval = max(self.sessions.ttl / 4.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            self.sessions.evict_stale()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def outcomes(self) -> dict[str, VerificationOutcome]:
+        """Per-task verdicts recorded so far."""
+        return self.sessions.outcomes
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _spawn_connection(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self.stats.connections += 1
+        try:
+            await self._handle_connection(reader, writer)
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        # Bounded frame queue between the socket and the processor:
+        # when the processor falls behind (verification pool busy), the
+        # reader stops pulling bytes and TCP pushes back on the peer.
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self._queue_size)
+
+        async def read_loop() -> None:
+            try:
+                while True:
+                    frame = await read_frame(reader, max_frame=self._max_frame)
+                    await queue.put(frame)
+                    if frame is None:
+                        return
+            except ReproError as exc:
+                await queue.put(exc)
+
+        reader_task = asyncio.ensure_future(read_loop())
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                if isinstance(item, Exception):
+                    raise item
+                self.stats.frames_in += 1
+                for reply in await self._dispatch(item):
+                    await write_frame(writer, reply, max_frame=self._max_frame)
+        except ReproError as exc:
+            # A misbehaving peer gets one terminal error frame, then
+            # the connection closes; the server itself never crashes.
+            self.stats.errors += 1
+            with contextlib.suppress(Exception):
+                await write_frame(writer, ErrorFrame(str(exc)))
+        finally:
+            reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await reader_task
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, frame: Frame) -> list[Frame]:
+        if isinstance(frame, TaskRequest):
+            return [self._handle_task_request(frame)]
+        if isinstance(frame, CommitmentFrame):
+            return [self._handle_commitment(frame.msg)]
+        if isinstance(frame, ProofsFrame):
+            return [await self._handle_proofs(frame.msg)]
+        if isinstance(frame, SubmissionFrame):
+            return [await self._handle_submission(frame.msg)]
+        raise ProtocolError(
+            f"unexpected frame {type(frame).__name__} at the supervisor"
+        )
+
+    def _handle_task_request(self, request: TaskRequest) -> TaskAssign:
+        config = self.config
+        if request.participant is not None:
+            index = request.participant
+            if not 0 <= index < config.n_participants:
+                raise ProtocolError(
+                    f"participant {index} outside [0, {config.n_participants})"
+                )
+        else:
+            while (
+                self._next_participant < config.n_participants
+                and f"task-{self._next_participant}" in self.sessions
+            ):
+                self._next_participant += 1
+            if self._next_participant < config.n_participants:
+                index = self._next_participant
+            else:
+                # The cursor is exhausted, but eviction may have freed
+                # earlier slots — one scan keeps them assignable.
+                freed = next(
+                    (
+                        i
+                        for i in range(config.n_participants)
+                        if f"task-{i}" not in self.sessions
+                    ),
+                    None,
+                )
+                if freed is None:
+                    raise ProtocolError("no unassigned participant slots left")
+                index = freed
+        assignment = self._assignments[index]
+        seed = self._seeds[index]
+        session = self.sessions.create(
+            task_id=assignment.task_id,
+            participant=index,
+            assignment=assignment,
+            seed=seed,
+            protocol=config.protocol,
+        )
+        domain: RangeDomain = session.assignment.domain  # type: ignore[assignment]
+        return TaskAssign(
+            assign=AssignMsg(
+                task_id=assignment.task_id,
+                n_inputs=assignment.n_inputs,
+                workload=config.workload,
+            ),
+            participant=index,
+            domain_start=domain.start,
+            domain_stop=domain.stop,
+            protocol=config.protocol,
+            n_samples=config.n_samples,
+            hash_name=config.hash_name,
+            sample_hash_name=config.sample_hash_name,
+            leaf_encoding=config.leaf_encoding.value,
+            seed=seed,
+        )
+
+    def _handle_commitment(self, msg: CommitmentMsg) -> ChallengeFrame:
+        if self.config.protocol != "cbs":
+            raise ProtocolError("commitments only arrive in interactive CBS")
+        session = self.sessions.get(msg.task_id)
+        # Validate and draw the challenge with the real CBS supervisor
+        # (cheap: digest-size checks plus m RNG draws); the heavyweight
+        # verify happens off-loop when the proofs arrive.
+        supervisor = CBSSupervisor(
+            session.assignment,
+            n_samples=self.config.n_samples,
+            hash_fn=get_hash(self.config.hash_name),
+            leaf_encoding=self.config.leaf_encoding,
+            seed=session.seed,
+        )
+        supervisor.receive_commitment(msg)
+        challenge = supervisor.make_challenge()
+        self.sessions.record_commitment(msg.task_id, msg, challenge)
+        return ChallengeFrame(msg=challenge)
+
+    async def _handle_proofs(self, msg: ProofBundleMsg) -> VerdictFrame:
+        session = self.sessions.begin_verification(
+            msg.task_id, SessionState.COMMITTED
+        )
+        assert session.commitment is not None
+        outcome = await self._offload(
+            functools.partial(
+                _verify_cbs_job,
+                session.assignment,
+                self.config.n_samples,
+                self.config.hash_name,
+                self.config.leaf_encoding.value,
+                session.seed,
+                session.commitment,
+                msg,
+            )
+        )
+        return self._record_verdict(session, outcome)
+
+    async def _handle_submission(self, msg: NICBSSubmissionMsg) -> VerdictFrame:
+        if self.config.protocol != "ni-cbs":
+            raise ProtocolError(
+                "one-shot submissions only arrive in NI-CBS"
+            )
+        session = self.sessions.begin_verification(
+            msg.task_id, SessionState.ASSIGNED
+        )
+        outcome = await self._offload(
+            functools.partial(
+                _verify_nicbs_job,
+                session.assignment,
+                self.config.n_samples,
+                self.config.sample_hash_name,
+                self.config.hash_name,
+                self.config.leaf_encoding.value,
+                msg,
+            )
+        )
+        return self._record_verdict(session, outcome)
+
+    def _record_verdict(
+        self, session: Session, outcome: VerificationOutcome
+    ) -> VerdictFrame:
+        self.sessions.record_outcome(session.task_id, outcome)
+        self.stats.verifications += 1
+        return VerdictFrame(
+            msg=VerdictMsg(
+                task_id=session.task_id,
+                accepted=outcome.accepted,
+                reason="" if outcome.accepted else outcome.reason.value,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Engine offload
+    # ------------------------------------------------------------------
+
+    async def _offload(self, job) -> VerificationOutcome:
+        """Run a verification job off the event loop, bounded.
+
+        The semaphore caps verifications in flight server-wide; with a
+        serial engine (``futures_pool`` is ``None``) the job runs
+        inline, which is the deterministic single-thread debug mode.
+        """
+        async with self._verify_slots:
+            pool = self._executor.futures_pool
+            if pool is None:
+                return job()
+            return await asyncio.get_running_loop().run_in_executor(pool, job)

@@ -13,9 +13,15 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("fig2", "eq2", "comm", "rco", "regrind",
-                        "deterrence", "demo"):
+                        "deterrence", "demo", "population", "serve",
+                        "loadgen"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_service_subcommands_default_to_threads_engine(self):
+        parser = build_parser()
+        for command in ("serve", "loadgen"):
+            assert parser.parse_args([command]).engine == "threads"
 
 
 class TestFig2:
@@ -78,3 +84,27 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "honest" in out and "cheater" in out
         assert "exposed at sample" in out
+
+
+class TestLoadgen:
+    def test_self_contained_run_with_check(self, capsys):
+        code = main([
+            "loadgen", "--n", "256", "--participants", "8",
+            "--m", "16", "--check",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "submissions_per_s" in out
+        assert "loadgen --check passed" in out
+
+    def test_cbs_protocol_round_trip(self, capsys):
+        code = main([
+            "loadgen", "--n", "256", "--participants", "4",
+            "--m", "16", "--protocol", "cbs", "--check",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "service:cbs(m=16)" in out
+
+    def test_host_without_port_is_usage_error(self, capsys):
+        assert main(["loadgen", "--host", "127.0.0.1"]) == 2

@@ -2,7 +2,11 @@
 
 A production wire layer faces hostile bytes; every ``decode`` in the
 protocol either returns a valid message or raises a codec/Merkle error
-— no ``IndexError``/``OverflowError``/silent nonsense.
+— no ``IndexError``/``OverflowError``/silent nonsense.  The same
+contract covers the service layer's length-prefixed JSON frames
+(:mod:`repro.service.codec`): a listening supervisor socket must shrug
+off truncation, corruption and arbitrary bytes with a clean
+:class:`~repro.exceptions.ProtocolError`.
 """
 
 import pytest
@@ -18,11 +22,27 @@ from repro.core.protocol import (
     ProofBundleMsg,
     ReportsMsg,
     SampleChallengeMsg,
+    SampleProof,
     VerdictMsg,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import ProtocolError, ReproError
 from repro.merkle.multiproof import MerkleMultiProof
+from repro.merkle.proof import AuthenticationPath
 from repro.merkle.serialize import decode_auth_path
+from repro.merkle.tree import LeafEncoding
+from repro.service.codec import (
+    ChallengeFrame,
+    CommitmentFrame,
+    ErrorFrame,
+    ProofsFrame,
+    SubmissionFrame,
+    TaskAssign,
+    TaskRequest,
+    VerdictFrame,
+    decode_frame,
+    decode_frame_payload,
+    encode_frame,
+)
 
 DECODERS = [
     CommitmentMsg.decode,
@@ -77,6 +97,158 @@ class TestGarbageRejection:
             mutated = bytearray(encoded)
             mutated[i] ^= 0xFF
             _try_decode(SampleChallengeMsg.decode, bytes(mutated))
+
+
+_task_ids = st.text(max_size=12)
+_digests = st.binary(min_size=8, max_size=8)
+
+
+@st.composite
+def _auth_paths(draw):
+    height = draw(st.integers(min_value=0, max_value=4))
+    n_leaves = 1 << height
+    return AuthenticationPath(
+        leaf_index=draw(st.integers(min_value=0, max_value=n_leaves - 1)),
+        siblings=draw(
+            st.lists(_digests, min_size=height, max_size=height)
+        ),
+        n_leaves=n_leaves,
+        leaf_encoding=draw(st.sampled_from(list(LeafEncoding))),
+    )
+
+
+@st.composite
+def _sample_proofs(draw):
+    return SampleProof(
+        index=draw(st.integers(min_value=0, max_value=1 << 20)),
+        claimed_result=draw(st.binary(max_size=16)),
+        path=draw(_auth_paths()),
+    )
+
+
+@st.composite
+def _wire_frames(draw):
+    kind = draw(st.integers(min_value=0, max_value=7))
+    task_id = draw(_task_ids)
+    if kind == 0:
+        return TaskRequest(
+            participant=draw(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 20))
+            )
+        )
+    if kind == 1:
+        start = draw(st.integers(min_value=0, max_value=1 << 16))
+        size = draw(st.integers(min_value=1, max_value=1 << 10))
+        return TaskAssign(
+            assign=AssignMsg(
+                task_id=task_id,
+                n_inputs=size,
+                workload=draw(st.text(max_size=20)),
+            ),
+            participant=draw(st.integers(min_value=0, max_value=1 << 16)),
+            domain_start=start,
+            domain_stop=start + size,
+            protocol=draw(st.sampled_from(["cbs", "ni-cbs"])),
+            n_samples=draw(st.integers(min_value=1, max_value=64)),
+            hash_name=draw(st.sampled_from(["sha256", "sha512", "md5"])),
+            sample_hash_name=draw(st.sampled_from(["sha256", "md5^3"])),
+            leaf_encoding=draw(st.sampled_from(["hashed", "raw"])),
+            seed=draw(st.integers(min_value=0, max_value=1 << 40)),
+        )
+    if kind == 2:
+        return CommitmentFrame(
+            msg=CommitmentMsg(
+                task_id=task_id,
+                root=draw(st.binary(max_size=40)),
+                n_leaves=draw(st.integers(min_value=0, max_value=1 << 20)),
+            )
+        )
+    if kind == 3:
+        return ChallengeFrame(
+            msg=SampleChallengeMsg(
+                task_id=task_id,
+                indices=tuple(
+                    draw(
+                        st.lists(
+                            st.integers(min_value=0, max_value=1 << 20),
+                            max_size=8,
+                        )
+                    )
+                ),
+            )
+        )
+    if kind == 4:
+        return ProofsFrame(
+            msg=ProofBundleMsg(
+                task_id=task_id,
+                proofs=tuple(draw(st.lists(_sample_proofs(), max_size=4))),
+            )
+        )
+    if kind == 5:
+        return SubmissionFrame(
+            msg=NICBSSubmissionMsg(
+                task_id=task_id,
+                root=draw(st.binary(max_size=40)),
+                n_leaves=draw(st.integers(min_value=0, max_value=1 << 20)),
+                proofs=tuple(draw(st.lists(_sample_proofs(), max_size=4))),
+            )
+        )
+    if kind == 6:
+        return VerdictFrame(
+            msg=VerdictMsg(
+                task_id=task_id,
+                accepted=draw(st.booleans()),
+                reason=draw(st.text(max_size=20)),
+            )
+        )
+    return ErrorFrame(message=draw(st.text(max_size=40)))
+
+
+class TestServiceFrames:
+    """The service's JSON frame layer honours the same contract."""
+
+    @given(frame=_wire_frames())
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_identity(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_rejected_cleanly(self, data):
+        try:
+            decode_frame(data)
+        except ReproError:
+            pass
+
+    @given(frame=_wire_frames())
+    @settings(max_examples=30, deadline=None)
+    def test_every_truncation_rejected(self, frame):
+        encoded = encode_frame(frame)
+        for cut in range(len(encoded)):
+            with pytest.raises(ProtocolError):
+                decode_frame(encoded[:cut])
+
+    @given(frame=_wire_frames(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_bit_flips_never_crash(self, frame, data):
+        encoded = bytearray(encode_frame(frame))
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        encoded[position] ^= 0xFF
+        try:
+            decode_frame(bytes(encoded))
+        except ReproError:
+            pass  # rejection is fine; crashing is not
+
+    def test_payload_fuzz_without_header(self):
+        for payload in (b"", b"{", b"null", b"[]", b'{"t": 1}',
+                        b'{"t": "nope"}', b'{"t": "commitment"}',
+                        b'{"t": "commitment", "m": "!!!"}',
+                        b'{"t": "assign", "m": 3}',
+                        b'\xff\xfe{"t": "error"}'):
+            with pytest.raises(ReproError):
+                decode_frame_payload(payload)
 
 
 class TestUnicodeHostility:

@@ -1,17 +1,19 @@
 """Tests for chunked/parallel Merkle construction (repro.merkle.tree).
 
-``chunked_root`` must be byte-identical to ``MerkleTree.root`` for
-every domain size, chunk size, leaf encoding and execution backend —
-a process worker building subtrees is only useful if the combined
-root still verifies against serially-built commitments.
+``chunked_root`` must be byte-identical to ``MerkleTree.root`` — and
+``chunked_proofs`` to ``MerkleTree.auth_path`` — for every domain
+size, chunk size, leaf encoding and execution backend: a process
+worker building subtrees is only useful if the combined artefacts
+still verify against serially-built commitments.
 """
 
 import pytest
 
 from repro.engine import ProcessPoolExecutor, SerialExecutor, ThreadPoolExecutor
-from repro.exceptions import EmptyTreeError, MerkleError
+from repro.exceptions import EmptyTreeError, LeafIndexError, MerkleError
 from repro.merkle import (
     MerkleTree,
+    chunked_proofs,
     chunked_root,
     get_hash,
     hash_leaves,
@@ -120,3 +122,87 @@ class TestChunkedRoot:
     def test_empty_rejected(self):
         with pytest.raises(EmptyTreeError):
             chunked_root([])
+
+
+class TestChunkedProofs:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 1000])
+    @pytest.mark.parametrize("chunk_size", [1, 4, 64])
+    def test_identical_to_full_tree_paths(self, n, chunk_size):
+        payloads = payloads_for(n)
+        tree = MerkleTree(payloads)
+        indices = sorted({0, n - 1, n // 2, (7 * n) // 13 % n})
+        paths = chunked_proofs(payloads, indices, chunk_size=chunk_size)
+        assert [p.siblings for p in paths] == [
+            tree.auth_path(i).siblings for i in indices
+        ]
+        for index, path in zip(indices, paths):
+            assert path == tree.auth_path(index)
+            assert path.verify(payloads[index], tree.root, SHA)
+
+    def test_order_and_duplicates_preserved(self):
+        payloads = payloads_for(50)
+        tree = MerkleTree(payloads)
+        indices = [17, 3, 17, 49, 3]  # with-replacement challenge shape
+        paths = chunked_proofs(payloads, indices, chunk_size=8)
+        assert [p.leaf_index for p in paths] == indices
+        assert paths == [tree.auth_path(i) for i in indices]
+
+    def test_raw_encoding(self):
+        payloads = [SHA.digest(bytes([i])) for i in range(10)]
+        tree = MerkleTree(payloads, leaf_encoding=LeafEncoding.RAW)
+        paths = chunked_proofs(
+            payloads, [0, 9], leaf_encoding=LeafEncoding.RAW, chunk_size=4
+        )
+        assert paths == [tree.auth_path(0), tree.auth_path(9)]
+
+    def test_alternate_hash(self):
+        payloads = payloads_for(33)
+        tree = MerkleTree(payloads, hash_fn=get_hash("sha512"))
+        (path,) = chunked_proofs(
+            payloads, [20], hash_name="sha512", chunk_size=8
+        )
+        assert path == tree.auth_path(20)
+
+    def test_every_backend_agrees(self):
+        payloads = payloads_for(2000)
+        tree = MerkleTree(payloads)
+        indices = [0, 999, 1024, 1999]
+        want = [tree.auth_path(i) for i in indices]
+        for executor in (
+            SerialExecutor(),
+            ThreadPoolExecutor(workers=3),
+            ProcessPoolExecutor(workers=2),
+        ):
+            with executor:
+                got = chunked_proofs(
+                    payloads, indices, executor=executor, chunk_size=256
+                )
+            assert got == want, executor.name
+
+    def test_engine_name_accepted(self):
+        payloads = payloads_for(100)
+        tree = MerkleTree(payloads)
+        got = chunked_proofs(payloads, [42], executor="threads", chunk_size=32)
+        assert got == [tree.auth_path(42)]
+
+    def test_default_chunk_size(self):
+        payloads = payloads_for(300)
+        tree = MerkleTree(payloads)
+        assert chunked_proofs(payloads, [123]) == [tree.auth_path(123)]
+
+    def test_empty_indices(self):
+        assert chunked_proofs(payloads_for(16), []) == []
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(LeafIndexError):
+            chunked_proofs(payloads_for(16), [16])
+        with pytest.raises(LeafIndexError):
+            chunked_proofs(payloads_for(16), [-1])
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(MerkleError):
+            chunked_proofs(payloads_for(16), [0], chunk_size=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTreeError):
+            chunked_proofs([], [0])

@@ -1,0 +1,212 @@
+"""Unit tests for the service frame codec (repro.service.codec)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.protocol import (
+    AssignMsg,
+    CommitmentMsg,
+    SampleChallengeMsg,
+    VerdictMsg,
+)
+from repro.exceptions import ProtocolError, ReproError
+from repro.service import (
+    FRAME_HEADER_BYTES,
+    WORKLOADS,
+    ChallengeFrame,
+    CommitmentFrame,
+    ErrorFrame,
+    TaskAssign,
+    TaskRequest,
+    VerdictFrame,
+    decode_frame,
+    decode_frame_payload,
+    encode_frame,
+    memory_duplex,
+    read_frame,
+    resolve_workload,
+    write_frame,
+)
+from repro.tasks import PasswordSearch
+
+
+def sample_assign() -> TaskAssign:
+    return TaskAssign(
+        assign=AssignMsg(task_id="task-3", n_inputs=64, workload="PasswordSearch"),
+        participant=3,
+        domain_start=192,
+        domain_stop=256,
+        protocol="ni-cbs",
+        n_samples=16,
+        hash_name="sha256",
+        sample_hash_name="sha256",
+        leaf_encoding="hashed",
+        seed=3_000_012,
+    )
+
+
+class TestRoundTrips:
+    def test_task_request_with_and_without_slot(self):
+        for frame in (TaskRequest(), TaskRequest(participant=7)):
+            assert decode_frame(encode_frame(frame)) == frame
+
+    def test_assign_round_trip(self):
+        frame = sample_assign()
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_wrapped_binary_messages(self):
+        frames = [
+            CommitmentFrame(
+                msg=CommitmentMsg(task_id="t", root=b"\x01" * 32, n_leaves=8)
+            ),
+            ChallengeFrame(
+                msg=SampleChallengeMsg(task_id="t", indices=(1, 2, 3))
+            ),
+            VerdictFrame(
+                msg=VerdictMsg(task_id="t", accepted=False, reason="wrong_result")
+            ),
+            ErrorFrame(message="nope"),
+        ]
+        for frame in frames:
+            assert decode_frame(encode_frame(frame)) == frame
+
+    def test_header_is_big_endian_payload_length(self):
+        encoded = encode_frame(TaskRequest())
+        length = int.from_bytes(encoded[:FRAME_HEADER_BYTES], "big")
+        assert length == len(encoded) - FRAME_HEADER_BYTES
+
+
+class TestRejection:
+    def test_oversized_frame_rejected_on_encode(self):
+        big = ErrorFrame(message="x" * 1000)
+        with pytest.raises(ProtocolError):
+            encode_frame(big, max_frame=100)
+
+    def test_oversized_length_prefix_rejected_on_decode(self):
+        encoded = encode_frame(TaskRequest())
+        with pytest.raises(ProtocolError):
+            decode_frame(encoded, max_frame=4)
+
+    def test_length_mismatch_rejected(self):
+        encoded = encode_frame(TaskRequest())
+        with pytest.raises(ProtocolError):
+            decode_frame(encoded + b"x")
+        with pytest.raises(ProtocolError):
+            decode_frame(encoded[:-1])
+
+    def test_non_object_payloads_rejected(self):
+        for payload in (b"null", b"[]", b'"t"', b"3"):
+            with pytest.raises(ProtocolError):
+                decode_frame_payload(payload)
+
+    def test_unknown_type_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_payload(b'{"t": "teapot"}')
+
+    def test_assign_value_validation(self):
+        # Legal JSON, illegal values: a hostile supervisor must not be
+        # able to crash a client with ValueError/OverflowError later.
+        base = sample_assign()
+        encoded = encode_frame(base)
+        import json
+
+        payload = json.loads(encoded[FRAME_HEADER_BYTES:])
+        for key, value in [
+            ("leaf_encoding", "bogus"),
+            ("protocol", "pigeon"),
+            ("n_samples", 0),
+            ("seed", -1),
+            ("seed", 1 << 70),
+            ("participant", -2),
+            ("domain", [5, 5]),
+        ]:
+            mutated = dict(payload, **{key: value})
+            with pytest.raises(ProtocolError):
+                decode_frame_payload(
+                    json.dumps(mutated).encode("utf-8")
+                )
+
+    def test_bad_base64_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_payload(b'{"t": "commitment", "m": "%%%"}')
+
+    def test_wrong_field_types_rejected(self):
+        # The assign case trips the inner binary decoder (CodecError);
+        # the rest fail frame-level validation (ProtocolError).  Both
+        # honour the one contract that matters: a ReproError, never an
+        # uncaught TypeError/KeyError.
+        bad_payloads = [
+            b'{"t": "task_request", "participant": "zero"}',
+            b'{"t": "task_request", "participant": -1}',
+            b'{"t": "task_request", "participant": true}',
+            b'{"t": "error", "message": 5}',
+            b'{"t": "assign", "m": "", "participant": 0, "domain": "x",'
+            b' "protocol": "cbs", "n_samples": 1, "hash": "sha256",'
+            b' "sample_hash": "sha256", "leaf_encoding": "hashed", "seed": 0}',
+        ]
+        for payload in bad_payloads:
+            with pytest.raises(ReproError):
+                decode_frame_payload(payload)
+
+
+class TestWorkloadCatalogue:
+    def test_catalogue_builds_every_kernel(self):
+        for name in WORKLOADS:
+            assert resolve_workload(name) is not None
+
+    def test_password_search_is_canonical(self):
+        fn = resolve_workload("PasswordSearch")
+        reference = PasswordSearch()
+        assert fn.evaluate(17) == reference.evaluate(17)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ProtocolError):
+            resolve_workload("MiningRig")
+
+
+class TestAsyncStreamHelpers:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_write_then_read_over_memory_duplex(self):
+        async def scenario():
+            (a_reader, a_writer), (b_reader, _b_writer) = memory_duplex()
+            frame = sample_assign()
+            await write_frame(a_writer, frame)
+            await write_frame(a_writer, ErrorFrame(message="done"))
+            assert await read_frame(b_reader) == frame
+            assert await read_frame(b_reader) == ErrorFrame(message="done")
+            a_writer.close()
+            assert await read_frame(b_reader) is None
+
+        self.run(scenario())
+
+    def test_truncated_stream_raises(self):
+        async def scenario():
+            (_a_reader, a_writer), (b_reader, _b_writer) = memory_duplex()
+            a_writer.write(encode_frame(TaskRequest())[:-2])
+            a_writer.close()
+            with pytest.raises(ProtocolError):
+                await read_frame(b_reader)
+
+        self.run(scenario())
+
+    def test_partial_header_raises(self):
+        async def scenario():
+            (_a_reader, a_writer), (b_reader, _b_writer) = memory_duplex()
+            a_writer.write(b"\x00\x00")
+            a_writer.close()
+            with pytest.raises(ProtocolError):
+                await read_frame(b_reader)
+
+        self.run(scenario())
+
+    def test_oversized_frame_rejected_before_body_read(self):
+        async def scenario():
+            (_a_reader, a_writer), (b_reader, _b_writer) = memory_duplex()
+            a_writer.write((1 << 30).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                await read_frame(b_reader, max_frame=1024)
+
+        self.run(scenario())

@@ -1,0 +1,168 @@
+"""Tests for the participant load generator (repro.service.loadgen).
+
+Pins the acceptance claim of the service layer: a loadgen run over
+real TCP with mixed honest/cheating participants at a fixed seed
+produces the same per-participant outcomes as the equivalent
+synchronous ``GridSimulation``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme, NICBSScheme
+from repro.engine import run_scheme_jobs
+from repro.exceptions import ProtocolError
+from repro.grid import GridSimulation, SimulationConfig
+from repro.service import (
+    ServiceConfig,
+    percentile,
+    run_loadgen,
+    run_service_loadgen,
+    run_service_loadgen_sync,
+)
+from repro.tasks import PasswordSearch, RangeDomain
+
+N_PARTICIPANTS = 8
+BEHAVIORS = [HonestBehavior(), SemiHonestCheater(0.5)]
+
+
+def service_config(protocol: str = "ni-cbs") -> ServiceConfig:
+    return ServiceConfig(
+        domain=RangeDomain(0, 1 << 9),
+        protocol=protocol,
+        n_samples=12,
+        n_participants=N_PARTICIPANTS,
+        seed=5,
+    )
+
+
+def grid_report(protocol: str):
+    scheme = CBSScheme(12) if protocol == "cbs" else NICBSScheme(12)
+    sim = GridSimulation(
+        SimulationConfig(
+            domain=RangeDomain(0, 1 << 9),
+            function=PasswordSearch(),
+            scheme=scheme,
+            n_participants=N_PARTICIPANTS,
+            behaviors=BEHAVIORS,
+            seed=5,
+        )
+    )
+    jobs = sim.jobs()
+    results = run_scheme_jobs(scheme, jobs)
+    return sim.run(), {
+        job.assignment.task_id: r.outcome for job, r in zip(jobs, results)
+    }
+
+
+class TestTCPParity:
+    @pytest.mark.parametrize("protocol", ["ni-cbs", "cbs"])
+    def test_loadgen_over_tcp_matches_grid_simulation(self, protocol):
+        report, stats, server = run_service_loadgen_sync(
+            service_config(protocol), BEHAVIORS, transport="tcp"
+        )
+        sync_report, expected_outcomes = grid_report(protocol)
+
+        # Per-task VerificationOutcomes are identical, verdict for
+        # verdict, to the synchronous simulation.
+        assert server.outcomes == expected_outcomes
+
+        # The report rows agree on everything the supervisor decides
+        # and on client-side ground truth.
+        assert len(report.participants) == N_PARTICIPANTS
+        for service_row, sync_row in zip(
+            report.participants, sync_report.participants
+        ):
+            assert service_row.participant == sync_row.participant
+            assert service_row.behavior == sync_row.behavior
+            assert service_row.honesty_ratio == sync_row.honesty_ratio
+            assert service_row.accepted == sync_row.accepted
+            assert service_row.reason == sync_row.reason
+        assert report.detection_rate == sync_report.detection_rate
+        assert report.honest_rejected == 0
+
+        assert stats.n_errors == 0
+        assert stats.n_completed == N_PARTICIPANTS
+        assert stats.submissions_per_s > 0
+        assert 0 < stats.p50_latency_s <= stats.p99_latency_s
+
+
+class TestMemoryTransport:
+    def test_memory_and_tcp_agree(self):
+        mem_report, _stats, mem_server = run_service_loadgen_sync(
+            service_config(), BEHAVIORS, transport="memory"
+        )
+        tcp_report, _stats2, tcp_server = run_service_loadgen_sync(
+            service_config(), BEHAVIORS, transport="tcp"
+        )
+        assert mem_server.outcomes == tcp_server.outcomes
+        assert [p.accepted for p in mem_report.participants] == [
+            p.accepted for p in tcp_report.participants
+        ]
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_service_loadgen_sync(
+                service_config(), BEHAVIORS, transport="pigeon"
+            )
+
+
+class TestErrorHandling:
+    def test_unreachable_supervisor_counts_errors(self):
+        async def scenario():
+            return await run_loadgen(
+                3,
+                BEHAVIORS,
+                host="127.0.0.1",
+                port=1,  # nothing listens here
+                compute_workers=None,
+            )
+
+        report, stats = asyncio.run(scenario())
+        assert stats.n_errors == 3
+        assert stats.n_completed == 0
+        # Errored rounds have no verdict and no ground truth; they are
+        # counted in stats, never fabricated into the report (a fake
+        # row would corrupt detection/false-alarm rates).
+        assert report.participants == []
+        assert report.false_alarm_rate == 0.0
+
+    def test_transport_arguments_validated(self):
+        async def both():
+            await run_loadgen(1, BEHAVIORS)
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(both())
+
+        async def missing_port():
+            await run_loadgen(1, BEHAVIORS, host="127.0.0.1")
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(missing_port())
+
+    def test_empty_behaviors_rejected(self):
+        async def scenario():
+            cfg = service_config()
+            return await run_service_loadgen(cfg, [])
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+
+class TestPercentile:
+    def test_known_values(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)

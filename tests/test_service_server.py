@@ -1,0 +1,383 @@
+"""Tests for the asyncio supervisor server (repro.service.server).
+
+The headline property is end-to-end parity: the service at a fixed
+seed must produce the exact per-task ``VerificationOutcome``s of the
+synchronous scheme layer (``GridSimulation`` job semantics) and of the
+actor-based ``SupervisorNode`` topology (given the same per-task seed
+rule), with sessions interleaved across concurrent connections in any
+order.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme, NICBSScheme
+from repro.core.protocol import CommitmentMsg, NICBSSubmissionMsg
+from repro.engine import SerialExecutor, derive_seed, run_scheme_jobs
+from repro.exceptions import ProtocolError
+from repro.grid import GridSimulation, Network, ParticipantNode, SimulationConfig, SupervisorNode
+from repro.service import (
+    ChallengeFrame,
+    CommitmentFrame,
+    ErrorFrame,
+    ProofsFrame,
+    ServiceClient,
+    ServiceConfig,
+    SubmissionFrame,
+    SupervisorServer,
+    TaskRequest,
+    VerdictFrame,
+    read_frame,
+    write_frame,
+)
+from repro.tasks import PasswordSearch, RangeDomain
+
+D = RangeDomain(0, 1 << 9)
+BEHAVIORS = [HonestBehavior(), SemiHonestCheater(0.5)]
+
+
+def config(protocol: str, n_participants: int = 6, m: int = 12) -> ServiceConfig:
+    return ServiceConfig(
+        domain=RangeDomain(D.start, D.stop),
+        protocol=protocol,
+        n_samples=m,
+        n_participants=n_participants,
+        seed=21,
+    )
+
+
+def sync_outcomes(cfg: ServiceConfig):
+    """Reference outcomes from the synchronous scheme layer."""
+    scheme = (
+        CBSScheme(cfg.n_samples)
+        if cfg.protocol == "cbs"
+        else NICBSScheme(cfg.n_samples)
+    )
+    sim = GridSimulation(
+        SimulationConfig(
+            domain=cfg.domain,
+            function=PasswordSearch(),
+            scheme=scheme,
+            n_participants=cfg.n_participants,
+            behaviors=BEHAVIORS,
+            seed=cfg.seed,
+        )
+    )
+    jobs = sim.jobs()
+    results = run_scheme_jobs(scheme, jobs)
+    return {job.assignment.task_id: r.outcome for job, r in zip(jobs, results)}
+
+
+async def drive_all(server: SupervisorServer, cfg: ServiceConfig):
+    """One client per participant, all rounds concurrent."""
+
+    async def one(i: int):
+        reader, writer = server.connect_memory()
+        client = ServiceClient(reader, writer)
+        try:
+            return await client.run_participant(
+                BEHAVIORS[i % len(BEHAVIORS)], participant=i
+            )
+        finally:
+            await client.close()
+
+    return await asyncio.gather(*(one(i) for i in range(cfg.n_participants)))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("protocol", ["cbs", "ni-cbs"])
+    def test_parity_with_scheme_layer(self, protocol):
+        cfg = config(protocol)
+
+        async def scenario():
+            server = SupervisorServer(cfg, engine="threads", workers=2)
+            try:
+                runs = await drive_all(server, cfg)
+            finally:
+                await server.stop()
+            return server, runs
+
+        server, runs = asyncio.run(scenario())
+        assert server.outcomes == sync_outcomes(cfg)
+        # Client-side verdicts agree with server-side outcomes.
+        for run in runs:
+            assert run.accepted == server.outcomes[run.task_id].accepted
+        # Theorem 1 at the service layer: no honest participant rejected.
+        assert all(r.accepted for r in runs if r.honesty_ratio == 1.0)
+        assert all(not r.accepted for r in runs if r.honesty_ratio < 1.0)
+
+    def test_serial_engine_runs_inline(self):
+        cfg = config("ni-cbs", n_participants=3)
+
+        async def scenario():
+            with SerialExecutor() as executor:
+                server = SupervisorServer(cfg, engine=executor)
+                try:
+                    await drive_all(server, cfg)
+                finally:
+                    await server.stop()
+            return server
+
+        server = asyncio.run(scenario())
+        assert server.outcomes == sync_outcomes(cfg)
+        assert server.stats.verifications == 3
+
+
+class TestInterleavedCBS:
+    def test_interleaved_rounds_match_supervisor_node(self):
+        """Two clients interleave commit/prove arbitrarily; outcomes
+        equal both the scheme layer and a synchronous SupervisorNode
+        driven with the same per-task seed rule."""
+        cfg = config("cbs", n_participants=2)
+
+        async def scenario():
+            server = SupervisorServer(cfg, engine="serial")
+            try:
+                clients = [
+                    ServiceClient(*server.connect_memory()) for _ in range(2)
+                ]
+                assigns = [
+                    await clients[i].request_task(participant=i)
+                    for i in range(2)
+                ]
+                from repro.core.cbs import CBSParticipant
+                from repro.merkle import get_hash
+
+                sessions = []
+                for i, assign in enumerate(assigns):
+                    session = CBSParticipant(
+                        ServiceClient.build_assignment(assign),
+                        BEHAVIORS[i % len(BEHAVIORS)],
+                        hash_fn=get_hash(assign.hash_name),
+                        salt=assign.seed.to_bytes(8, "big"),
+                    )
+                    sessions.append(session)
+
+                # Interleave: both commitments first, then proofs in
+                # *reverse* client order.
+                challenges = []
+                for i in (0, 1):
+                    await clients[i]._send(
+                        CommitmentFrame(msg=sessions[i].compute_and_commit())
+                    )
+                    challenges.append(await clients[i]._recv(ChallengeFrame))
+                verdicts = {}
+                for i in (1, 0):
+                    await clients[i]._send(
+                        ProofsFrame(msg=sessions[i].prove(challenges[i].msg))
+                    )
+                    verdict = await clients[i]._recv(VerdictFrame)
+                    verdicts[verdict.msg.task_id] = verdict.msg.accepted
+                for client in clients:
+                    await client.close()
+                return verdicts, server
+            finally:
+                await server.stop()
+
+        verdicts, server = asyncio.run(scenario())
+        expected = sync_outcomes(cfg)
+        assert server.outcomes == expected
+        assert verdicts == {
+            task_id: outcome.accepted for task_id, outcome in expected.items()
+        }
+
+        # The actor topology agrees too, given the same seed rule.
+        network = Network()
+        supervisor = SupervisorNode(
+            "supervisor",
+            network,
+            protocol="cbs",
+            n_samples=cfg.n_samples,
+            seed_fn=lambda task_id: derive_seed(
+                cfg.seed, int(task_id.split("-")[1])
+            ),
+        )
+        subdomains = cfg.domain.partition(cfg.n_participants)
+        catalogue = {}
+        for i, subdomain in enumerate(subdomains):
+            from repro.tasks import TaskAssignment
+
+            catalogue[f"task-{i}"] = TaskAssignment(
+                f"task-{i}", subdomain, PasswordSearch()
+            )
+            ParticipantNode(
+                f"p{i}",
+                network,
+                BEHAVIORS[i % len(BEHAVIORS)],
+                catalogue.__getitem__,
+                protocol="cbs",
+                salt=derive_seed(cfg.seed, i).to_bytes(8, "big"),
+            )
+        for i in range(cfg.n_participants):
+            supervisor.assign(catalogue[f"task-{i}"], f"p{i}")
+        network.deliver_all()
+        assert supervisor.outcomes == expected
+
+
+class TestProtocolPolicing:
+    def run_with_frames(self, cfg: ServiceConfig, frames):
+        """Send raw frames on one connection; collect replies."""
+
+        async def scenario():
+            server = SupervisorServer(cfg, engine="serial")
+            try:
+                reader, writer = server.connect_memory()
+                replies = []
+                for frame in frames:
+                    await write_frame(writer, frame)
+                    reply = await read_frame(reader)
+                    replies.append(reply)
+                    if isinstance(reply, ErrorFrame) or reply is None:
+                        break
+                writer.close()
+                return replies, server
+            finally:
+                await server.stop()
+
+        return asyncio.run(scenario())
+
+    def test_unknown_task_submission_gets_error_frame(self):
+        cfg = config("ni-cbs")
+        replies, server = self.run_with_frames(
+            cfg,
+            [
+                SubmissionFrame(
+                    msg=NICBSSubmissionMsg(
+                        task_id="task-999", root=b"\x00" * 32,
+                        n_leaves=1, proofs=(),
+                    )
+                )
+            ],
+        )
+        assert isinstance(replies[-1], ErrorFrame)
+        assert "unknown task" in replies[-1].message
+        assert server.stats.errors == 1
+
+    def test_commitment_in_nicbs_mode_rejected(self):
+        cfg = config("ni-cbs")
+        replies, _server = self.run_with_frames(
+            cfg,
+            [
+                TaskRequest(participant=0),
+                CommitmentFrame(
+                    msg=CommitmentMsg(
+                        task_id="task-0", root=b"\x00" * 32, n_leaves=1
+                    )
+                ),
+            ],
+        )
+        assert isinstance(replies[-1], ErrorFrame)
+
+    def test_duplicate_slot_request_rejected(self):
+        cfg = config("ni-cbs")
+        replies, _server = self.run_with_frames(
+            cfg, [TaskRequest(participant=0), TaskRequest(participant=0)]
+        )
+        assert isinstance(replies[-1], ErrorFrame)
+        assert "already assigned" in replies[-1].message
+
+    def test_out_of_range_slot_rejected(self):
+        cfg = config("ni-cbs", n_participants=2)
+        replies, _server = self.run_with_frames(
+            cfg, [TaskRequest(participant=99)]
+        )
+        assert isinstance(replies[-1], ErrorFrame)
+
+    def test_auto_assignment_reuses_evicted_slots(self):
+        cfg = config("ni-cbs", n_participants=2)
+
+        async def scenario():
+            server = SupervisorServer(
+                cfg, engine="serial", session_ttl=0.05
+            )
+            try:
+                # Exhaust both slots via auto-assignment, then abandon.
+                for _ in range(2):
+                    client = ServiceClient(*server.connect_memory())
+                    await client.request_task()
+                    await client.close()
+                await asyncio.sleep(0.2)  # sweeper evicts both
+                # The cursor is exhausted, but freed slots are found.
+                client = ServiceClient(*server.connect_memory())
+                run = await client.run_participant(HonestBehavior())
+                await client.close()
+                return run
+            finally:
+                await server.stop()
+
+        run = asyncio.run(scenario())
+        assert run.accepted
+
+    def test_hostile_bytes_close_the_connection_not_the_server(self):
+        cfg = config("ni-cbs")
+
+        async def scenario():
+            server = SupervisorServer(cfg, engine="serial")
+            try:
+                reader, writer = server.connect_memory()
+                writer.write(b"\x00\x00\x00\x05notjs")
+                reply = await read_frame(reader)
+                assert isinstance(reply, ErrorFrame)
+                assert await read_frame(reader) is None  # connection closed
+
+                # The server is still alive for well-behaved clients.
+                client = ServiceClient(*server.connect_memory())
+                run = await client.run_participant(
+                    HonestBehavior(), participant=0
+                )
+                await client.close()
+                return run
+            finally:
+                await server.stop()
+
+        run = asyncio.run(scenario())
+        assert run.accepted
+
+
+class TestEvictionIntegration:
+    def test_abandoned_session_evicted_then_slot_reusable(self):
+        cfg = config("cbs", n_participants=1)
+
+        async def scenario():
+            server = SupervisorServer(
+                cfg, engine="serial", session_ttl=0.05
+            )
+            try:
+                # Claim the slot, then abandon the connection mid-round.
+                client = ServiceClient(*server.connect_memory())
+                await client.request_task(participant=0)
+                await client.close()
+
+                await asyncio.sleep(0.2)  # > ttl: the sweeper fires
+                assert server.sessions.stats.evicted == 1
+
+                # The slot is assignable again; the rerun completes.
+                client = ServiceClient(*server.connect_memory())
+                run = await client.run_participant(
+                    HonestBehavior(), participant=0
+                )
+                await client.close()
+                return run
+            finally:
+                await server.stop()
+
+        run = asyncio.run(scenario())
+        assert run.accepted
+
+
+class TestConfigValidation:
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServiceConfig(domain=RangeDomain(0, 8), protocol="carrier-pigeon")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServiceConfig(domain=RangeDomain(0, 8), workload="MiningRig")
+
+    def test_non_range_domain_rejected(self):
+        from repro.tasks import ExplicitDomain
+
+        with pytest.raises(ProtocolError):
+            ServiceConfig(domain=ExplicitDomain([1, 2, 3]))

@@ -1,0 +1,147 @@
+"""Tests for the supervisor service's session store."""
+
+import pytest
+
+from repro.core.protocol import CommitmentMsg, SampleChallengeMsg
+from repro.core.scheme import VerificationOutcome
+from repro.exceptions import ProtocolError
+from repro.service import SessionState, SessionStore
+from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def assignment(task_id: str = "task-0") -> TaskAssignment:
+    return TaskAssignment(task_id, RangeDomain(0, 32), PasswordSearch())
+
+
+def commitment(task_id: str = "task-0") -> CommitmentMsg:
+    return CommitmentMsg(task_id=task_id, root=b"\x01" * 32, n_leaves=32)
+
+
+def challenge(task_id: str = "task-0") -> SampleChallengeMsg:
+    return SampleChallengeMsg(task_id=task_id, indices=(1, 2))
+
+
+def outcome(task_id: str = "task-0", accepted: bool = True) -> VerificationOutcome:
+    return VerificationOutcome(task_id=task_id, accepted=accepted)
+
+
+class TestLifecycle:
+    def test_create_get_and_states(self):
+        store = SessionStore()
+        session = store.create("task-0", 0, assignment(), seed=7, protocol="cbs")
+        assert session.state is SessionState.ASSIGNED
+        assert store.get("task-0") is session
+        assert "task-0" in store and store.active == 1
+
+        store.record_commitment("task-0", commitment(), challenge())
+        assert session.state is SessionState.COMMITTED
+        store.record_outcome("task-0", outcome())
+        assert session.state is SessionState.DONE
+        assert store.active == 0
+        assert store.outcomes == {"task-0": outcome()}
+
+    def test_duplicate_task_id_rejected(self):
+        store = SessionStore()
+        store.create("task-0", 0, assignment(), seed=7, protocol="cbs")
+        with pytest.raises(ProtocolError):
+            store.create("task-0", 1, assignment(), seed=8, protocol="cbs")
+        assert store.stats.rejected_duplicates == 1
+        assert len(store) == 1  # the original survives
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ProtocolError):
+            SessionStore().get("task-404")
+
+    def test_duplicate_commitment_rejected(self):
+        store = SessionStore()
+        store.create("task-0", 0, assignment(), seed=7, protocol="cbs")
+        store.record_commitment("task-0", commitment(), challenge())
+        with pytest.raises(ProtocolError):
+            store.record_commitment("task-0", commitment(), challenge())
+
+    def test_outcome_twice_rejected(self):
+        store = SessionStore()
+        store.create("task-0", 0, assignment(), seed=7, protocol="ni-cbs")
+        store.record_outcome("task-0", outcome())
+        with pytest.raises(ProtocolError):
+            store.record_outcome("task-0", outcome(accepted=False))
+
+    def test_begin_verification_claims_the_session_once(self):
+        # The anti-replay guard: the VERIFYING transition happens
+        # before the expensive work, so a concurrent duplicate fails
+        # fast instead of burning a second worker slot.
+        store = SessionStore()
+        store.create("task-0", 0, assignment(), seed=7, protocol="ni-cbs")
+        session = store.begin_verification("task-0", SessionState.ASSIGNED)
+        assert session.state is SessionState.VERIFYING
+        with pytest.raises(ProtocolError):
+            store.begin_verification("task-0", SessionState.ASSIGNED)
+        store.record_outcome("task-0", outcome())
+        assert store.outcomes == {"task-0": outcome()}
+
+    def test_begin_verification_enforces_expected_state(self):
+        store = SessionStore()
+        store.create("task-0", 0, assignment(), seed=7, protocol="cbs")
+        # CBS proofs require a prior commitment.
+        with pytest.raises(ProtocolError):
+            store.begin_verification("task-0", SessionState.COMMITTED)
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ProtocolError):
+            SessionStore(ttl=0)
+
+
+class TestEviction:
+    def test_abandoned_sessions_evicted_after_ttl(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment("task-0"), seed=1, protocol="cbs")
+        clock.advance(5)
+        store.create("task-1", 1, assignment("task-1"), seed=2, protocol="cbs")
+
+        clock.advance(6)  # task-0 idle 11s, task-1 idle 6s
+        assert store.evict_stale() == ["task-0"]
+        assert "task-0" not in store and "task-1" in store
+        assert store.stats.evicted == 1
+        # A participant returning after eviction looks brand new.
+        with pytest.raises(ProtocolError):
+            store.get("task-0")
+
+    def test_touch_refreshes_the_ttl(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        clock.advance(8)
+        store.get("task-0")  # activity resets the idle timer
+        clock.advance(8)
+        assert store.evict_stale() == []
+
+    def test_completed_sessions_never_evicted(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="ni-cbs")
+        store.record_outcome("task-0", outcome())
+        clock.advance(1000)
+        assert store.evict_stale() == []
+        assert store.outcomes == {"task-0": outcome()}
+
+    def test_mid_protocol_sessions_evicted_too(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        store.record_commitment("task-0", commitment(), challenge())
+        clock.advance(11)
+        assert store.evict_stale() == ["task-0"]
+        # The slot can be re-assigned afterwards (fresh session).
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
