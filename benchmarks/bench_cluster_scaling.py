@@ -1,0 +1,137 @@
+"""Cluster scaling — population throughput across remote worker pools.
+
+The tentpole claim of the cluster engine: a coordinator sharding a
+population across local worker daemons (one process each, dialled in
+over real loopback TCP with pickled chunks, heartbeats and bounded
+in-flight windows) beats the single-host serial loop once the domain
+is large enough to amortize spawn and framing.  Results are
+byte-identical to serial on every worker count — pinned by
+tests/test_engine_cluster.py — so only wall-clock is at stake.
+
+Runs the same population at ``D = 2^16`` on serial and on clusters of
+2 and 4 workers, reports participants/sec, and — on hosts with at
+least 4 usable cores — asserts the 4-worker cluster reaches >= 1.5×
+serial throughput.  Single- and dual-core hosts record the measurement
+honestly in the JSON and skip the assertion (worker daemons then share
+cores with the coordinator, which measures spawn+framing overhead, not
+scaling).
+
+Emits ``benchmarks/results/cluster_scaling.json`` via the shared
+``save_json`` path plus the usual rendered table.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.engine import ClusterExecutor, default_workers, get_executor
+from repro.grid import run_population
+from repro.tasks import PasswordSearch, RangeDomain
+
+D_EXP = 16
+N_PARTICIPANTS = 64
+N_SAMPLES = 16
+CLUSTER_SIZES = (2, 4)
+TARGET_SPEEDUP = 1.5
+
+
+def _run_once(executor) -> float:
+    """One population run; returns elapsed seconds."""
+    start = time.perf_counter()
+    report = run_population(
+        RangeDomain(0, 1 << D_EXP),
+        PasswordSearch(),
+        CBSScheme(n_samples=N_SAMPLES),
+        behaviors=[HonestBehavior(), SemiHonestCheater(0.5)],
+        n_participants=N_PARTICIPANTS,
+        seed=1,
+        engine=executor,
+    )
+    elapsed = time.perf_counter() - start
+    assert len(report.participants) == N_PARTICIPANTS
+    assert report.detection_rate == 1.0
+    return elapsed
+
+
+def test_cluster_scaling(save_json, save_table):
+    cores = default_workers()
+
+    with get_executor("serial") as executor:
+        serial_t = _run_once(executor)
+
+    cluster_t: dict[int, float] = {}
+    cluster_stats: dict[int, dict] = {}
+    for n_workers in CLUSTER_SIZES:
+        with ClusterExecutor(workers=n_workers) as executor:
+            cluster_t[n_workers] = _run_once(executor)
+            cluster_stats[n_workers] = executor.stats
+
+    if cores >= 4 and serial_t / cluster_t[4] < TARGET_SPEEDUP:
+        # Shared CI runners are noisy; each side gets one best-of-two
+        # retry before the assertion fires.
+        with get_executor("serial") as executor:
+            serial_t = min(serial_t, _run_once(executor))
+        with ClusterExecutor(workers=4) as executor:
+            retry_t = _run_once(executor)
+            if retry_t < cluster_t[4]:
+                cluster_t[4] = retry_t
+                cluster_stats[4] = executor.stats
+
+    # Rows are built from the *final* timings so the saved record
+    # always matches whatever the assertion below judged.
+    rows = [
+        {
+            "engine": "serial",
+            "workers": 1,
+            "elapsed_s": round(serial_t, 4),
+            "participants_per_s": round(N_PARTICIPANTS / serial_t, 1),
+            "speedup_vs_serial": 1.0,
+        }
+    ]
+    for n_workers in CLUSTER_SIZES:
+        elapsed = cluster_t[n_workers]
+        rows.append(
+            {
+                "engine": "cluster",
+                "workers": n_workers,
+                "elapsed_s": round(elapsed, 4),
+                "participants_per_s": round(N_PARTICIPANTS / elapsed, 1),
+                "speedup_vs_serial": round(serial_t / elapsed, 2),
+                "chunks": cluster_stats[n_workers]["jobs_completed"],
+                "requeued": cluster_stats[n_workers]["jobs_requeued"],
+            }
+        )
+
+    save_json(
+        "cluster_scaling",
+        {
+            "bench": "cluster_scaling",
+            "domain_size": 1 << D_EXP,
+            "n_participants": N_PARTICIPANTS,
+            "n_samples": N_SAMPLES,
+            "available_cores": cores,
+            "target_speedup": TARGET_SPEEDUP,
+            "rows": rows,
+        },
+    )
+    save_table(
+        "cluster_scaling",
+        format_table(
+            rows,
+            title=(
+                f"Cluster scaling — D = 2^{D_EXP}, "
+                f"{N_PARTICIPANTS} participants, m = {N_SAMPLES}, "
+                f"{cores} core(s)"
+            ),
+        ),
+    )
+
+    if cores >= 4:
+        speedup = serial_t / cluster_t[4]
+        assert speedup >= TARGET_SPEEDUP, (
+            f"4-worker cluster should reach >= {TARGET_SPEEDUP}x serial "
+            f"throughput at D = 2^{D_EXP} on a >=4-core host "
+            f"(measured {speedup:.2f}x: serial {serial_t:.3f}s, "
+            f"cluster {cluster_t[4]:.3f}s)"
+        )

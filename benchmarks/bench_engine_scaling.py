@@ -18,7 +18,6 @@ exactly that.  On a single-core machine the assertion is vacuous and
 the JSON row records the environment honestly.
 """
 
-import json
 import time
 
 from repro.analysis import format_table
@@ -52,7 +51,7 @@ def _run_once(exp: int, executor) -> float:
     return elapsed
 
 
-def test_engine_scaling(results_dir, save_table):
+def test_engine_scaling(save_json, save_table):
     workers = default_workers()
     rows = []
     serial_elapsed: dict[int, float] = {}
@@ -80,15 +79,16 @@ def test_engine_scaling(results_dir, save_table):
                     }
                 )
 
-    payload = {
-        "bench": "engine_scaling",
-        "n_participants": N_PARTICIPANTS,
-        "n_samples": N_SAMPLES,
-        "available_cores": workers,
-        "rows": rows,
-    }
-    out = results_dir / "engine_scaling.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    save_json(
+        "engine_scaling",
+        {
+            "bench": "engine_scaling",
+            "n_participants": N_PARTICIPANTS,
+            "n_samples": N_SAMPLES,
+            "available_cores": workers,
+            "rows": rows,
+        },
+    )
     save_table(
         "engine_scaling",
         format_table(

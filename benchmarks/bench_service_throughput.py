@@ -15,7 +15,6 @@ per round).
 """
 
 import asyncio
-import json
 
 from repro.analysis import format_table
 from repro.cheating import HonestBehavior, SemiHonestCheater
@@ -55,7 +54,7 @@ def _run(protocol: str) -> dict:
     return {"protocol": protocol} | stats.summary()
 
 
-def test_service_throughput(results_dir, save_table):
+def test_service_throughput(save_json, save_table):
     rows = [_run("ni-cbs"), _run("cbs")]
     by_protocol = {row["protocol"]: row for row in rows}
 
@@ -67,16 +66,17 @@ def test_service_throughput(results_dir, save_table):
             by_protocol["ni-cbs"] = retry
             rows[0] = retry
 
-    payload = {
-        "bench": "service_throughput",
-        "domain_size": 1 << D_EXP,
-        "n_participants": N_PARTICIPANTS,
-        "n_samples": N_SAMPLES,
-        "target_submissions_per_s": TARGET_SUBMISSIONS_PER_S,
-        "rows": rows,
-    }
-    out = results_dir / "service_throughput.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    save_json(
+        "service_throughput",
+        {
+            "bench": "service_throughput",
+            "domain_size": 1 << D_EXP,
+            "n_participants": N_PARTICIPANTS,
+            "n_samples": N_SAMPLES,
+            "target_submissions_per_s": TARGET_SUBMISSIONS_PER_S,
+            "rows": rows,
+        },
+    )
     save_table(
         "service_throughput",
         format_table(

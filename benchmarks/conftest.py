@@ -8,6 +8,7 @@ inspectable after ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -45,5 +46,24 @@ def save_table(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def save_json(results_dir):
+    """Write a machine-readable payload to results/<name>.json.
+
+    The shared path for throughput/latency trajectory tracking: every
+    bench that measures performance saves one ``BENCH_*``-style JSON
+    record here (the CLI's ``loadgen --json`` emits the same shape),
+    so runs are diffable across commits without scraping tables.
+    """
+
+    def _save(name: str, payload: dict) -> pathlib.Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[json saved to {path}]")
+        return path
 
     return _save

@@ -13,24 +13,32 @@ without touching pytest:
 * ``population`` — a full population simulation on a chosen execution
   backend, reporting participants/sec;
 * ``serve`` — the supervisor as a long-running asyncio TCP service
-  (the §4 GRACE topology; see :mod:`repro.service`);
+  (the §4 GRACE topology; see :mod:`repro.service`), shutting down
+  gracefully on SIGINT/SIGTERM;
 * ``loadgen`` — N concurrent honest/cheating participants against a
   running supervisor (or a self-contained in-process one), reporting
-  detection plus submissions/sec and latency percentiles.
+  detection plus submissions/sec and latency percentiles
+  (``--json PATH`` additionally saves a machine-readable record);
+* ``worker`` — a cluster worker daemon executing engine chunks for a
+  coordinator (see :mod:`repro.engine.cluster`).
 
 All subcommands accept ``--seed`` and print the same tables the
 benchmark harness saves under ``benchmarks/results/``.  Subcommands
 that run many independent protocol executions (``eq2``,
 ``population``) additionally accept ``--engine
-serial|threads|processes`` and ``--workers N`` to pick the execution
-backend (see :mod:`repro.engine`); backends change wall-clock only,
-never results.
+serial|threads|processes|cluster`` and ``--workers N`` to pick the
+execution backend (see :mod:`repro.engine`); backends change
+wall-clock only, never results.  ``--engine cluster`` self-hosts
+``--cluster-workers N`` local worker daemons — the multi-host recipe
+(one coordinator, workers on other machines) is in the README.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import signal
 import sys
 import time
 
@@ -48,6 +56,7 @@ from repro.cheating.regrind import expected_regrind_attempts, run_regrind_attack
 from repro.core import CBSScheme, predicted_rco
 from repro.baselines import NaiveSamplingScheme
 from repro.engine import ENGINE_NAMES, get_executor
+from repro.engine.cluster.worker import add_worker_args, run_worker_sync
 from repro.grid import run_population
 from repro.merkle import get_hash
 from repro.service import (
@@ -80,7 +89,7 @@ def _cmd_eq2(args: argparse.Namespace) -> int:
     rows = []
     # One warm pool across all four m-values (the loop would otherwise
     # spawn and tear down a process pool per cell).
-    with get_executor(args.engine, args.workers) as executor:
+    with get_executor(args.engine, _engine_workers(args)) as executor:
         for m in (1, 2, 4, 8):
             estimate = estimate_escape_rate(
                 CBSScheme(n_samples=m),
@@ -254,7 +263,7 @@ def _cmd_population(args: argparse.Namespace) -> int:
         n_participants=args.participants,
         seed=args.seed,
         engine=args.engine,
-        workers=args.workers,
+        workers=_engine_workers(args),
     )
     elapsed = time.perf_counter() - start
     row = report.summary()
@@ -291,9 +300,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = SupervisorServer(
             config,
             engine=args.engine,
-            workers=args.workers,
+            workers=_engine_workers(args),
             session_ttl=args.session_ttl,
         )
+        # Graceful shutdown: SIGINT/SIGTERM set an event instead of
+        # tearing through the loop as KeyboardInterrupt; server.stop()
+        # then closes the listener, drains in-flight rounds and the
+        # engine pool, and releases session state.  Handlers go in
+        # before the readiness banner so a supervisor that printed
+        # "listening" is already signal-safe.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list[signal.Signals] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                handled.append(sig)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
         host, port = await server.start(args.host, args.port)
         print(
             f"supervisor listening on {host}:{port} — protocol "
@@ -302,13 +326,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         try:
-            await server.serve_forever()
+            await stop.wait()
         finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
             await server.stop()
+            print(
+                f"supervisor stopped — {server.stats.connections} "
+                f"connections, {server.stats.verifications} verifications, "
+                f"{server.sessions.stats.evicted} sessions evicted",
+                flush=True,
+            )
 
     try:
         asyncio.run(serve())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
         print("supervisor stopped")
     return 0
 
@@ -354,7 +386,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 behaviors,
                 transport="tcp",
                 engine=args.engine,
-                workers=args.workers,
+                workers=_engine_workers(args),
                 concurrency=args.concurrency,
             )
         )
@@ -369,6 +401,29 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.json:
+        payload = {
+            "bench": "loadgen",
+            "mode": "connected" if args.host is not None else "self-hosted",
+            "participants": args.participants,
+            "r": args.r,
+            "concurrency": args.concurrency,
+            "report": report.summary(),
+            "stats": stats.summary(),
+        }
+        if args.host is None:
+            payload |= {
+                "domain_size": args.n,
+                "n_samples": args.m,
+                "protocol": args.protocol,
+                "workload": args.workload,
+                "seed": args.seed,
+                "engine": args.engine,
+            }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[json saved to {args.json}]")
     if args.check:
         clean = (
             stats.n_errors == 0
@@ -381,6 +436,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             return 1
         print("loadgen --check passed: clean detection report")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    return run_worker_sync(
+        args.host,
+        args.port,
+        engine=args.engine,
+        workers=args.workers,
+        worker_id=args.worker_id,
+        heartbeat_interval=args.heartbeat_interval,
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -403,6 +469,26 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="pool size for threads/processes (default: CPU count)",
     )
+    parser.add_argument(
+        "--cluster-workers",
+        type=_positive_int,
+        default=None,
+        dest="cluster_workers",
+        help="local worker daemons to self-host with --engine cluster "
+        "(default: --workers, else CPU count)",
+    )
+
+
+def _engine_workers(args: argparse.Namespace) -> int | None:
+    """The worker count the chosen backend actually consumes.
+
+    ``--cluster-workers`` wins for the cluster backend, but a bare
+    ``--engine cluster --workers N`` still means N daemons — silently
+    ignoring an explicit ``--workers`` would surprise.
+    """
+    if args.engine == "cluster" and args.cluster_workers is not None:
+        return args.cluster_workers
+    return args.workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -504,8 +590,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=_positive_int, default=32)
     p.add_argument("--check", action="store_true",
                    help="exit nonzero unless the detection report is clean")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also save throughput/latency results as JSON")
     add_service_args(p)
     p.set_defaults(fn=_cmd_loadgen, engine="threads")
+
+    p = sub.add_parser(
+        "worker",
+        help="cluster worker daemon: execute engine chunks for a "
+        "coordinator (see README for the multi-host recipe)",
+    )
+    add_worker_args(p)
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser("demo", help="one narrated CBS run")
     p.add_argument("--n", type=int, default=4096)

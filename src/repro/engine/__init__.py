@@ -35,12 +35,19 @@ small protocol:
     byte-identical :class:`~repro.grid.report.DetectionReport`'s — the
     parity tests pin this.
 
+:class:`~repro.engine.cluster.ClusterExecutor` (``"cluster"``)
+    The distributed backend: a coordinator shards picklable chunks
+    across remote worker daemons over TCP (heartbeats, bounded
+    in-flight windows, requeue from dead/slow workers, at-most-once
+    results) — see :mod:`repro.engine.cluster`.  Imported lazily so
+    the in-process backends stay free of the service layer.
+
 Every population-shaped entry point threads an ``engine=`` option down
 here: ``GridSimulation`` / ``run_population`` (one job per
 participant), ``analysis.montecarlo`` (one job per trial),
 ``analysis.sweep`` (one job per grid point), the CLI
-(``--engine serial|threads|processes --workers N``) and the chunked
-Merkle root builder (:func:`repro.merkle.tree.chunked_root`).
+(``--engine serial|threads|processes|cluster --workers N``) and the
+chunked Merkle root builder (:func:`repro.merkle.tree.chunked_root`).
 """
 
 from repro.engine.executor import (
@@ -62,12 +69,24 @@ from repro.engine.jobs import (
 )
 from repro.engine.seeding import SEED_STRIDE, derive_seed
 
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.engine.cluster pulls in the service codec,
+    # which the lightweight in-process backends must not load eagerly.
+    if name == "ClusterExecutor":
+        from repro.engine.cluster.coordinator import ClusterExecutor
+
+        return ClusterExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ENGINE_NAMES",
     "Executor",
     "SerialExecutor",
     "ThreadPoolExecutor",
     "ProcessPoolExecutor",
+    "ClusterExecutor",
     "default_workers",
     "get_executor",
     "resolved_executor",

@@ -1,0 +1,46 @@
+"""Cluster engine: a distributed :class:`Executor` over remote workers.
+
+The fourth engine backend.  ``map(fn, items)`` with ordered results is
+the whole protocol a backend must honour, so a coordinator that ships
+pickled chunks to worker daemons over TCP (the service layer's frame
+codec, extended with ``hello``/``heartbeat``/``job``/``result``/``bye``
+frames) slots in behind :func:`repro.engine.executor.get_executor`
+with zero call-site changes — ``GridSimulation``, the Monte-Carlo
+estimators, sweeps, the supervisor service and every ``--engine`` CLI
+flag gain multi-host dispatch by naming ``"cluster"``.
+
+* :class:`~repro.engine.cluster.coordinator.ClusterExecutor` — the
+  coordinator: worker registry, heartbeat/EOF liveness, bounded
+  per-worker in-flight windows, requeue of chunks from dead or slow
+  workers with at-most-once result acceptance, ordered reassembly.
+* :mod:`repro.engine.cluster.worker` — the worker daemon: registers,
+  executes chunks on a local engine, streams results back, and never
+  dies because of a job.
+
+Parity: a cluster run produces byte-identical
+:class:`~repro.grid.report.DetectionReport`'s to the serial backend —
+including under worker kills mid-population — because every chunk is a
+pure function of its payload and results are accepted at most once.
+"""
+
+from repro.engine.cluster.coordinator import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    ClusterExecutor,
+)
+from repro.engine.cluster.worker import (
+    default_worker_id,
+    execute_payload,
+    run_worker,
+    run_worker_sync,
+)
+
+__all__ = [
+    "ClusterExecutor",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "default_worker_id",
+    "execute_payload",
+    "run_worker",
+    "run_worker_sync",
+]

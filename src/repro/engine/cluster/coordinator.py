@@ -1,0 +1,700 @@
+"""Cluster coordinator: the distributed :class:`Executor` backend.
+
+:class:`ClusterExecutor` satisfies the engine protocol — ``map(fn,
+items)`` with results in submission order — by sharding pickled
+``(fn, args, kwargs)`` chunks across remote worker daemons
+(:mod:`repro.engine.cluster.worker`) over the service layer's
+length-prefixed frame protocol.  Call sites do not change: anything
+that dispatches through :func:`repro.engine.executor.get_executor`
+(``GridSimulation``, ``analysis.montecarlo``, ``analysis.sweep``, the
+supervisor service, every ``--engine`` CLI flag) gains multi-host
+execution by naming ``"cluster"``.
+
+Topology and scheduling:
+
+* the coordinator binds a TCP listener; workers dial in and register
+  with a ``hello`` frame (id, capacity, wire version);
+* each worker gets a **bounded in-flight window** (capacity ×
+  ``window_depth`` chunks): a slow worker fills its window and simply
+  stops receiving work — backpressure, not starvation of the fast
+  workers;
+* liveness is EOF *plus* heartbeats: a SIGKILLed worker drops its
+  socket and is detected immediately; a silently wedged one trips the
+  heartbeat timeout.  Either way its in-flight chunks are requeued
+  (bounded by ``max_attempts``) and reassigned;
+* ``job_timeout`` (optional) additionally requeues chunks stuck on a
+  *live but slow* worker; results are accepted **at most once** per
+  chunk id, so a straggler's late duplicate is ignored — and because
+  every chunk is a pure function of its payload, whichever copy
+  arrives first is byte-identical to any other;
+* results are reassembled in submission order, which is what makes a
+  cluster population run produce byte-identical
+  :class:`~repro.grid.report.DetectionReport`'s to the serial backend.
+
+Deployment modes: **spawn-local** (default — the coordinator launches
+``workers`` daemon subprocesses on this host; benches, tests, and the
+CLI's ``--engine cluster --cluster-workers N``) and **external**
+(``spawn_local=False`` — bind a fixed port and let operators start
+workers on other hosts with ``python -m repro.cli worker``).
+
+The coordinator's event loop runs on a dedicated background thread, so
+the synchronous ``map()`` contract holds whether the caller is a plain
+script, a pytest process, or the supervisor service (whose asyncio
+loop reaches the cluster through :attr:`ClusterExecutor.futures_pool`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import os
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from repro.engine.executor import Executor, default_workers
+from repro.exceptions import CodecError, EngineError, ReproError
+from repro.service.codec import (
+    MAX_CLUSTER_FRAME_BYTES,
+    ByeFrame,
+    HeartbeatFrame,
+    JobFrame,
+    ResultFrame,
+    WorkerHello,
+    decode_cluster_payload,
+    encode_cluster_payload,
+    read_frame,
+    write_frame,
+)
+
+#: Seconds between liveness beacons requested from spawned workers.
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+
+#: Seconds of silence (no frame, no heartbeat) before a worker is
+#: declared dead.  Generous relative to the beacon interval: EOF
+#: detection catches crashes instantly, this only fences network
+#: half-death.
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+
+class _Job:
+    """One chunk in flight: payload, caller future, retry accounting."""
+
+    __slots__ = ("job_id", "payload", "future", "worker_id", "attempts",
+                 "started_at")
+
+    def __init__(
+        self,
+        job_id: int,
+        payload: bytes,
+        future: concurrent.futures.Future,
+    ) -> None:
+        self.job_id = job_id
+        self.payload = payload
+        self.future = future
+        self.worker_id: str | None = None
+        self.attempts = 0
+        self.started_at: float | None = None
+
+
+class _WorkerLink:
+    """Coordinator-side state for one registered worker connection."""
+
+    __slots__ = ("worker_id", "capacity", "writer", "window", "inflight",
+                 "last_seen")
+
+    def __init__(
+        self, worker_id: str, capacity: int, writer, window: int, now: float
+    ) -> None:
+        self.worker_id = worker_id
+        self.capacity = capacity
+        self.writer = writer
+        self.window = window
+        self.inflight: set[int] = set()
+        self.last_seen = now
+
+
+class _Coordinator:
+    """Loop-thread-only scheduling state.  Never touched off-loop."""
+
+    def __init__(
+        self,
+        *,
+        max_frame: int,
+        window_depth: int,
+        heartbeat_timeout: float,
+        job_timeout: float | None,
+        max_attempts: int,
+        more_workers_expected: Callable[[], bool],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_frame = max_frame
+        self.window_depth = window_depth
+        self.heartbeat_timeout = heartbeat_timeout
+        self.job_timeout = job_timeout
+        self.max_attempts = max_attempts
+        self.more_workers_expected = more_workers_expected
+        self.clock = clock
+
+        self.workers: dict[str, _WorkerLink] = {}
+        self.jobs: dict[int, _Job] = {}
+        self.pending: deque[int] = deque()
+        self.jobs_completed = 0
+        self.jobs_requeued = 0
+        self.workers_lost = 0
+        self._next_job_id = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._monitor_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._send_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (awaited from the loop thread)
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str, port: int) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._spawn_connection, host, port
+        )
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._monitor_task
+            self._monitor_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for link in list(self.workers.values()):
+            with contextlib.suppress(Exception):
+                await write_frame(
+                    link.writer,
+                    ByeFrame(reason="coordinator shutdown"),
+                    max_frame=self.max_frame,
+                )
+            with contextlib.suppress(Exception):
+                link.writer.close()
+        self.workers.clear()
+        for task in list(self._conn_tasks) + list(self._send_tasks):
+            task.cancel()
+        for task in list(self._conn_tasks) + list(self._send_tasks):
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._conn_tasks.clear()
+        self._send_tasks.clear()
+        self._fail_all(EngineError("cluster executor closed"))
+
+    def _fail_all(self, exc: Exception) -> None:
+        for job in list(self.jobs.values()):
+            if not job.future.done():
+                job.future.set_exception(exc)
+        self.jobs.clear()
+        self.pending.clear()
+
+    # ------------------------------------------------------------------
+    # Submission (scheduled onto the loop via call_soon_threadsafe)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, payload: bytes, future: concurrent.futures.Future
+    ) -> None:
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self.jobs[job_id] = _Job(job_id, payload, future)
+        self.pending.append(job_id)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Assign pending chunks to workers with free window slots."""
+        progress = True
+        while self.pending and progress:
+            progress = False
+            for link in list(self.workers.values()):
+                if not self.pending:
+                    break
+                if len(link.inflight) >= link.window:
+                    continue
+                job = None
+                while self.pending and job is None:
+                    job_id = self.pending.popleft()
+                    job = self.jobs.get(job_id)
+                    if job is not None and job.future.done():
+                        # Cancelled by the caller: forget it.
+                        del self.jobs[job_id]
+                        job = None
+                if job is None:
+                    continue
+                job.worker_id = link.worker_id
+                job.started_at = self.clock()
+                job.attempts += 1
+                link.inflight.add(job.job_id)
+                task = asyncio.ensure_future(self._send_job(link, job))
+                self._send_tasks.add(task)
+                task.add_done_callback(self._send_tasks.discard)
+                progress = True
+
+    async def _send_job(self, link: _WorkerLink, job: _Job) -> None:
+        try:
+            await write_frame(
+                link.writer,
+                JobFrame(job_id=job.job_id, payload=job.payload),
+                max_frame=self.max_frame,
+            )
+        except Exception:
+            self._drop_worker(link)
+
+    # ------------------------------------------------------------------
+    # Worker connections
+    # ------------------------------------------------------------------
+
+    def _spawn_connection(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve_worker(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_worker(self, reader, writer) -> None:
+        link: _WorkerLink | None = None
+        try:
+            frame = await read_frame(reader, max_frame=self.max_frame)
+            if not isinstance(frame, WorkerHello):
+                with contextlib.suppress(Exception):
+                    await write_frame(
+                        writer,
+                        ByeFrame(reason="expected hello"),
+                        max_frame=self.max_frame,
+                    )
+                return
+            if frame.worker_id in self.workers:
+                with contextlib.suppress(Exception):
+                    await write_frame(
+                        writer,
+                        ByeFrame(reason=f"duplicate id {frame.worker_id!r}"),
+                        max_frame=self.max_frame,
+                    )
+                return
+            link = _WorkerLink(
+                worker_id=frame.worker_id,
+                capacity=frame.capacity,
+                writer=writer,
+                window=max(1, frame.capacity) * self.window_depth,
+                now=self.clock(),
+            )
+            self.workers[link.worker_id] = link
+            self._pump()
+            while True:
+                frame = await read_frame(reader, max_frame=self.max_frame)
+                if frame is None or isinstance(frame, ByeFrame):
+                    return
+                link.last_seen = self.clock()
+                if isinstance(frame, ResultFrame):
+                    self._on_result(link, frame)
+                elif isinstance(frame, HeartbeatFrame):
+                    pass
+                # Anything else from a registered worker is ignored.
+        except (ReproError, ConnectionError, OSError):
+            pass  # a misbehaving/dying worker never takes the pool down
+        finally:
+            if link is not None:
+                self._drop_worker(link)
+            with contextlib.suppress(Exception):
+                writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+    def _on_result(self, link: _WorkerLink, frame: ResultFrame) -> None:
+        link.inflight.discard(frame.job_id)
+        job = self.jobs.get(frame.job_id)
+        if job is None or job.future.done():
+            # Late duplicate of a requeued chunk, or a chunk whose
+            # caller cancelled (a sibling failed mid-map): drop the
+            # bookkeeping so a long-lived pool cannot accumulate it.
+            if job is not None:
+                del self.jobs[frame.job_id]
+            self._pump()
+            return
+        del self.jobs[frame.job_id]
+        self.jobs_completed += 1
+        if frame.ok:
+            try:
+                result = decode_cluster_payload(frame.payload)
+            except CodecError as exc:
+                job.future.set_exception(
+                    EngineError(
+                        f"undecodable result from {link.worker_id}: {exc}"
+                    )
+                )
+            else:
+                job.future.set_result(result)
+        else:
+            try:
+                message = decode_cluster_payload(frame.payload)
+            except CodecError:
+                message = "<undecodable error payload>"
+            job.future.set_exception(
+                EngineError(
+                    f"remote chunk {frame.job_id} failed on "
+                    f"{link.worker_id}: {message}"
+                )
+            )
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    def _drop_worker(self, link: _WorkerLink) -> None:
+        if self.workers.get(link.worker_id) is link:
+            del self.workers[link.worker_id]
+            self.workers_lost += 1
+        with contextlib.suppress(Exception):
+            link.writer.close()
+        for job_id in list(link.inflight):
+            self._requeue(job_id)
+        link.inflight.clear()
+        self._pump()
+
+    def _requeue(self, job_id: int) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return
+        if job.future.done():  # cancelled by the caller: forget it
+            del self.jobs[job_id]
+            return
+        if job.attempts >= self.max_attempts:
+            del self.jobs[job_id]
+            job.future.set_exception(
+                EngineError(
+                    f"cluster chunk {job_id} failed after "
+                    f"{job.attempts} assignments"
+                )
+            )
+            return
+        job.worker_id = None
+        job.started_at = None
+        self.jobs_requeued += 1
+        self.pending.appendleft(job_id)
+
+    async def _monitor(self) -> None:
+        interval = min(self.heartbeat_timeout / 4.0, 0.25)
+        while True:
+            await asyncio.sleep(interval)
+            now = self.clock()
+            for link in list(self.workers.values()):
+                if now - link.last_seen > self.heartbeat_timeout:
+                    self._drop_worker(link)
+            if self.job_timeout is not None:
+                for job in list(self.jobs.values()):
+                    if (
+                        job.worker_id is not None
+                        and job.started_at is not None
+                        and now - job.started_at > self.job_timeout
+                    ):
+                        link = self.workers.get(job.worker_id)
+                        if link is not None:
+                            link.inflight.discard(job.job_id)
+                        self._requeue(job.job_id)
+            if (
+                self.jobs
+                and not self.workers
+                and not self.more_workers_expected()
+            ):
+                self._fail_all(
+                    EngineError(
+                        "all cluster workers are gone and none can rejoin"
+                    )
+                )
+            self._pump()
+
+
+class _ClusterFuturesPool(concurrent.futures.Executor):
+    """``concurrent.futures`` facade over a :class:`ClusterExecutor`.
+
+    This is the asyncio bridge: the supervisor service hands this to
+    ``loop.run_in_executor``, so ``--engine cluster`` pushes
+    verification jobs to remote workers with zero server changes.
+    Lifetime belongs to the owning executor — ``shutdown`` is a no-op.
+    """
+
+    def __init__(self, owner: "ClusterExecutor") -> None:
+        self._owner = owner
+
+    def submit(self, fn, /, *args, **kwargs) -> concurrent.futures.Future:
+        return self._owner.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        pass  # the ClusterExecutor owns the worker pool lifecycle
+
+
+class ClusterExecutor(Executor):
+    """Distributed engine backend over remote worker daemons.
+
+    ``workers`` is the number of *local worker daemons* to spawn in
+    the default self-hosting mode (tests, benches, ``--engine cluster
+    --cluster-workers N``).  With ``spawn_local=False`` the coordinator
+    only binds ``host:port`` and serves whatever external workers
+    register — start them with ``python -m repro.cli worker --host
+    <coordinator> --port <port>`` on any number of hosts.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_local: bool = True,
+        worker_engine: str = "serial",
+        worker_processes: int | None = None,
+        window_depth: int = 2,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        job_timeout: float | None = None,
+        max_attempts: int = 3,
+        startup_timeout: float = 60.0,
+        max_frame: int = MAX_CLUSTER_FRAME_BYTES,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        if window_depth < 1:
+            raise EngineError(f"window_depth must be >= 1, got {window_depth}")
+        if max_attempts < 1:
+            raise EngineError(f"max_attempts must be >= 1, got {max_attempts}")
+        if worker_engine == "cluster":
+            raise EngineError("cluster workers cannot use the cluster engine")
+        self._n_local = workers or default_workers()
+        self._host = host
+        self._port = port
+        self._spawn_local = spawn_local
+        self._worker_engine = worker_engine
+        self._worker_processes = worker_processes
+        self._window_depth = window_depth
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._job_timeout = job_timeout
+        self._max_attempts = max_attempts
+        self._startup_timeout = startup_timeout
+        self._max_frame = max_frame
+
+        self._lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._co: _Coordinator | None = None
+        self._procs: list[subprocess.Popen] = []
+        self._address: tuple[str, int] | None = None
+        self._pool_facade: _ClusterFuturesPool | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Executor protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Total registered capacity (spawn target before startup)."""
+        co = self._co
+        if co is not None and co.workers:
+            return max(1, sum(w.capacity for w in co.workers.values()))
+        return max(1, self._n_local)
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """The coordinator's bound ``(host, port)`` once started."""
+        return self._address
+
+    @property
+    def stats(self) -> dict:
+        """Scheduling counters (chunks completed/requeued, worker churn)."""
+        co = self._co
+        if co is None:
+            return {"jobs_completed": 0, "jobs_requeued": 0,
+                    "workers_lost": 0, "workers_live": 0}
+        return {
+            "jobs_completed": co.jobs_completed,
+            "jobs_requeued": co.jobs_requeued,
+            "workers_lost": co.workers_lost,
+            "workers_live": len(co.workers),
+        }
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        if not items:
+            if self._closed:
+                raise EngineError("cluster executor already closed")
+            return []
+        futures = [self.submit(fn, item) for item in items]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+    def submit(self, fn, /, *args, **kwargs) -> concurrent.futures.Future:
+        """Ship one call to the cluster; returns a waitable future."""
+        self._ensure_started()
+        payload = encode_cluster_payload((fn, args, kwargs))
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        assert self._loop is not None and self._co is not None
+        self._loop.call_soon_threadsafe(self._co.submit, payload, future)
+        return future
+
+    @property
+    def futures_pool(self) -> concurrent.futures.Executor:
+        self._ensure_started()
+        if self._pool_facade is None:
+            self._pool_facade = _ClusterFuturesPool(self)
+        return self._pool_facade
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop, thread, co = self._loop, self._thread, self._co
+            self._loop = self._thread = self._co = None
+        if loop is not None and co is not None:
+            with contextlib.suppress(Exception):
+                asyncio.run_coroutine_threadsafe(co.stop(), loop).result(
+                    timeout=10.0
+                )
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=10.0)
+            loop.close()
+        for proc in self._procs:
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        for proc in self._procs:
+            with contextlib.suppress(Exception):
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+        self._procs.clear()
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def _more_workers_expected(self) -> bool:
+        """May a worker (re)join?  External pools: always.  Spawn-local
+        pools: only while at least one daemon process is alive."""
+        if not self._spawn_local:
+            return True
+        return any(proc.poll() is None for proc in self._procs)
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise EngineError("cluster executor already closed")
+            if self._thread is not None:
+                return
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="repro-cluster", daemon=True
+            )
+            thread.start()
+            co = _Coordinator(
+                max_frame=self._max_frame,
+                window_depth=self._window_depth,
+                heartbeat_timeout=self._heartbeat_timeout,
+                job_timeout=self._job_timeout,
+                max_attempts=self._max_attempts,
+                more_workers_expected=self._more_workers_expected,
+            )
+            try:
+                self._address = asyncio.run_coroutine_threadsafe(
+                    co.start(self._host, self._port), loop
+                ).result(timeout=self._startup_timeout)
+            except Exception:
+                loop.call_soon_threadsafe(loop.stop)
+                thread.join(timeout=5.0)
+                loop.close()
+                raise
+            self._loop, self._thread, self._co = loop, thread, co
+        if self._spawn_local:
+            self._spawn_workers()
+            self._await_workers(self._n_local)
+        else:
+            self._await_workers(1)
+
+    def _spawn_workers(self) -> None:
+        assert self._address is not None
+        host, port = self._address
+        env = dict(os.environ)
+        # Workers must import repro exactly as this process does,
+        # wherever pytest/CLI put it on sys.path.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        # A -c shim rather than -m: runpy re-executing worker.py under
+        # a package whose __init__ already imported it would warn.
+        entry = (
+            "import sys; from repro.engine.cluster.worker import main; "
+            "sys.exit(main(sys.argv[1:]))"
+        )
+        for i in range(self._n_local):
+            cmd = [
+                sys.executable, "-c", entry,
+                "--host", host,
+                "--port", str(port),
+                "--engine", self._worker_engine,
+                "--id", f"local-{i}",
+                "--heartbeat", str(self._heartbeat_interval),
+            ]
+            if self._worker_processes is not None:
+                cmd += ["--workers", str(self._worker_processes)]
+            self._procs.append(
+                subprocess.Popen(
+                    cmd, env=env, stdout=subprocess.DEVNULL
+                )
+            )
+
+    def _await_workers(self, target: int) -> None:
+        """Block until ``target`` workers registered (or fail loudly)."""
+        deadline = time.monotonic() + self._startup_timeout
+        while True:
+            co = self._co
+            if co is None:
+                raise EngineError("cluster executor closed during startup")
+            if len(co.workers) >= target:
+                return
+            if self._spawn_local:
+                dead = [p for p in self._procs if p.poll() is not None]
+                if dead and len(co.workers) + sum(
+                    1 for p in self._procs if p.poll() is None
+                ) < target:
+                    raise EngineError(
+                        f"cluster worker exited with code "
+                        f"{dead[0].returncode} before registering"
+                    )
+            if time.monotonic() >= deadline:
+                raise EngineError(
+                    f"only {len(co.workers)} of {target} cluster workers "
+                    f"registered within {self._startup_timeout}s"
+                )
+            time.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # Local worker management (test hooks)
+    # ------------------------------------------------------------------
+
+    @property
+    def local_worker_pids(self) -> list[int]:
+        """PIDs of spawned local workers (fault-injection tests)."""
+        return [proc.pid for proc in self._procs if proc.poll() is None]

@@ -1,0 +1,306 @@
+"""Cluster worker daemon: execute pickled engine chunks for a coordinator.
+
+One worker is one long-lived process on one host.  It dials the
+coordinator, registers with a ``hello`` frame (id, capacity, wire
+version), then serves ``job`` frames until a ``bye``, an EOF or a
+shutdown signal: each payload is unpickled into ``(fn, args, kwargs)``,
+executed on the worker's *local* execution engine (serial, threads or
+processes — a cluster worker is itself a single-host engine user), and
+answered with a ``result`` frame.
+
+Survival contract: a worker never dies because of a job.  Corrupted or
+oversized payloads raise :class:`~repro.exceptions.CodecError`, a job
+whose function raises is caught — both come back as ``ok=False``
+results carrying the error text, and the worker keeps serving.  Jobs
+run off the event loop (on the engine's pool, or a thread for the
+serial engine) so heartbeats keep flowing while a chunk computes —
+that is what lets the coordinator tell *busy* from *dead*.
+
+Run it standalone (``python -m repro.engine.cluster.worker``) or via
+the CLI (``python -m repro.cli worker``); the coordinator's spawn-local
+mode launches exactly this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import functools
+import os
+import secrets
+import signal
+import sys
+
+from repro.engine.executor import get_executor
+from repro.exceptions import CodecError, EngineError, ReproError
+from repro.service.codec import (
+    MAX_CLUSTER_FRAME_BYTES,
+    ByeFrame,
+    HeartbeatFrame,
+    JobFrame,
+    ResultFrame,
+    WorkerHello,
+    decode_cluster_payload,
+    encode_cluster_payload,
+    read_frame,
+    write_frame,
+)
+
+#: Default seconds between liveness beacons.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+
+def default_worker_id() -> str:
+    """A collision-resistant id: pid plus a random suffix."""
+    return f"worker-{os.getpid()}-{secrets.token_hex(3)}"
+
+
+def execute_payload(raw: bytes) -> object:
+    """Unpickle one job payload and run it (the worker-side hot path).
+
+    The payload must be a ``(fn, args, kwargs)`` triple; anything else
+    — including bytes that do not unpickle — raises
+    :class:`~repro.exceptions.CodecError`.  Module-level so the
+    process-engine pool can pickle it.
+    """
+    obj = decode_cluster_payload(raw)
+    if (
+        not isinstance(obj, tuple)
+        or len(obj) != 3
+        or not callable(obj[0])
+        or not isinstance(obj[1], tuple)
+        or not isinstance(obj[2], dict)
+    ):
+        raise CodecError("job payload must be a (fn, args, kwargs) triple")
+    fn, args, kwargs = obj
+    return fn(*args, **kwargs)
+
+
+async def run_worker(
+    host: str,
+    port: int,
+    *,
+    engine: str = "serial",
+    workers: int | None = None,
+    worker_id: str | None = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    max_frame: int = MAX_CLUSTER_FRAME_BYTES,
+    shutdown: asyncio.Event | None = None,
+) -> int:
+    """Serve one coordinator until bye/EOF/``shutdown``; return jobs done.
+
+    ``engine``/``workers`` pick the worker's local execution backend —
+    ``"cluster"`` is rejected (a worker must not recurse into another
+    coordinator).  ``shutdown`` is the graceful-exit hook the signal
+    handlers set.
+    """
+    if engine == "cluster":
+        raise EngineError("a cluster worker cannot use the cluster engine")
+    if heartbeat_interval <= 0:
+        raise EngineError(
+            f"heartbeat interval must be positive, got {heartbeat_interval}"
+        )
+    worker_id = worker_id or default_worker_id()
+    jobs_done = 0
+
+    with get_executor(engine, workers) as executor:
+        loop = asyncio.get_running_loop()
+        reader, writer = await asyncio.open_connection(host, port)
+        write_lock = asyncio.Lock()
+        slots = asyncio.Semaphore(executor.workers)
+        inflight: set[asyncio.Task] = set()
+
+        async def send(frame) -> None:
+            async with write_lock:
+                await write_frame(writer, frame, max_frame=max_frame)
+
+        async def heartbeats() -> None:
+            while True:
+                await asyncio.sleep(heartbeat_interval)
+                await send(HeartbeatFrame(worker_id=worker_id))
+
+        async def run_job(frame: JobFrame) -> None:
+            nonlocal jobs_done
+            try:
+                async with slots:
+                    # futures_pool is None on the serial engine; the
+                    # loop's default thread pool keeps heartbeats alive
+                    # during compute either way.
+                    result = await loop.run_in_executor(
+                        executor.futures_pool,
+                        functools.partial(execute_payload, frame.payload),
+                    )
+                ok, payload = True, encode_cluster_payload(result)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # The survival contract: bad payloads (CodecError),
+                # failing jobs, unpicklable/oversized results all come
+                # back as data.
+                ok = False
+                payload = encode_cluster_payload(
+                    f"{type(exc).__name__}: {exc}"
+                )
+            jobs_done += 1
+            await send(ResultFrame(job_id=frame.job_id, ok=ok, payload=payload))
+
+        hb_task = asyncio.ensure_future(heartbeats())
+        stop_task = (
+            asyncio.ensure_future(shutdown.wait())
+            if shutdown is not None
+            else None
+        )
+        try:
+            await send(
+                WorkerHello(worker_id=worker_id, capacity=executor.workers)
+            )
+            while True:
+                frame_task = asyncio.ensure_future(
+                    read_frame(reader, max_frame=max_frame)
+                )
+                waits = {frame_task}
+                if stop_task is not None:
+                    waits.add(stop_task)
+                done, _pending = await asyncio.wait(
+                    waits, return_when=asyncio.FIRST_COMPLETED
+                )
+                if stop_task is not None and stop_task in done:
+                    frame_task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, ReproError
+                    ):
+                        await frame_task
+                    if inflight:  # flush chunks already computing
+                        await asyncio.wait(inflight, timeout=5.0)
+                    with contextlib.suppress(Exception):
+                        await send(ByeFrame(reason="worker shutdown"))
+                    break
+                frame = frame_task.result()  # ProtocolError/CodecError here
+                if frame is None or isinstance(frame, ByeFrame):
+                    break
+                if isinstance(frame, JobFrame):
+                    task = asyncio.ensure_future(run_job(frame))
+                    inflight.add(task)
+                    task.add_done_callback(inflight.discard)
+                # Anything else from a well-behaved coordinator is
+                # unexpected but harmless; ignore it.
+        finally:
+            hb_task.cancel()
+            if stop_task is not None:
+                stop_task.cancel()
+            for task in list(inflight):
+                task.cancel()
+            for task in (hb_task, stop_task, *inflight):
+                if task is not None:
+                    with contextlib.suppress(
+                        asyncio.CancelledError, Exception
+                    ):
+                        await task
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+    return jobs_done
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def add_worker_args(parser: argparse.ArgumentParser) -> None:
+    """The worker daemon's flags — shared by this module's standalone
+    parser and the CLI's ``worker`` subcommand, so the two entry points
+    cannot drift."""
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="coordinator host")
+    parser.add_argument("--port", type=int, required=True,
+                        help="coordinator port")
+    parser.add_argument("--engine", default="serial",
+                        choices=("serial", "threads", "processes"),
+                        help="local execution backend for job chunks")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="local pool size (default: CPU count)")
+    parser.add_argument("--id", default=None, dest="worker_id",
+                        help="worker id (default: pid-based)")
+    parser.add_argument("--heartbeat", type=float,
+                        default=DEFAULT_HEARTBEAT_INTERVAL,
+                        dest="heartbeat_interval",
+                        help="seconds between liveness beacons")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description="Cluster worker daemon for the repro execution engine",
+    )
+    add_worker_args(parser)
+    return parser
+
+
+def run_worker_sync(
+    host: str,
+    port: int,
+    *,
+    engine: str = "serial",
+    workers: int | None = None,
+    worker_id: str | None = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+) -> int:
+    """Blocking daemon wrapper with graceful SIGINT/SIGTERM exit.
+
+    The shared entry point behind ``python -m repro.cli worker`` and
+    ``python -m repro.engine.cluster.worker``; returns a process exit
+    code.
+    """
+
+    async def runner() -> int:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list[signal.Signals] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                handled.append(sig)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        try:
+            return await run_worker(
+                host,
+                port,
+                engine=engine,
+                workers=workers,
+                worker_id=worker_id,
+                heartbeat_interval=heartbeat_interval,
+                shutdown=stop,
+            )
+        finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
+
+    try:
+        jobs_done = asyncio.run(runner())
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"cluster worker failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"cluster worker done ({jobs_done} jobs)", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run one worker daemon until signalled or dismissed."""
+    args = build_parser().parse_args(argv)
+    return run_worker_sync(
+        args.host,
+        args.port,
+        engine=args.engine,
+        workers=args.workers,
+        worker_id=args.worker_id,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.exceptions import EngineError
 
 #: Registry names accepted by :func:`get_executor`.
-ENGINE_NAMES = ("serial", "threads", "processes")
+ENGINE_NAMES = ("serial", "threads", "processes", "cluster")
 
 
 def default_workers() -> int:
@@ -177,7 +177,10 @@ def get_executor(
     ``engine`` may be an existing executor (returned unchanged, so
     pools can be shared across calls — ``workers`` is then ignored) or
     one of the registry names ``"serial"``, ``"threads"``,
-    ``"processes"``.
+    ``"processes"``, ``"cluster"``.  For ``"cluster"`` the executor
+    self-hosts ``workers`` local worker daemons; build a
+    :class:`~repro.engine.cluster.ClusterExecutor` directly to attach
+    external workers on other hosts.
     """
     if isinstance(engine, Executor):
         return engine
@@ -187,6 +190,12 @@ def get_executor(
         return ThreadPoolExecutor(workers=workers)
     if engine == "processes":
         return ProcessPoolExecutor(workers=workers)
+    if engine == "cluster":
+        # Imported lazily: the cluster backend rides the service-layer
+        # codec, which the in-process backends must not depend on.
+        from repro.engine.cluster.coordinator import ClusterExecutor
+
+        return ClusterExecutor(workers=workers)
     raise EngineError(
         f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
         "or an Executor instance"

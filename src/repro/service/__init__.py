@@ -26,20 +26,30 @@ CLI entry points: ``repro-experiments serve`` and
 """
 
 from repro.service.codec import (
+    CLUSTER_WIRE_VERSION,
     FRAME_HEADER_BYTES,
+    MAX_CLUSTER_FRAME_BYTES,
+    MAX_CLUSTER_PAYLOAD_BYTES,
     MAX_FRAME_BYTES,
     WORKLOADS,
+    ByeFrame,
     ChallengeFrame,
     CommitmentFrame,
     ErrorFrame,
     Frame,
+    HeartbeatFrame,
+    JobFrame,
     ProofsFrame,
+    ResultFrame,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
     VerdictFrame,
+    WorkerHello,
+    decode_cluster_payload,
     decode_frame,
     decode_frame_payload,
+    encode_cluster_payload,
     encode_frame,
     read_frame,
     resolve_workload,
@@ -71,6 +81,9 @@ __all__ = [
     # codec
     "FRAME_HEADER_BYTES",
     "MAX_FRAME_BYTES",
+    "CLUSTER_WIRE_VERSION",
+    "MAX_CLUSTER_FRAME_BYTES",
+    "MAX_CLUSTER_PAYLOAD_BYTES",
     "WORKLOADS",
     "resolve_workload",
     "Frame",
@@ -82,9 +95,16 @@ __all__ = [
     "SubmissionFrame",
     "VerdictFrame",
     "ErrorFrame",
+    "WorkerHello",
+    "HeartbeatFrame",
+    "JobFrame",
+    "ResultFrame",
+    "ByeFrame",
     "encode_frame",
     "decode_frame",
     "decode_frame_payload",
+    "encode_cluster_payload",
+    "decode_cluster_payload",
     "read_frame",
     "write_frame",
     # sessions

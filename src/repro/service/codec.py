@@ -22,11 +22,28 @@ Frame vocabulary (client ↔ supervisor):
 * ``error`` — the supervisor's terminal complaint before it closes a
   misbehaving connection.
 
+Cluster vocabulary (worker ↔ coordinator, the distributed execution
+engine of :mod:`repro.engine.cluster`):
+
+* ``hello`` — a worker registers with the coordinator, declaring its
+  id, execution capacity and wire version;
+* ``heartbeat`` — periodic worker liveness beacon;
+* ``job`` / ``result`` — one engine chunk out, one chunk's results
+  back.  Payloads are *pickled* (the cluster moves arbitrary engine
+  batches, not protocol messages) and ride base64 inside the envelope
+  with an explicit version tag and a hard size cap — corrupted,
+  truncated, oversized or wrong-version payloads raise
+  :class:`~repro.exceptions.CodecError`, never crash a worker.
+  Pickle implies mutual trust between coordinator and workers; the
+  cluster plane is operator-deployed infrastructure, not the
+  participant-facing socket.
+* ``bye`` — either side announces an orderly departure.
+
 Hostile bytes are a fact of life for a listening socket: every decode
 path raises :class:`~repro.exceptions.ProtocolError` (frame layer) or
-:class:`~repro.exceptions.CodecError` (inner binary message) — both
-:class:`~repro.exceptions.ReproError` — and never an uncaught
-``KeyError``/``UnicodeDecodeError``/``binascii.Error``.
+:class:`~repro.exceptions.CodecError` (inner binary message / pickle
+envelope) — both :class:`~repro.exceptions.ReproError` — and never an
+uncaught ``KeyError``/``UnicodeDecodeError``/``binascii.Error``.
 """
 
 from __future__ import annotations
@@ -34,6 +51,7 @@ from __future__ import annotations
 import base64
 import binascii
 import json
+import pickle
 from dataclasses import dataclass
 from typing import Callable, Union
 
@@ -45,7 +63,7 @@ from repro.core.protocol import (
     SampleChallengeMsg,
     VerdictMsg,
 )
-from repro.exceptions import ProtocolError
+from repro.exceptions import CodecError, ProtocolError
 from repro.tasks.function import TaskFunction
 from repro.tasks.workloads import (
     FactoringTask,
@@ -64,6 +82,21 @@ FRAME_HEADER_BYTES = 4
 #: a full NI-CBS submission at big domains, small enough that a
 #: hostile length prefix cannot balloon server memory.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Version tag every pickled cluster payload carries on the wire.  A
+#: coordinator and its workers must agree byte-for-byte on the job
+#: format; bumping this number fences off incompatible deployments.
+CLUSTER_WIRE_VERSION = 1
+
+#: Ceiling on one pickled ``job``/``result`` payload (pre-base64).  A
+#: chunk of scheme batches or their results at large domains fits with
+#: room to spare; anything bigger is a misconfigured batch size or a
+#: hostile frame.
+MAX_CLUSTER_PAYLOAD_BYTES = 32 * 1024 * 1024
+
+#: Frame ceiling for cluster-plane connections: the payload cap after
+#: base64 expansion (4/3) plus envelope slack.
+MAX_CLUSTER_FRAME_BYTES = MAX_CLUSTER_PAYLOAD_BYTES // 3 * 4 + 64 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -158,6 +191,53 @@ class ErrorFrame:
     message: str
 
 
+@dataclass(frozen=True)
+class WorkerHello:
+    """Worker → coordinator: register with id, capacity and version."""
+
+    worker_id: str
+    capacity: int
+    version: int = CLUSTER_WIRE_VERSION
+
+
+@dataclass(frozen=True)
+class HeartbeatFrame:
+    """Worker → coordinator: periodic liveness beacon."""
+
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class JobFrame:
+    """Coordinator → worker: one chunk of work (pickled payload)."""
+
+    job_id: int
+    payload: bytes
+    version: int = CLUSTER_WIRE_VERSION
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """Worker → coordinator: one chunk's outcome.
+
+    ``ok`` distinguishes a pickled result (``True``) from a pickled
+    error description (``False``) — a job that raises must come back
+    as data, never crash the worker.
+    """
+
+    job_id: int
+    ok: bool
+    payload: bytes
+    version: int = CLUSTER_WIRE_VERSION
+
+
+@dataclass(frozen=True)
+class ByeFrame:
+    """Either side announces an orderly departure."""
+
+    reason: str = ""
+
+
 Frame = Union[
     TaskRequest,
     TaskAssign,
@@ -167,6 +247,11 @@ Frame = Union[
     SubmissionFrame,
     VerdictFrame,
     ErrorFrame,
+    WorkerHello,
+    HeartbeatFrame,
+    JobFrame,
+    ResultFrame,
+    ByeFrame,
 ]
 
 #: type tag ↔ (frame class, wrapped binary message class)
@@ -213,6 +298,71 @@ def _str_field(obj: dict, key: str) -> str:
 
 
 # ----------------------------------------------------------------------
+# Cluster pickle envelope
+# ----------------------------------------------------------------------
+
+
+def encode_cluster_payload(
+    obj: object, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> bytes:
+    """Pickle one job/result payload, enforcing the size cap.
+
+    Raises :class:`~repro.exceptions.CodecError` for unpicklable
+    objects and for payloads over ``max_bytes`` — an oversized chunk is
+    a batching bug the sender must see, not a worker crash.
+    """
+    try:
+        raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CodecError(f"cluster payload does not pickle: {exc}") from exc
+    if len(raw) > max_bytes:
+        raise CodecError(
+            f"cluster payload of {len(raw)} bytes exceeds limit {max_bytes}"
+        )
+    return raw
+
+
+def decode_cluster_payload(
+    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> object:
+    """Unpickle one job/result payload.
+
+    Corrupted, truncated or oversized bytes raise
+    :class:`~repro.exceptions.CodecError` — the worker-survival
+    contract of the cluster plane.  (Unpickling trusts the peer; the
+    cluster plane is operator infrastructure, never participant-facing.)
+    """
+    if len(raw) > max_bytes:
+        raise CodecError(
+            f"cluster payload of {len(raw)} bytes exceeds limit {max_bytes}"
+        )
+    try:
+        return pickle.loads(raw)
+    except Exception as exc:
+        raise CodecError(f"malformed cluster payload: {exc}") from exc
+
+
+def _cluster_version_field(obj: dict) -> int:
+    version = _int_field(obj, "v")
+    if version != CLUSTER_WIRE_VERSION:
+        raise CodecError(
+            f"cluster wire version {version} incompatible with "
+            f"{CLUSTER_WIRE_VERSION}"
+        )
+    return version
+
+
+def _cluster_payload_field(obj: dict, what: str) -> bytes:
+    raw = _unb64(obj.get("p"), what)
+    if len(raw) > MAX_CLUSTER_PAYLOAD_BYTES:
+        raise CodecError(
+            f"{what} of {len(raw)} bytes exceeds limit "
+            f"{MAX_CLUSTER_PAYLOAD_BYTES}"
+        )
+    return raw
+
+
+# ----------------------------------------------------------------------
 # Encode
 # ----------------------------------------------------------------------
 
@@ -238,6 +388,42 @@ def _payload_dict(frame: Frame) -> dict:
         }
     if isinstance(frame, ErrorFrame):
         return {"t": "error", "message": frame.message}
+    if isinstance(frame, WorkerHello):
+        return {
+            "t": "hello",
+            "worker": frame.worker_id,
+            "capacity": frame.capacity,
+            "v": frame.version,
+        }
+    if isinstance(frame, HeartbeatFrame):
+        return {"t": "heartbeat", "worker": frame.worker_id}
+    if isinstance(frame, JobFrame):
+        if len(frame.payload) > MAX_CLUSTER_PAYLOAD_BYTES:
+            raise CodecError(
+                f"job payload of {len(frame.payload)} bytes exceeds "
+                f"limit {MAX_CLUSTER_PAYLOAD_BYTES}"
+            )
+        return {
+            "t": "job",
+            "id": frame.job_id,
+            "p": _b64(frame.payload),
+            "v": frame.version,
+        }
+    if isinstance(frame, ResultFrame):
+        if len(frame.payload) > MAX_CLUSTER_PAYLOAD_BYTES:
+            raise CodecError(
+                f"result payload of {len(frame.payload)} bytes exceeds "
+                f"limit {MAX_CLUSTER_PAYLOAD_BYTES}"
+            )
+        return {
+            "t": "result",
+            "id": frame.job_id,
+            "ok": frame.ok,
+            "p": _b64(frame.payload),
+            "v": frame.version,
+        }
+    if isinstance(frame, ByeFrame):
+        return {"t": "bye", "reason": frame.reason}
     tag = _FRAME_TAGS.get(type(frame))
     if tag is not None:
         return {"t": tag, "m": _b64(frame.msg.encode())}
@@ -329,6 +515,48 @@ def decode_frame_payload(payload: bytes) -> Frame:
 
     if tag == "error":
         return ErrorFrame(message=_str_field(obj, "message"))
+
+    if tag == "hello":
+        capacity = _int_field(obj, "capacity")
+        if capacity < 1:
+            raise ProtocolError(f"worker capacity must be >= 1, got {capacity}")
+        return WorkerHello(
+            worker_id=_str_field(obj, "worker"),
+            capacity=capacity,
+            version=_cluster_version_field(obj),
+        )
+
+    if tag == "heartbeat":
+        return HeartbeatFrame(worker_id=_str_field(obj, "worker"))
+
+    if tag == "job":
+        version = _cluster_version_field(obj)
+        job_id = _int_field(obj, "id")
+        if job_id < 0:
+            raise ProtocolError(f"job id must be >= 0, got {job_id}")
+        return JobFrame(
+            job_id=job_id,
+            payload=_cluster_payload_field(obj, "job payload"),
+            version=version,
+        )
+
+    if tag == "result":
+        version = _cluster_version_field(obj)
+        job_id = _int_field(obj, "id")
+        if job_id < 0:
+            raise ProtocolError(f"job id must be >= 0, got {job_id}")
+        ok = obj.get("ok")
+        if not isinstance(ok, bool):
+            raise ProtocolError("result frame field 'ok' must be a boolean")
+        return ResultFrame(
+            job_id=job_id,
+            ok=ok,
+            payload=_cluster_payload_field(obj, "result payload"),
+            version=version,
+        )
+
+    if tag == "bye":
+        return ByeFrame(reason=_str_field(obj, "reason"))
 
     entry = _MSG_FRAMES.get(tag)
     if entry is None:

@@ -1,5 +1,10 @@
 """Tests for the command-line experiment runner."""
 
+import json
+import signal
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -22,6 +27,19 @@ class TestParser:
         parser = build_parser()
         for command in ("serve", "loadgen"):
             assert parser.parse_args([command]).engine == "threads"
+
+    def test_worker_subcommand_registered(self):
+        args = build_parser().parse_args(["worker", "--port", "7641"])
+        assert args.command == "worker"
+        assert args.port == 7641
+        assert args.engine == "serial"
+
+    def test_cluster_engine_and_workers_accepted(self):
+        args = build_parser().parse_args(
+            ["population", "--engine", "cluster", "--cluster-workers", "3"]
+        )
+        assert args.engine == "cluster"
+        assert args.cluster_workers == 3
 
 
 class TestFig2:
@@ -108,3 +126,66 @@ class TestLoadgen:
 
     def test_host_without_port_is_usage_error(self, capsys):
         assert main(["loadgen", "--host", "127.0.0.1"]) == 2
+
+    def test_json_output_lands_on_disk(self, capsys, tmp_path):
+        out_path = tmp_path / "loadgen.json"
+        code = main([
+            "loadgen", "--n", "256", "--participants", "4",
+            "--m", "16", "--json", str(out_path),
+        ])
+        assert code == 0, capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["bench"] == "loadgen"
+        assert payload["mode"] == "self-hosted"
+        assert payload["report"]["participants"] == 4
+        assert payload["stats"]["completed"] == 4
+        assert payload["stats"]["submissions_per_s"] > 0
+
+
+class TestPopulationCluster:
+    def test_cluster_engine_end_to_end(self, capsys):
+        code = main([
+            "population", "--n", "512", "--participants", "4", "--m", "8",
+            "--engine", "cluster", "--cluster-workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "cluster" in out
+
+
+class TestServeShutdown:
+    def test_sigterm_shuts_down_gracefully(self):
+        """SIGINT/SIGTERM must drain and exit 0 — no KeyboardInterrupt
+        traceback from a long-running supervisor."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--n", "256",
+             "--participants", "4", "--m", "8", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "supervisor listening" in banner
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+        assert proc.returncode == 0, out
+        assert "supervisor stopped" in out
+        assert "Traceback" not in out
+
+
+class TestWorkerCommand:
+    def test_unreachable_coordinator_fails_cleanly(self, capsys):
+        # Nothing listens on the probed port: the daemon must report
+        # and exit nonzero, not stack-trace.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        assert main(["worker", "--port", str(port)]) == 1
+        assert "cluster worker failed" in capsys.readouterr().err

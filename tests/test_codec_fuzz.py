@@ -30,17 +30,26 @@ from repro.merkle.multiproof import MerkleMultiProof
 from repro.merkle.proof import AuthenticationPath
 from repro.merkle.serialize import decode_auth_path
 from repro.merkle.tree import LeafEncoding
+from repro.exceptions import CodecError
 from repro.service.codec import (
+    CLUSTER_WIRE_VERSION,
+    ByeFrame,
     ChallengeFrame,
     CommitmentFrame,
     ErrorFrame,
+    HeartbeatFrame,
+    JobFrame,
     ProofsFrame,
+    ResultFrame,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
     VerdictFrame,
+    WorkerHello,
+    decode_cluster_payload,
     decode_frame,
     decode_frame_payload,
+    encode_cluster_payload,
     encode_frame,
 )
 
@@ -128,8 +137,28 @@ def _sample_proofs(draw):
 
 @st.composite
 def _wire_frames(draw):
-    kind = draw(st.integers(min_value=0, max_value=7))
+    kind = draw(st.integers(min_value=0, max_value=12))
     task_id = draw(_task_ids)
+    if kind == 8:
+        return WorkerHello(
+            worker_id=draw(st.text(max_size=16)),
+            capacity=draw(st.integers(min_value=1, max_value=256)),
+        )
+    if kind == 9:
+        return HeartbeatFrame(worker_id=draw(st.text(max_size=16)))
+    if kind == 10:
+        return JobFrame(
+            job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
+            payload=draw(st.binary(max_size=64)),
+        )
+    if kind == 11:
+        return ResultFrame(
+            job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
+            ok=draw(st.booleans()),
+            payload=draw(st.binary(max_size=64)),
+        )
+    if kind == 12:
+        return ByeFrame(reason=draw(st.text(max_size=30)))
     if kind == 0:
         return TaskRequest(
             participant=draw(
@@ -247,6 +276,97 @@ class TestServiceFrames:
                         b'{"t": "commitment", "m": "!!!"}',
                         b'{"t": "assign", "m": 3}',
                         b'\xff\xfe{"t": "error"}'):
+            with pytest.raises(ReproError):
+                decode_frame_payload(payload)
+
+
+class TestClusterEnvelope:
+    """The pickled job/result envelope: corrupted, truncated, oversized
+    and wrong-version frames must raise CodecError/ProtocolError —
+    both ReproError — and never crash a worker with anything else."""
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_corrupted_payload_bytes(self, data):
+        try:
+            decode_cluster_payload(data)
+        except CodecError:
+            pass  # rejection is the contract; any other crash is a bug
+
+    def test_truncated_payload_every_prefix(self):
+        encoded = encode_cluster_payload({"chunk": list(range(50))})
+        for cut in range(len(encoded)):
+            with pytest.raises(CodecError):
+                decode_cluster_payload(encoded[:cut])
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flipped_payload(self, data):
+        encoded = bytearray(encode_cluster_payload(("fn", (1, 2), {})))
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        encoded[position] ^= 0xFF
+        try:
+            decode_cluster_payload(bytes(encoded))
+        except ReproError:
+            pass  # CodecError expected; a changed-but-valid pickle is fine
+
+    def test_oversized_payload_rejected_both_ways(self):
+        with pytest.raises(CodecError):
+            encode_cluster_payload(b"\x00" * 129, max_bytes=64)
+        with pytest.raises(CodecError):
+            decode_cluster_payload(b"\x00" * 129, max_bytes=64)
+
+    def test_unpicklable_payload_rejected(self):
+        with pytest.raises(CodecError):
+            encode_cluster_payload(lambda: None)
+
+    @pytest.mark.parametrize("tag", ["job", "result"])
+    def test_wrong_version_rejected(self, tag):
+        import base64
+        import json
+
+        obj = {
+            "t": tag,
+            "id": 0,
+            "p": base64.b64encode(b"x").decode("ascii"),
+            "v": CLUSTER_WIRE_VERSION + 1,
+        }
+        if tag == "result":
+            obj["ok"] = True
+        with pytest.raises(CodecError):
+            decode_frame_payload(json.dumps(obj).encode("utf-8"))
+
+    def test_oversized_job_frame_rejected_at_encode(self):
+        from repro.service.codec import MAX_CLUSTER_PAYLOAD_BYTES
+
+        frame = JobFrame(
+            job_id=0, payload=b"\x00" * (MAX_CLUSTER_PAYLOAD_BYTES + 1)
+        )
+        with pytest.raises(CodecError):
+            encode_frame(frame, max_frame=1 << 62)
+
+    def test_truncated_job_frames_rejected(self):
+        encoded = encode_frame(
+            JobFrame(job_id=3, payload=encode_cluster_payload((1, 2, 3)))
+        )
+        for cut in range(len(encoded)):
+            with pytest.raises(ProtocolError):
+                decode_frame(encoded[:cut])
+
+    def test_malformed_cluster_json_rejected(self):
+        for payload in (
+            b'{"t": "job"}',
+            b'{"t": "job", "id": -1, "p": "", "v": 1}',
+            b'{"t": "job", "id": 0, "p": "!!", "v": 1}',
+            b'{"t": "result", "id": 0, "p": "", "v": 1}',
+            b'{"t": "result", "id": 0, "p": "", "ok": "yes", "v": 1}',
+            b'{"t": "hello", "worker": "w", "capacity": 0, "v": 1}',
+            b'{"t": "hello", "worker": "w", "capacity": 1}',
+            b'{"t": "heartbeat"}',
+            b'{"t": "bye"}',
+        ):
             with pytest.raises(ReproError):
                 decode_frame_payload(payload)
 

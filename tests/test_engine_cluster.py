@@ -1,0 +1,293 @@
+"""Tests for the distributed cluster engine (repro.engine.cluster).
+
+The acceptance property mirrors the other backends, raised to
+distributed systems: a :class:`ClusterExecutor` sharding chunks across
+remote worker processes must produce **byte-identical**
+:class:`~repro.grid.report.DetectionReport`'s to the serial backend —
+including when a worker is SIGKILLed mid-population (requeue +
+at-most-once result acceptance).  Alongside parity: ordering, error
+propagation (a failing job surfaces as :class:`EngineError`, never a
+worker crash), payload hygiene and the external-worker topology.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme, NICBSScheme
+from repro.engine import ClusterExecutor, get_executor
+from repro.engine.cluster.worker import execute_payload, run_worker
+from repro.exceptions import CodecError, EngineError
+from repro.grid.simulation import run_population
+from repro.service.codec import encode_cluster_payload
+from repro.tasks import PasswordSearch, RangeDomain
+
+
+def report_fingerprint(report) -> bytes:
+    """Value-level canonical encoding (same rule as test_engine)."""
+    return repr(
+        {
+            "scheme": report.scheme,
+            "participants": [
+                (
+                    p.participant,
+                    p.behavior,
+                    p.honesty_ratio,
+                    p.accepted,
+                    p.reason.value,
+                    sorted(p.participant_ledger.as_dict().items()),
+                    sorted(p.supervisor_ledger_delta.as_dict().items()),
+                )
+                for p in report.participants
+            ],
+            "supervisor": sorted(report.supervisor_ledger.as_dict().items()),
+        }
+    ).encode("utf-8")
+
+
+def population(scheme, engine, n=1 << 10, participants=8, **kwargs):
+    return run_population(
+        RangeDomain(0, n),
+        PasswordSearch(),
+        scheme,
+        behaviors=[HonestBehavior(), SemiHonestCheater(0.6)],
+        n_participants=participants,
+        seed=3,
+        engine=engine,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One warm 2-worker cluster shared across this module's tests."""
+    with ClusterExecutor(workers=2) as executor:
+        yield executor
+
+
+# Module-level so job payloads pickle.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _sleepy_square(args: tuple) -> int:
+    delay, x = args
+    time.sleep(delay)
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+def _boom_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom 3")
+    return x * x
+
+
+class TestRegistry:
+    def test_cluster_in_engine_names(self):
+        from repro.engine import ENGINE_NAMES
+
+        assert "cluster" in ENGINE_NAMES
+
+    def test_get_executor_builds_cluster(self):
+        executor = get_executor("cluster", 2)
+        try:
+            assert isinstance(executor, ClusterExecutor)
+            assert executor.name == "cluster"
+            # Construction is lazy: no workers spawned until first use.
+            assert executor.local_worker_pids == []
+        finally:
+            executor.close()
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(EngineError):
+            ClusterExecutor(workers=0)
+
+    def test_worker_engine_cannot_recurse(self):
+        with pytest.raises(EngineError):
+            ClusterExecutor(worker_engine="cluster")
+
+    def test_map_after_close_rejected(self):
+        executor = ClusterExecutor(workers=1)
+        executor.close()
+        with pytest.raises(EngineError):
+            executor.map(_square, [1])
+
+    def test_close_is_idempotent(self):
+        executor = ClusterExecutor(workers=1)
+        executor.close()
+        executor.close()
+
+
+class TestMapSemantics:
+    def test_map_preserves_order(self, cluster):
+        assert cluster.map(_square, range(50)) == [i * i for i in range(50)]
+
+    def test_empty_map_without_spawning(self):
+        executor = ClusterExecutor(workers=1)
+        try:
+            assert executor.map(_square, []) == []
+            assert executor.local_worker_pids == []
+        finally:
+            executor.close()
+
+    def test_remote_failure_raises_engine_error(self, cluster):
+        with pytest.raises(EngineError, match="boom"):
+            cluster.map(_boom, [7])
+        # The survival contract: the pool keeps serving afterwards.
+        assert cluster.map(_square, [3]) == [9]
+
+    def test_failed_map_leaves_no_job_bookkeeping_behind(self, cluster):
+        # A failing chunk cancels its siblings; a long-lived pool must
+        # drain their coordinator entries instead of leaking them.
+        with pytest.raises(EngineError, match="boom"):
+            cluster.map(_boom_on_three, range(6))
+        deadline = time.monotonic() + 10.0
+        while cluster._co.jobs and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert cluster._co.jobs == {}
+        assert cluster.map(_square, [4]) == [16]
+
+    def test_unpicklable_job_rejected_before_dispatch(self, cluster):
+        with pytest.raises(CodecError):
+            cluster.map(lambda x: x, [1])  # lambdas do not pickle
+
+    def test_futures_pool_submits_single_calls(self, cluster):
+        future = cluster.futures_pool.submit(_square, 12)
+        assert future.result(timeout=30) == 144
+
+    def test_workers_property_reports_capacity(self, cluster):
+        cluster.map(_square, [1])  # ensure both workers registered
+        assert cluster.workers == 2
+
+
+class TestWorkerPayloadHygiene:
+    """Garbage must come back as CodecError, never kill a worker."""
+
+    def test_garbage_bytes(self):
+        with pytest.raises(CodecError):
+            execute_payload(b"\x00\x01 not a pickle")
+
+    def test_non_triple_payload(self):
+        with pytest.raises(CodecError):
+            execute_payload(encode_cluster_payload({"not": "a triple"}))
+
+    def test_non_callable_fn(self):
+        with pytest.raises(CodecError):
+            execute_payload(encode_cluster_payload((42, (), {})))
+
+    def test_oversized_payload_rejected_at_submit(self):
+        with pytest.raises(CodecError):
+            encode_cluster_payload(b"\x00" * 128, max_bytes=64)
+
+
+class TestPopulationParity:
+    @pytest.mark.parametrize(
+        "scheme",
+        [CBSScheme(n_samples=8), NICBSScheme(n_samples=8)],
+        ids=lambda s: s.name,
+    )
+    def test_byte_identical_reports(self, cluster, scheme):
+        serial = report_fingerprint(population(scheme, engine="serial"))
+        clustered = report_fingerprint(population(scheme, engine=cluster))
+        assert serial == clustered
+
+    def test_batch_size_never_changes_results(self, cluster):
+        scheme = CBSScheme(n_samples=6)
+        fingerprints = {
+            report_fingerprint(
+                population(scheme, engine=cluster, batch_size=bs)
+            )
+            for bs in (1, 3, 8)
+        }
+        assert len(fingerprints) == 1
+
+
+class TestFaultTolerance:
+    def test_sigkill_one_worker_mid_population(self):
+        """The ISSUE acceptance test: requeue keeps the report identical."""
+        scheme = CBSScheme(n_samples=16)
+        serial = report_fingerprint(
+            population(scheme, engine="serial", n=1 << 16, participants=32)
+        )
+        with ClusterExecutor(workers=2) as executor:
+            executor.map(_square, [0])  # force startup; pids known
+            victim = executor.local_worker_pids[0]
+            report_box: list = []
+
+            def run() -> None:
+                report_box.append(
+                    population(
+                        scheme,
+                        engine=executor,
+                        n=1 << 16,
+                        participants=32,
+                        batch_size=1,  # many small chunks: kill lands mid-run
+                    )
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.35)  # let the first chunks reach the workers
+            os.kill(victim, signal.SIGKILL)
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+            stats = executor.stats
+        assert stats["workers_lost"] >= 1
+        assert report_fingerprint(report_box[0]) == serial
+
+    def test_slow_worker_chunk_requeued(self):
+        """job_timeout requeues a stuck chunk; first result wins."""
+        with ClusterExecutor(workers=2, job_timeout=0.3) as executor:
+            items = [(0.9, 1)] + [(0.0, x) for x in range(2, 8)]
+            assert executor.map(_sleepy_square, items) == [
+                x * x for _delay, x in items
+            ]
+            assert executor.stats["jobs_requeued"] >= 1
+
+
+class TestExternalWorkers:
+    def test_worker_dialing_a_fixed_port(self):
+        """spawn_local=False serves operator-started remote workers."""
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        executor = ClusterExecutor(
+            workers=1, port=port, spawn_local=False, startup_timeout=30.0
+        )
+
+        def worker_thread() -> None:
+            import asyncio
+
+            async def dial() -> None:
+                for _ in range(200):  # coordinator may not be bound yet
+                    try:
+                        await run_worker("127.0.0.1", port, engine="serial")
+                        return
+                    except (ConnectionError, OSError):
+                        await asyncio.sleep(0.05)
+
+            asyncio.run(dial())
+
+        thread = threading.Thread(target=worker_thread, daemon=True)
+        thread.start()
+        try:
+            assert executor.map(_square, range(10)) == [
+                i * i for i in range(10)
+            ]
+            assert executor.stats["workers_live"] == 1
+        finally:
+            executor.close()
+        # close() sends bye; the external worker exits cleanly.
+        thread.join(timeout=10)
+        assert not thread.is_alive()

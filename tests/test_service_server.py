@@ -337,6 +337,65 @@ class TestProtocolPolicing:
 
 
 class TestEvictionIntegration:
+    def test_evict_racing_inflight_commitment_yields_error_frame(self):
+        """TTL eviction between challenge and proofs: the straggler's
+        proofs get a clean ``error`` frame (unknown task), never a
+        KeyError, and the server keeps serving."""
+        cfg = config("cbs", n_participants=1)
+        now = [0.0]
+
+        async def scenario():
+            server = SupervisorServer(
+                cfg, engine="serial", session_ttl=10.0, clock=lambda: now[0]
+            )
+            try:
+                reader, writer = server.connect_memory()
+                await write_frame(writer, TaskRequest(participant=0))
+                assign = await read_frame(reader)
+
+                from repro.core.cbs import CBSParticipant
+                from repro.merkle import get_hash
+
+                session = CBSParticipant(
+                    ServiceClient.build_assignment(assign),
+                    HonestBehavior(),
+                    hash_fn=get_hash(assign.hash_name),
+                    salt=assign.seed.to_bytes(8, "big"),
+                )
+                await write_frame(
+                    writer, CommitmentFrame(msg=session.compute_and_commit())
+                )
+                challenge = await read_frame(reader)
+
+                # The participant stalls past the TTL; the sweeper (here
+                # driven by hand through the injected clock) reclaims
+                # the committed session while its proofs are in flight.
+                now[0] += 11.0
+                assert server.sessions.evict_stale() == ["task-0"]
+
+                await write_frame(
+                    writer, ProofsFrame(msg=session.prove(challenge.msg))
+                )
+                reply = await read_frame(reader)
+                writer.close()
+
+                # The server survived: the slot is reassignable and a
+                # fresh round completes.
+                client = ServiceClient(*server.connect_memory())
+                rerun = await client.run_participant(
+                    HonestBehavior(), participant=0
+                )
+                await client.close()
+                return reply, rerun, server
+            finally:
+                await server.stop()
+
+        reply, rerun, server = asyncio.run(scenario())
+        assert isinstance(reply, ErrorFrame)
+        assert "unknown task" in reply.message
+        assert server.stats.errors == 1
+        assert rerun.accepted
+
     def test_abandoned_session_evicted_then_slot_reusable(self):
         cfg = config("cbs", n_participants=1)
 

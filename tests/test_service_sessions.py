@@ -145,3 +145,36 @@ class TestEviction:
         assert store.evict_stale() == ["task-0"]
         # The slot can be re-assigned afterwards (fresh session).
         store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+
+
+class TestEvictionRacingVerification:
+    """TTL eviction racing in-flight work: every post-eviction touch
+    must be a clean ProtocolError, never a KeyError."""
+
+    def test_evict_then_proofs_is_clean_protocol_error(self):
+        # A committed session idles past the TTL; when the proofs
+        # finally arrive, begin_verification must reject them exactly
+        # like an unknown task.
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        store.record_commitment("task-0", commitment(), challenge())
+        clock.advance(11)
+        assert store.evict_stale() == ["task-0"]
+        with pytest.raises(ProtocolError, match="unknown task"):
+            store.begin_verification("task-0", SessionState.COMMITTED)
+
+    def test_evict_while_verifying_then_outcome_is_clean(self):
+        # Slow off-loop verification: the session is claimed, the
+        # sweeper evicts it mid-verify, and the worker's verdict lands
+        # on a session that no longer exists.
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="ni-cbs")
+        store.begin_verification("task-0", SessionState.ASSIGNED)
+        clock.advance(11)
+        assert store.evict_stale() == ["task-0"]
+        with pytest.raises(ProtocolError, match="unknown task"):
+            store.record_outcome("task-0", outcome())
+        assert store.stats.completed == 0
+        assert store.outcomes == {}
