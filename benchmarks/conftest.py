@@ -16,6 +16,29 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser) -> None:
+    """``--quick``: smoke mode for CI pull-request runs.
+
+    Benches shrink their domains and skip the wall-clock assertions —
+    the *machinery* (spawning clusters, adaptive scheduling, result
+    streaming, JSON records) still runs end to end, so a scheduler
+    regression that breaks or wedges the plane surfaces on every PR
+    instead of only on full bench runs.
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink domains and skip perf assertions (CI smoke)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the run is a ``--quick`` CI smoke."""
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

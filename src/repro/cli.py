@@ -29,8 +29,12 @@ that run many independent protocol executions (``eq2``,
 serial|threads|processes|cluster`` and ``--workers N`` to pick the
 execution backend (see :mod:`repro.engine`); backends change
 wall-clock only, never results.  ``--engine cluster`` self-hosts
-``--cluster-workers N`` local worker daemons — the multi-host recipe
-(one coordinator, workers on other machines) is in the README.
+``--cluster-workers N`` local worker daemons and exposes the adaptive
+scheduler's tuning surface — ``--cluster-chunk-min``/``max`` bound the
+throughput-sized chunks, ``--stream-threshold`` sets where workers
+start streaming results as bounded sub-frames (README "Cluster
+tuning").  The multi-host recipe (one coordinator, workers on other
+machines) is in the README.
 """
 
 from __future__ import annotations
@@ -89,7 +93,9 @@ def _cmd_eq2(args: argparse.Namespace) -> int:
     rows = []
     # One warm pool across all four m-values (the loop would otherwise
     # spawn and tear down a process pool per cell).
-    with get_executor(args.engine, _engine_workers(args)) as executor:
+    with get_executor(
+        args.engine, _engine_workers(args), **_engine_options(args)
+    ) as executor:
         for m in (1, 2, 4, 8):
             estimate = estimate_escape_rate(
                 CBSScheme(n_samples=m),
@@ -255,16 +261,20 @@ def _cmd_population(args: argparse.Namespace) -> int:
     domain = RangeDomain(0, args.n)
     behaviors = [HonestBehavior(), SemiHonestCheater(args.r)]
     start = time.perf_counter()
-    report = run_population(
-        domain,
-        PasswordSearch(),
-        CBSScheme(n_samples=args.m),
-        behaviors=behaviors,
-        n_participants=args.participants,
-        seed=args.seed,
-        engine=args.engine,
-        workers=_engine_workers(args),
-    )
+    # The executor is built here (not inside run_population) so the
+    # cluster tuning flags reach the backend constructor.
+    with get_executor(
+        args.engine, _engine_workers(args), **_engine_options(args)
+    ) as executor:
+        report = run_population(
+            domain,
+            PasswordSearch(),
+            CBSScheme(n_samples=args.m),
+            behaviors=behaviors,
+            n_participants=args.participants,
+            seed=args.seed,
+            engine=executor,
+        )
     elapsed = time.perf_counter() - start
     row = report.summary()
     row["engine"] = args.engine
@@ -301,6 +311,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config,
             engine=args.engine,
             workers=_engine_workers(args),
+            engine_options=_engine_options(args),
             session_ttl=args.session_ttl,
         )
         # Graceful shutdown: SIGINT/SIGTERM set an event instead of
@@ -387,6 +398,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 transport="tcp",
                 engine=args.engine,
                 workers=_engine_workers(args),
+                engine_options=_engine_options(args),
                 concurrency=args.concurrency,
             )
         )
@@ -446,6 +458,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         workers=args.workers,
         worker_id=args.worker_id,
         heartbeat_interval=args.heartbeat_interval,
+        stream_threshold=args.stream_threshold,
+        throttle=args.throttle,
+        connect_retry_s=args.connect_retry_s,
     )
 
 
@@ -477,6 +492,29 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="local worker daemons to self-host with --engine cluster "
         "(default: --workers, else CPU count)",
     )
+    parser.add_argument(
+        "--cluster-chunk-min",
+        type=_positive_int,
+        default=None,
+        dest="cluster_chunk_min",
+        help="smallest adaptive chunk (jobs) the cluster scheduler sends; "
+        "set min == max for fixed-size chunking",
+    )
+    parser.add_argument(
+        "--cluster-chunk-max",
+        type=_positive_int,
+        default=None,
+        dest="cluster_chunk_max",
+        help="largest adaptive chunk (jobs) the cluster scheduler sends",
+    )
+    parser.add_argument(
+        "--stream-threshold",
+        type=_positive_int,
+        default=None,
+        dest="stream_threshold",
+        help="encoded result bytes above which cluster workers stream a "
+        "chunk's outcomes as bounded result_part frames",
+    )
 
 
 def _engine_workers(args: argparse.Namespace) -> int | None:
@@ -489,6 +527,23 @@ def _engine_workers(args: argparse.Namespace) -> int | None:
     if args.engine == "cluster" and args.cluster_workers is not None:
         return args.cluster_workers
     return args.workers
+
+
+def _engine_options(args: argparse.Namespace) -> dict:
+    """Cluster tuning knobs as ``get_executor`` keyword options.
+
+    Collected regardless of ``--engine``: passing a cluster knob to an
+    in-process backend is an error the engine layer raises loudly —
+    never a silently ignored flag.
+    """
+    options: dict = {}
+    if args.cluster_chunk_min is not None:
+        options["chunk_min"] = args.cluster_chunk_min
+    if args.cluster_chunk_max is not None:
+        options["chunk_max"] = args.cluster_chunk_max
+    if args.stream_threshold is not None:
+        options["stream_threshold"] = args.stream_threshold
+    return options
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -36,11 +36,16 @@ small protocol:
     parity tests pin this.
 
 :class:`~repro.engine.cluster.ClusterExecutor` (``"cluster"``)
-    The distributed backend: a coordinator shards picklable chunks
+    The distributed backend: a coordinator shards picklable jobs
     across remote worker daemons over TCP (heartbeats, bounded
     in-flight windows, requeue from dead/slow workers, at-most-once
-    results) — see :mod:`repro.engine.cluster`.  Imported lazily so
-    the in-process backends stay free of the service layer.
+    results).  Scheduling is throughput-adaptive — per-worker EWMA
+    rates size each outgoing chunk within ``chunk_min``/``chunk_max``
+    — and giant results stream back as bounded ``result_part`` frames
+    (``stream_threshold``); :func:`~repro.engine.executor.get_executor`
+    forwards these knobs as keyword options.  See
+    :mod:`repro.engine.cluster`.  Imported lazily so the in-process
+    backends stay free of the service layer.
 
 Every population-shaped entry point threads an ``engine=`` option down
 here: ``GridSimulation`` / ``run_population`` (one job per

@@ -11,36 +11,52 @@ flag gain multi-host dispatch by naming ``"cluster"``.
 
 * :class:`~repro.engine.cluster.coordinator.ClusterExecutor` — the
   coordinator: worker registry, heartbeat/EOF liveness, bounded
-  per-worker in-flight windows, requeue of chunks from dead or slow
-  workers with at-most-once result acceptance, ordered reassembly.
+  per-worker in-flight windows, **throughput-adaptive chunk sizing**
+  (per-worker EWMA jobs/sec decide how many jobs each outgoing chunk
+  carries, within ``chunk_min``/``chunk_max``), requeue of chunks from
+  dead or slow workers with at-most-once result acceptance (chunk ids
+  are single-use, so a straggler's late result is dropped exactly
+  once), ordered reassembly — including of ``result_part`` streams.
 * :mod:`repro.engine.cluster.worker` — the worker daemon: registers,
-  executes chunks on a local engine, streams results back, and never
-  dies because of a job.
+  executes chunks on a local engine, answers with per-job outcomes
+  (streamed as bounded sub-frames above ``stream_threshold`` bytes),
+  and never dies because of a job.
 
 Parity: a cluster run produces byte-identical
 :class:`~repro.grid.report.DetectionReport`'s to the serial backend —
-including under worker kills mid-population — because every chunk is a
-pure function of its payload and results are accepted at most once.
+including under worker kills mid-population or mid-stream — because
+every job is a pure function of its payload and results are accepted
+at most once.
 """
 
 from repro.engine.cluster.coordinator import (
+    DEFAULT_CHUNK_MAX,
+    DEFAULT_CHUNK_MIN,
+    DEFAULT_CHUNK_TARGET_S,
     DEFAULT_HEARTBEAT_INTERVAL,
     DEFAULT_HEARTBEAT_TIMEOUT,
     ClusterExecutor,
 )
 from repro.engine.cluster.worker import (
     default_worker_id,
+    execute_chunk,
     execute_payload,
+    pack_outcome_parts,
     run_worker,
     run_worker_sync,
 )
 
 __all__ = [
     "ClusterExecutor",
+    "DEFAULT_CHUNK_MAX",
+    "DEFAULT_CHUNK_MIN",
+    "DEFAULT_CHUNK_TARGET_S",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "default_worker_id",
+    "execute_chunk",
     "execute_payload",
+    "pack_outcome_parts",
     "run_worker",
     "run_worker_sync",
 ]

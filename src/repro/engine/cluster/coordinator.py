@@ -2,7 +2,7 @@
 
 :class:`ClusterExecutor` satisfies the engine protocol — ``map(fn,
 items)`` with results in submission order — by sharding pickled
-``(fn, args, kwargs)`` chunks across remote worker daemons
+``(fn, args, kwargs)`` jobs across remote worker daemons
 (:mod:`repro.engine.cluster.worker`) over the service layer's
 length-prefixed frame protocol.  Call sites do not change: anything
 that dispatches through :func:`repro.engine.executor.get_executor`
@@ -18,15 +18,28 @@ Topology and scheduling:
   ``window_depth`` chunks): a slow worker fills its window and simply
   stops receiving work — backpressure, not starvation of the fast
   workers;
+* scheduling is **throughput-adaptive**: every completed chunk updates
+  the worker's EWMA jobs/sec, and the next chunk sent to that worker
+  is sized so it takes roughly ``chunk_target_s`` seconds, clamped to
+  ``[chunk_min, chunk_max]`` and to a fair share of the remaining
+  queue.  Fast workers get bigger chunks, stragglers get smaller ones
+  — resizing regroups jobs at the transport layer only, so results
+  stay byte-identical to serial no matter how the chunks fall;
 * liveness is EOF *plus* heartbeats: a SIGKILLed worker drops its
   socket and is detected immediately; a silently wedged one trips the
-  heartbeat timeout.  Either way its in-flight chunks are requeued
-  (bounded by ``max_attempts``) and reassigned;
+  heartbeat timeout.  Either way its in-flight chunks are disbanded
+  and their jobs requeued (bounded by ``max_attempts`` per job);
 * ``job_timeout`` (optional) additionally requeues chunks stuck on a
-  *live but slow* worker; results are accepted **at most once** per
-  chunk id, so a straggler's late duplicate is ignored — and because
-  every chunk is a pure function of its payload, whichever copy
-  arrives first is byte-identical to any other;
+  *live but slow* worker — the budget scales with the chunk's job
+  count, so a big chunk is not punished for being big.  The race
+  between the slow original and the reassigned copy is settled per
+  job, exactly once: the **first arriving result wins** (every job is
+  a pure function of its payload, so the copies are byte-identical)
+  and the loser's duplicate is dropped cleanly — never double-set,
+  never double-requeued, even when the loser dies mid-stream;
+* large results arrive as ``result_part`` sub-frames closed by a
+  ``result_end``; the coordinator reassembles the ordered outcome
+  list per chunk and requeues cleanly if the worker dies mid-stream;
 * results are reassembled in submission order, which is what makes a
   cluster population run produce byte-identical
   :class:`~repro.grid.report.DetectionReport`'s to the serial backend.
@@ -35,7 +48,9 @@ Deployment modes: **spawn-local** (default — the coordinator launches
 ``workers`` daemon subprocesses on this host; benches, tests, and the
 CLI's ``--engine cluster --cluster-workers N``) and **external**
 (``spawn_local=False`` — bind a fixed port and let operators start
-workers on other hosts with ``python -m repro.cli worker``).
+workers on other hosts with ``python -m repro.cli worker``;
+``min_workers`` optionally blocks the first dispatch until that many
+have registered).
 
 The coordinator's event loop runs on a dedicated background thread, so
 the synchronous ``map()`` contract holds whether the caller is a plain
@@ -48,6 +63,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import math
 import os
 import subprocess
 import sys
@@ -59,13 +75,19 @@ from typing import Any, Callable, Sequence
 from repro.engine.executor import Executor, default_workers
 from repro.exceptions import CodecError, EngineError, ReproError
 from repro.service.codec import (
+    DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
+    MAX_CLUSTER_PAYLOAD_BYTES,
     ByeFrame,
     HeartbeatFrame,
     JobFrame,
+    ResultEndFrame,
     ResultFrame,
+    ResultPartFrame,
     WorkerHello,
+    decode_cluster_outcomes,
     decode_cluster_payload,
+    encode_cluster_chunk,
     encode_cluster_payload,
     read_frame,
     write_frame,
@@ -80,12 +102,35 @@ DEFAULT_HEARTBEAT_INTERVAL = 0.5
 #: half-death.
 DEFAULT_HEARTBEAT_TIMEOUT = 10.0
 
+#: Smallest chunk the adaptive scheduler will send.  One job is the
+#: probing size: an unmeasured (or demoted) worker costs at most one
+#: job's latency to size up.
+DEFAULT_CHUNK_MIN = 1
+
+#: Largest chunk the adaptive scheduler will send.  Bounds both the
+#: work stranded on a worker that dies and the result bytes one frame
+#: or stream has to carry.
+DEFAULT_CHUNK_MAX = 32
+
+#: Target seconds of work per chunk: a worker's next chunk is sized as
+#: ``ewma_rate * chunk_target_s`` jobs (clamped).  Small enough to
+#: re-observe throughput frequently, large enough to amortize framing.
+DEFAULT_CHUNK_TARGET_S = 0.25
+
+#: EWMA smoothing for per-worker throughput samples.  0.4 weights the
+#: newest chunk heavily (workers change speed when co-tenants arrive)
+#: without letting one noisy sample whipsaw the chunk size.
+EWMA_ALPHA = 0.4
+
+#: Byte budget for one outgoing chunk payload: leave pickle-envelope
+#: headroom under the hard payload cap so regrouped jobs always frame.
+_CHUNK_BYTE_BUDGET = MAX_CLUSTER_PAYLOAD_BYTES // 2
+
 
 class _Job:
-    """One chunk in flight: payload, caller future, retry accounting."""
+    """One submitted call: payload, caller future, retry accounting."""
 
-    __slots__ = ("job_id", "payload", "future", "worker_id", "attempts",
-                 "started_at")
+    __slots__ = ("job_id", "payload", "future", "attempts")
 
     def __init__(
         self,
@@ -96,16 +141,50 @@ class _Job:
         self.job_id = job_id
         self.payload = payload
         self.future = future
-        self.worker_id: str | None = None
         self.attempts = 0
-        self.started_at: float | None = None
+
+
+class _Chunk:
+    """One wire assignment: an ordered group of jobs on one worker.
+
+    Chunk ids are never reused, and every job resolves its caller
+    future exactly once no matter how many assignments raced: the
+    first arriving copy of a job's result wins (all copies are
+    byte-identical — jobs are pure functions of their payload), and
+    any later duplicate is dropped exactly once, cleanly.
+
+    ``requeued`` marks a chunk whose jobs went back to the queue after
+    a ``job_timeout`` while its worker is still *live*: the chunk
+    lingers as a zombie so the slow worker's late result can still win
+    the race for any job the reassigned copy has not finished — and is
+    retired the moment its worker's link dies (no result can arrive on
+    a dead link) or all its jobs are resolved.
+    """
+
+    __slots__ = ("chunk_id", "job_ids", "worker_id", "started_at",
+                 "entries", "parts_received", "requeued")
+
+    def __init__(
+        self,
+        chunk_id: int,
+        job_ids: tuple[int, ...],
+        worker_id: str,
+        started_at: float,
+    ) -> None:
+        self.chunk_id = chunk_id
+        self.job_ids = job_ids
+        self.worker_id = worker_id
+        self.started_at = started_at
+        self.entries: list[tuple[bool, bytes]] = []  # streamed outcomes
+        self.parts_received = 0
+        self.requeued = False
 
 
 class _WorkerLink:
     """Coordinator-side state for one registered worker connection."""
 
     __slots__ = ("worker_id", "capacity", "writer", "window", "inflight",
-                 "last_seen")
+                 "last_seen", "ewma_rate")
 
     def __init__(
         self, worker_id: str, capacity: int, writer, window: int, now: float
@@ -114,8 +193,9 @@ class _WorkerLink:
         self.capacity = capacity
         self.writer = writer
         self.window = window
-        self.inflight: set[int] = set()
+        self.inflight: set[int] = set()  # chunk ids
         self.last_seen = now
+        self.ewma_rate: float | None = None  # jobs/sec, None until observed
 
 
 class _Coordinator:
@@ -129,6 +209,9 @@ class _Coordinator:
         heartbeat_timeout: float,
         job_timeout: float | None,
         max_attempts: int,
+        chunk_min: int,
+        chunk_max: int,
+        chunk_target_s: float,
         more_workers_expected: Callable[[], bool],
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -137,16 +220,24 @@ class _Coordinator:
         self.heartbeat_timeout = heartbeat_timeout
         self.job_timeout = job_timeout
         self.max_attempts = max_attempts
+        self.chunk_min = chunk_min
+        self.chunk_max = chunk_max
+        self.chunk_target_s = chunk_target_s
         self.more_workers_expected = more_workers_expected
         self.clock = clock
 
         self.workers: dict[str, _WorkerLink] = {}
         self.jobs: dict[int, _Job] = {}
+        self.chunks: dict[int, _Chunk] = {}
         self.pending: deque[int] = deque()
         self.jobs_completed = 0
         self.jobs_requeued = 0
+        self.chunks_completed = 0
+        self.chunks_requeued = 0
+        self.result_parts = 0
         self.workers_lost = 0
         self._next_job_id = 0
+        self._next_chunk_id = 0
         self._server: asyncio.base_events.Server | None = None
         self._monitor_task: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -198,6 +289,7 @@ class _Coordinator:
             if not job.future.done():
                 job.future.set_exception(exc)
         self.jobs.clear()
+        self.chunks.clear()
         self.pending.clear()
 
     # ------------------------------------------------------------------
@@ -214,11 +306,57 @@ class _Coordinator:
         self._pump()
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Adaptive scheduling
     # ------------------------------------------------------------------
 
+    def _observe_rate(self, link: _WorkerLink, sample: float) -> None:
+        """Fold one throughput sample (jobs/sec) into the worker EWMA."""
+        if link.ewma_rate is None:
+            link.ewma_rate = sample
+        else:
+            link.ewma_rate = (
+                EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * link.ewma_rate
+            )
+
+    def _chunk_size(self, link: _WorkerLink) -> int:
+        """How many jobs the next chunk for this worker should carry.
+
+        Unmeasured workers probe at ``chunk_min``; measured ones aim
+        for ``chunk_target_s`` seconds of work.  The fair-share clamp
+        (remaining queue / live workers) keeps one fast worker from
+        swallowing the whole tail while its peers idle.
+        """
+        if link.ewma_rate is None:
+            size = self.chunk_min
+        else:
+            size = int(link.ewma_rate * self.chunk_target_s)
+        size = max(self.chunk_min, min(self.chunk_max, size))
+        fair = math.ceil(len(self.pending) / max(1, len(self.workers)))
+        return max(1, min(size, fair))
+
+    def _take_jobs(self, limit: int) -> list[_Job]:
+        """Pop up to ``limit`` live pending jobs (byte-budget bounded)."""
+        taken: list[_Job] = []
+        total_bytes = 0
+        while self.pending and len(taken) < limit:
+            if taken and total_bytes + len(
+                self.jobs.get(self.pending[0], _EMPTY_JOB).payload
+            ) > _CHUNK_BYTE_BUDGET:
+                break
+            job_id = self.pending.popleft()
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            if job.future.done():
+                # Cancelled by the caller: forget it.
+                del self.jobs[job_id]
+                continue
+            taken.append(job)
+            total_bytes += len(job.payload)
+        return taken
+
     def _pump(self) -> None:
-        """Assign pending chunks to workers with free window slots."""
+        """Assign pending jobs to workers with free window slots."""
         progress = True
         while self.pending and progress:
             progress = False
@@ -227,32 +365,48 @@ class _Coordinator:
                     break
                 if len(link.inflight) >= link.window:
                     continue
-                job = None
-                while self.pending and job is None:
-                    job_id = self.pending.popleft()
-                    job = self.jobs.get(job_id)
-                    if job is not None and job.future.done():
-                        # Cancelled by the caller: forget it.
-                        del self.jobs[job_id]
-                        job = None
-                if job is None:
+                chunk_jobs = self._take_jobs(self._chunk_size(link))
+                if not chunk_jobs:
                     continue
-                job.worker_id = link.worker_id
-                job.started_at = self.clock()
-                job.attempts += 1
-                link.inflight.add(job.job_id)
-                task = asyncio.ensure_future(self._send_job(link, job))
+                now = self.clock()
+                chunk_id = self._next_chunk_id
+                self._next_chunk_id += 1
+                for job in chunk_jobs:
+                    job.attempts += 1
+                chunk = _Chunk(
+                    chunk_id,
+                    tuple(job.job_id for job in chunk_jobs),
+                    link.worker_id,
+                    now,
+                )
+                self.chunks[chunk_id] = chunk
+                link.inflight.add(chunk_id)
+                payloads = tuple(job.payload for job in chunk_jobs)
+                task = asyncio.ensure_future(
+                    self._send_chunk(link, chunk, payloads)
+                )
                 self._send_tasks.add(task)
                 task.add_done_callback(self._send_tasks.discard)
                 progress = True
 
-    async def _send_job(self, link: _WorkerLink, job: _Job) -> None:
+    async def _send_chunk(
+        self, link: _WorkerLink, chunk: _Chunk, payloads: tuple[bytes, ...]
+    ) -> None:
         try:
-            await write_frame(
-                link.writer,
-                JobFrame(job_id=job.job_id, payload=job.payload),
-                max_frame=self.max_frame,
+            frame = JobFrame(
+                job_id=chunk.chunk_id, payload=encode_cluster_chunk(payloads)
             )
+        except CodecError as exc:
+            # The byte budget makes this unreachable in practice; if a
+            # pathological payload set slips through anyway, fail those
+            # jobs loudly rather than punishing the worker.
+            self._retire_chunk(link, chunk.chunk_id)
+            self._fail_jobs(
+                chunk.job_ids, EngineError(f"chunk does not frame: {exc}")
+            )
+            return
+        try:
+            await write_frame(link.writer, frame, max_frame=self.max_frame)
         except Exception:
             self._drop_worker(link)
 
@@ -301,9 +455,15 @@ class _Coordinator:
                 link.last_seen = self.clock()
                 if isinstance(frame, ResultFrame):
                     self._on_result(link, frame)
+                elif isinstance(frame, ResultPartFrame):
+                    self._on_result_part(link, frame)
+                elif isinstance(frame, ResultEndFrame):
+                    self._on_result_end(link, frame)
                 elif isinstance(frame, HeartbeatFrame):
                     pass
                 # Anything else from a registered worker is ignored.
+                if self.workers.get(link.worker_id) is not link:
+                    return  # dropped for a protocol violation mid-loop
         except (ReproError, ConnectionError, OSError):
             pass  # a misbehaving/dying worker never takes the pool down
         finally:
@@ -314,46 +474,165 @@ class _Coordinator:
             with contextlib.suppress(asyncio.CancelledError, Exception):
                 await writer.wait_closed()
 
+    # ------------------------------------------------------------------
+    # Results (single-frame and streamed)
+    # ------------------------------------------------------------------
+
     def _on_result(self, link: _WorkerLink, frame: ResultFrame) -> None:
         link.inflight.discard(frame.job_id)
-        job = self.jobs.get(frame.job_id)
-        if job is None or job.future.done():
-            # Late duplicate of a requeued chunk, or a chunk whose
-            # caller cancelled (a sibling failed mid-map): drop the
-            # bookkeeping so a long-lived pool cannot accumulate it.
-            if job is not None:
-                del self.jobs[frame.job_id]
+        chunk = self.chunks.pop(frame.job_id, None)
+        if chunk is None:
+            # The chunk id was retired (its worker was declared dead
+            # and the jobs rehomed, or it already delivered) — this
+            # straggler duplicate is dropped here, exactly once.
             self._pump()
             return
-        del self.jobs[frame.job_id]
-        self.jobs_completed += 1
-        if frame.ok:
-            try:
-                result = decode_cluster_payload(frame.payload)
-            except CodecError as exc:
-                job.future.set_exception(
-                    EngineError(
-                        f"undecodable result from {link.worker_id}: {exc}"
-                    )
-                )
-            else:
-                job.future.set_result(result)
-        else:
+        if not frame.ok:
+            if chunk.requeued:
+                # A zombie chunk erroring changes nothing: its jobs
+                # were requeued at timeout and will be (or were)
+                # delivered by the reassigned copies.
+                self._pump()
+                return
             try:
                 message = decode_cluster_payload(frame.payload)
             except CodecError:
                 message = "<undecodable error payload>"
-            job.future.set_exception(
+            self._fail_jobs(
+                chunk.job_ids,
                 EngineError(
                     f"remote chunk {frame.job_id} failed on "
                     f"{link.worker_id}: {message}"
-                )
+                ),
             )
+            self._pump()
+            return
+        try:
+            entries = decode_cluster_outcomes(frame.payload)
+        except CodecError as exc:
+            if not chunk.requeued:
+                self._fail_jobs(
+                    chunk.job_ids,
+                    EngineError(
+                        f"undecodable result from {link.worker_id}: {exc}"
+                    ),
+                )
+            self._pump()
+            return
+        self._complete_chunk(link, chunk, entries)
         self._pump()
+
+    def _on_result_part(
+        self, link: _WorkerLink, frame: ResultPartFrame
+    ) -> None:
+        chunk = self.chunks.get(frame.job_id)
+        if chunk is None:
+            return  # late stream for a retired chunk: drop silently
+        if frame.seq != chunk.parts_received:
+            # The transport is ordered, so a gap can only be a worker
+            # bug; its chunks are requeued elsewhere.
+            self._drop_worker(link)
+            return
+        try:
+            entries = decode_cluster_outcomes(frame.payload)
+        except CodecError:
+            self._drop_worker(link)
+            return
+        if len(chunk.entries) + len(entries) > len(chunk.job_ids):
+            self._drop_worker(link)  # more outcomes than jobs: nonsense
+            return
+        chunk.parts_received += 1
+        self.result_parts += 1
+        chunk.entries.extend(entries)
+
+    def _on_result_end(
+        self, link: _WorkerLink, frame: ResultEndFrame
+    ) -> None:
+        link.inflight.discard(frame.job_id)
+        chunk = self.chunks.pop(frame.job_id, None)
+        if chunk is None:
+            self._pump()
+            return
+        if (
+            frame.parts != chunk.parts_received
+            or len(chunk.entries) != len(chunk.job_ids)
+        ):
+            # Incomplete stream ended: never partially accept — requeue
+            # the whole chunk (attempts bound a deterministic repeat).
+            # A zombie's jobs are already back in the queue.
+            if not chunk.requeued:
+                self.chunks_requeued += 1
+                self._requeue_jobs(chunk.job_ids)
+            self._pump()
+            return
+        self._complete_chunk(link, chunk, chunk.entries)
+        self._pump()
+
+    def _complete_chunk(
+        self,
+        link: _WorkerLink,
+        chunk: _Chunk,
+        entries: list[tuple[bool, bytes]],
+    ) -> None:
+        if len(entries) != len(chunk.job_ids):
+            # A zombie's malformed answer changes nothing — its jobs
+            # were requeued at timeout and the live copies own them.
+            if not chunk.requeued:
+                self._fail_jobs(
+                    chunk.job_ids,
+                    EngineError(
+                        f"worker {link.worker_id} returned {len(entries)} "
+                        f"outcomes for a {len(chunk.job_ids)}-job chunk"
+                    ),
+                )
+            return
+        elapsed = max(self.clock() - chunk.started_at, 1e-9)
+        self._observe_rate(link, len(chunk.job_ids) / elapsed)
+        self.chunks_completed += 1
+        for job_id, (ok, payload) in zip(chunk.job_ids, entries):
+            job = self.jobs.pop(job_id, None)
+            if job is None or job.future.done():
+                # Cancelled by the caller (a sibling failed mid-map):
+                # drop the bookkeeping so a long-lived pool cannot
+                # accumulate it.
+                continue
+            self.jobs_completed += 1
+            if ok:
+                try:
+                    result = decode_cluster_payload(payload)
+                except CodecError as exc:
+                    job.future.set_exception(
+                        EngineError(
+                            f"undecodable result from {link.worker_id}: {exc}"
+                        )
+                    )
+                else:
+                    job.future.set_result(result)
+            else:
+                try:
+                    message = decode_cluster_payload(payload)
+                except CodecError:
+                    message = "<undecodable error payload>"
+                job.future.set_exception(
+                    EngineError(
+                        f"remote job {job_id} failed on "
+                        f"{link.worker_id}: {message}"
+                    )
+                )
+
+    def _fail_jobs(self, job_ids: Sequence[int], exc: Exception) -> None:
+        for job_id in job_ids:
+            job = self.jobs.pop(job_id, None)
+            if job is not None and not job.future.done():
+                job.future.set_exception(exc)
 
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+
+    def _retire_chunk(self, link: _WorkerLink, chunk_id: int) -> None:
+        link.inflight.discard(chunk_id)
+        self.chunks.pop(chunk_id, None)
 
     def _drop_worker(self, link: _WorkerLink) -> None:
         if self.workers.get(link.worker_id) is link:
@@ -361,31 +640,81 @@ class _Coordinator:
             self.workers_lost += 1
         with contextlib.suppress(Exception):
             link.writer.close()
-        for job_id in list(link.inflight):
-            self._requeue(job_id)
+        # Sorted so jobs re-enter the queue in submission order — the
+        # scheduler keeps its front-of-queue bias after any failure.
+        for chunk_id in sorted(link.inflight):
+            self._requeue_chunk(chunk_id)
         link.inflight.clear()
+        # Zombie chunks (timed out earlier, jobs already requeued) can
+        # never deliver on a dead link: retire their ids now, so any
+        # frame claiming them later is dropped.
+        for chunk in [
+            c for c in self.chunks.values()
+            if c.worker_id == link.worker_id
+        ]:
+            del self.chunks[chunk.chunk_id]
         self._pump()
 
-    def _requeue(self, job_id: int) -> None:
-        job = self.jobs.get(job_id)
-        if job is None:
+    def _requeue_chunk(self, chunk_id: int) -> None:
+        """Disband one in-flight chunk and retire its id for good."""
+        chunk = self.chunks.pop(chunk_id, None)
+        if chunk is None:
             return
-        if job.future.done():  # cancelled by the caller: forget it
-            del self.jobs[job_id]
-            return
-        if job.attempts >= self.max_attempts:
-            del self.jobs[job_id]
-            job.future.set_exception(
-                EngineError(
-                    f"cluster chunk {job_id} failed after "
-                    f"{job.attempts} assignments"
+        if chunk.requeued:
+            return  # zombie: its jobs were already requeued at timeout
+        self.chunks_requeued += 1
+        self._requeue_jobs(chunk.job_ids)
+
+    def _requeue_jobs(self, job_ids: Sequence[int]) -> None:
+        # appendleft in reverse keeps the jobs contiguous and ordered
+        # at the front of the queue.
+        for job_id in reversed(job_ids):
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            if job.future.done():  # cancelled by the caller: forget it
+                del self.jobs[job_id]
+                continue
+            if job.attempts >= self.max_attempts:
+                del self.jobs[job_id]
+                job.future.set_exception(
+                    EngineError(
+                        f"cluster job {job_id} failed after "
+                        f"{job.attempts} assignments"
+                    )
                 )
-            )
+                continue
+            self.jobs_requeued += 1
+            self.pending.appendleft(job_id)
+
+    def _scan_timeouts(self, now: float) -> None:
+        """Requeue chunks stuck past their (size-scaled) job timeout.
+
+        The timed-out chunk's jobs go back to the queue, but the chunk
+        itself lingers as a zombie (``requeued=True``) on its still-live
+        worker: whichever copy of a job finishes first wins, so a slow
+        worker that eventually answers is progress, not garbage.
+        Zombies whose jobs have all been resolved elsewhere are GC'd
+        here, so a long-lived pool cannot accumulate them.
+        """
+        if self.job_timeout is None:
             return
-        job.worker_id = None
-        job.started_at = None
-        self.jobs_requeued += 1
-        self.pending.appendleft(job_id)
+        for chunk in list(self.chunks.values()):
+            if chunk.requeued:
+                if all(jid not in self.jobs for jid in chunk.job_ids):
+                    link = self.workers.get(chunk.worker_id)
+                    if link is not None:
+                        link.inflight.discard(chunk.chunk_id)
+                    del self.chunks[chunk.chunk_id]
+                continue
+            budget = self.job_timeout * max(1, len(chunk.job_ids))
+            if now - chunk.started_at > budget:
+                chunk.requeued = True
+                self.chunks_requeued += 1
+                link = self.workers.get(chunk.worker_id)
+                if link is not None:
+                    link.inflight.discard(chunk.chunk_id)
+                self._requeue_jobs(chunk.job_ids)
 
     async def _monitor(self) -> None:
         interval = min(self.heartbeat_timeout / 4.0, 0.25)
@@ -395,17 +724,7 @@ class _Coordinator:
             for link in list(self.workers.values()):
                 if now - link.last_seen > self.heartbeat_timeout:
                     self._drop_worker(link)
-            if self.job_timeout is not None:
-                for job in list(self.jobs.values()):
-                    if (
-                        job.worker_id is not None
-                        and job.started_at is not None
-                        and now - job.started_at > self.job_timeout
-                    ):
-                        link = self.workers.get(job.worker_id)
-                        if link is not None:
-                            link.inflight.discard(job.job_id)
-                        self._requeue(job.job_id)
+            self._scan_timeouts(now)
             if (
                 self.jobs
                 and not self.workers
@@ -417,6 +736,11 @@ class _Coordinator:
                     )
                 )
             self._pump()
+
+
+#: Sentinel for :meth:`_Coordinator._take_jobs`'s byte-budget peek when
+#: the head-of-queue job was already forgotten.
+_EMPTY_JOB = _Job(-1, b"", concurrent.futures.Future())
 
 
 class _ClusterFuturesPool(concurrent.futures.Executor):
@@ -446,7 +770,14 @@ class ClusterExecutor(Executor):
     --cluster-workers N``).  With ``spawn_local=False`` the coordinator
     only binds ``host:port`` and serves whatever external workers
     register — start them with ``python -m repro.cli worker --host
-    <coordinator> --port <port>`` on any number of hosts.
+    <coordinator> --port <port>`` on any number of hosts
+    (``min_workers`` blocks the first dispatch until that many joined).
+
+    Tuning surface (see README "Cluster tuning"): ``chunk_min`` /
+    ``chunk_max`` bound the adaptive per-worker chunk size,
+    ``chunk_target_s`` sets how many seconds of work one chunk should
+    carry, and ``stream_threshold`` is the worker-side byte count above
+    which chunk results stream as bounded ``result_part`` frames.
     """
 
     name = "cluster"
@@ -458,6 +789,7 @@ class ClusterExecutor(Executor):
         host: str = "127.0.0.1",
         port: int = 0,
         spawn_local: bool = True,
+        min_workers: int | None = None,
         worker_engine: str = "serial",
         worker_processes: int | None = None,
         window_depth: int = 2,
@@ -465,21 +797,68 @@ class ClusterExecutor(Executor):
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         job_timeout: float | None = None,
         max_attempts: int = 3,
+        chunk_min: int = DEFAULT_CHUNK_MIN,
+        chunk_max: int = DEFAULT_CHUNK_MAX,
+        chunk_target_s: float = DEFAULT_CHUNK_TARGET_S,
+        stream_threshold: int = DEFAULT_STREAM_THRESHOLD_BYTES,
         startup_timeout: float = 60.0,
         max_frame: int = MAX_CLUSTER_FRAME_BYTES,
     ) -> None:
         if workers is not None and workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
+        if min_workers is not None and min_workers < 1:
+            raise EngineError(f"min_workers must be >= 1, got {min_workers}")
         if window_depth < 1:
             raise EngineError(f"window_depth must be >= 1, got {window_depth}")
         if max_attempts < 1:
             raise EngineError(f"max_attempts must be >= 1, got {max_attempts}")
+        if chunk_min < 1:
+            raise EngineError(f"chunk_min must be >= 1, got {chunk_min}")
+        if chunk_max < chunk_min:
+            raise EngineError(
+                f"chunk_max ({chunk_max}) must be >= chunk_min ({chunk_min})"
+            )
+        if chunk_target_s <= 0:
+            raise EngineError(
+                f"chunk_target_s must be positive, got {chunk_target_s}"
+            )
+        if stream_threshold < 1:
+            raise EngineError(
+                f"stream_threshold must be >= 1 byte, got {stream_threshold}"
+            )
+        if heartbeat_interval <= 0:
+            raise EngineError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if heartbeat_timeout <= 0:
+            raise EngineError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
+        if job_timeout is not None and job_timeout <= 0:
+            raise EngineError(
+                f"job_timeout must be positive or None, got {job_timeout}"
+            )
+        if startup_timeout <= 0:
+            raise EngineError(
+                f"startup_timeout must be positive, got {startup_timeout}"
+            )
         if worker_engine == "cluster":
             raise EngineError("cluster workers cannot use the cluster engine")
         self._n_local = workers or default_workers()
+        if (
+            spawn_local
+            and min_workers is not None
+            and min_workers > self._n_local
+        ):
+            raise EngineError(
+                f"min_workers ({min_workers}) cannot exceed the "
+                f"{self._n_local} spawn-local worker daemons — startup "
+                "would stall until the timeout"
+            )
         self._host = host
         self._port = port
         self._spawn_local = spawn_local
+        self._min_workers = min_workers
         self._worker_engine = worker_engine
         self._worker_processes = worker_processes
         self._window_depth = window_depth
@@ -487,6 +866,10 @@ class ClusterExecutor(Executor):
         self._heartbeat_timeout = heartbeat_timeout
         self._job_timeout = job_timeout
         self._max_attempts = max_attempts
+        self._chunk_min = chunk_min
+        self._chunk_max = chunk_max
+        self._chunk_target_s = chunk_target_s
+        self._stream_threshold = stream_threshold
         self._startup_timeout = startup_timeout
         self._max_frame = max_frame
 
@@ -518,16 +901,29 @@ class ClusterExecutor(Executor):
 
     @property
     def stats(self) -> dict:
-        """Scheduling counters (chunks completed/requeued, worker churn)."""
+        """Scheduling counters (jobs/chunks completed and requeued,
+        streamed parts, worker churn, per-worker EWMA rates)."""
         co = self._co
         if co is None:
             return {"jobs_completed": 0, "jobs_requeued": 0,
-                    "workers_lost": 0, "workers_live": 0}
+                    "chunks_completed": 0, "chunks_requeued": 0,
+                    "result_parts": 0, "workers_lost": 0,
+                    "workers_live": 0, "worker_rates": {}}
         return {
             "jobs_completed": co.jobs_completed,
             "jobs_requeued": co.jobs_requeued,
+            "chunks_completed": co.chunks_completed,
+            "chunks_requeued": co.chunks_requeued,
+            "result_parts": co.result_parts,
             "workers_lost": co.workers_lost,
             "workers_live": len(co.workers),
+            "worker_rates": {
+                link.worker_id: round(link.ewma_rate, 3)
+                # list() snapshots atomically under the GIL: the loop
+                # thread mutates co.workers while callers read stats.
+                for link in list(co.workers.values())
+                if link.ewma_rate is not None
+            },
         }
 
     def map(
@@ -617,6 +1013,9 @@ class ClusterExecutor(Executor):
                 heartbeat_timeout=self._heartbeat_timeout,
                 job_timeout=self._job_timeout,
                 max_attempts=self._max_attempts,
+                chunk_min=self._chunk_min,
+                chunk_max=self._chunk_max,
+                chunk_target_s=self._chunk_target_s,
                 more_workers_expected=self._more_workers_expected,
             )
             try:
@@ -631,9 +1030,9 @@ class ClusterExecutor(Executor):
             self._loop, self._thread, self._co = loop, thread, co
         if self._spawn_local:
             self._spawn_workers()
-            self._await_workers(self._n_local)
+            self._await_workers(self._min_workers or self._n_local)
         else:
-            self._await_workers(1)
+            self._await_workers(self._min_workers or 1)
 
     def _spawn_workers(self) -> None:
         assert self._address is not None
@@ -656,6 +1055,7 @@ class ClusterExecutor(Executor):
                 "--engine", self._worker_engine,
                 "--id", f"local-{i}",
                 "--heartbeat", str(self._heartbeat_interval),
+                "--stream-threshold", str(self._stream_threshold),
             ]
             if self._worker_processes is not None:
                 cmd += ["--workers", str(self._worker_processes)]

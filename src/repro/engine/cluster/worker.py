@@ -3,18 +3,27 @@
 One worker is one long-lived process on one host.  It dials the
 coordinator, registers with a ``hello`` frame (id, capacity, wire
 version), then serves ``job`` frames until a ``bye``, an EOF or a
-shutdown signal: each payload is unpickled into ``(fn, args, kwargs)``,
-executed on the worker's *local* execution engine (serial, threads or
-processes — a cluster worker is itself a single-host engine user), and
-answered with a ``result`` frame.
+shutdown signal: each payload is a *chunk* — an ordered tuple of
+pickled ``(fn, args, kwargs)`` jobs, sized per worker by the
+coordinator's throughput tracker — executed on the worker's *local*
+execution engine (serial, threads or processes — a cluster worker is
+itself a single-host engine user) and answered with the chunk's
+ordered per-job ``(ok, payload)`` outcomes.
 
-Survival contract: a worker never dies because of a job.  Corrupted or
-oversized payloads raise :class:`~repro.exceptions.CodecError`, a job
-whose function raises is caught — both come back as ``ok=False``
-results carrying the error text, and the worker keeps serving.  Jobs
-run off the event loop (on the engine's pool, or a thread for the
-serial engine) so heartbeats keep flowing while a chunk computes —
-that is what lets the coordinator tell *busy* from *dead*.
+Small outcome lists travel as one ``result`` frame; once the encoded
+outcomes exceed ``stream_threshold`` bytes the worker streams them as
+bounded ``result_part`` sub-frames closed by a ``result_end`` — so a
+giant chunk never materialises as one giant pickle envelope on either
+side of the wire.
+
+Survival contract: a worker never dies because of a job.  A corrupted
+or oversized chunk payload comes back as a chunk-level ``ok=False``
+result; a single job whose function raises (or whose result will not
+pickle) comes back as that job's ``ok=False`` outcome while its chunk
+siblings succeed — and the worker keeps serving.  Jobs run off the
+event loop (on the engine's pool, or a thread for the serial engine)
+so heartbeats keep flowing while a chunk computes — that is what lets
+the coordinator tell *busy* from *dead*.
 
 Run it standalone (``python -m repro.engine.cluster.worker``) or via
 the CLI (``python -m repro.cli worker``); the coordinator's spawn-local
@@ -31,17 +40,23 @@ import os
 import secrets
 import signal
 import sys
+import time
 
 from repro.engine.executor import get_executor
 from repro.exceptions import CodecError, EngineError, ReproError
 from repro.service.codec import (
+    DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
     ByeFrame,
     HeartbeatFrame,
     JobFrame,
+    ResultEndFrame,
     ResultFrame,
+    ResultPartFrame,
     WorkerHello,
+    decode_cluster_chunk,
     decode_cluster_payload,
+    encode_cluster_outcomes,
     encode_cluster_payload,
     read_frame,
     write_frame,
@@ -77,6 +92,61 @@ def execute_payload(raw: bytes) -> object:
     return fn(*args, **kwargs)
 
 
+def execute_chunk(raw: bytes, throttle: float = 0.0) -> list[tuple[bool, bytes]]:
+    """Run one chunk payload; return ordered per-job ``(ok, payload)``.
+
+    The chunk envelope itself must decode (a corrupted chunk raises
+    :class:`~repro.exceptions.CodecError` — the chunk-level failure
+    path); inside it, every job is isolated: a job that raises, or
+    whose result does not pickle, becomes its own ``ok=False`` outcome
+    carrying the error text while its siblings still succeed.
+    Module-level so the process-engine pool can pickle it.
+
+    ``throttle`` sleeps that many seconds after each job — an
+    artificial straggler for benchmarks and scheduler tests, never set
+    in production.
+    """
+    out: list[tuple[bool, bytes]] = []
+    for job_raw in decode_cluster_chunk(raw):
+        try:
+            result = execute_payload(job_raw)
+            out.append((True, encode_cluster_payload(result)))
+        except Exception as exc:
+            out.append(
+                (False, encode_cluster_payload(f"{type(exc).__name__}: {exc}"))
+            )
+        if throttle > 0.0:
+            time.sleep(throttle)
+    return out
+
+
+def pack_outcome_parts(
+    entries: "list[tuple[bool, bytes]]", threshold: int
+) -> list[list[tuple[bool, bytes]]]:
+    """Split an outcome list into contiguous runs of ~``threshold`` bytes.
+
+    Greedy packing over the encoded payload sizes: a part closes as
+    soon as adding the next outcome would push it past ``threshold``.
+    A single outcome larger than the threshold gets a part of its own
+    — entries are never split, so reassembly is pure concatenation.
+    """
+    if threshold < 1:
+        raise EngineError(f"stream threshold must be >= 1, got {threshold}")
+    parts: list[list[tuple[bool, bytes]]] = []
+    current: list[tuple[bool, bytes]] = []
+    size = 0
+    for entry in entries:
+        entry_size = len(entry[1]) + 16  # envelope slack per entry
+        if current and size + entry_size > threshold:
+            parts.append(current)
+            current, size = [], 0
+        current.append(entry)
+        size += entry_size
+    if current:
+        parts.append(current)
+    return parts
+
+
 async def run_worker(
     host: str,
     port: int,
@@ -85,6 +155,9 @@ async def run_worker(
     workers: int | None = None,
     worker_id: str | None = None,
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    stream_threshold: int = DEFAULT_STREAM_THRESHOLD_BYTES,
+    throttle: float = 0.0,
+    connect_retry_s: float = 0.0,
     max_frame: int = MAX_CLUSTER_FRAME_BYTES,
     shutdown: asyncio.Event | None = None,
 ) -> int:
@@ -92,8 +165,14 @@ async def run_worker(
 
     ``engine``/``workers`` pick the worker's local execution backend —
     ``"cluster"`` is rejected (a worker must not recurse into another
-    coordinator).  ``shutdown`` is the graceful-exit hook the signal
-    handlers set.
+    coordinator).  ``stream_threshold`` is the encoded-outcome byte
+    count above which a chunk's results go back as ``result_part``
+    sub-frames instead of one ``result`` envelope.  ``throttle`` adds
+    an artificial per-job delay (straggler injection for benches and
+    scheduler tests).  ``connect_retry_s`` keeps re-dialling a
+    coordinator that has not bound its port yet — workers racing the
+    coordinator's startup across hosts is normal, not an error.
+    ``shutdown`` is the graceful-exit hook the signal handlers set.
     """
     if engine == "cluster":
         raise EngineError("a cluster worker cannot use the cluster engine")
@@ -101,12 +180,30 @@ async def run_worker(
         raise EngineError(
             f"heartbeat interval must be positive, got {heartbeat_interval}"
         )
+    if stream_threshold < 1:
+        raise EngineError(
+            f"stream threshold must be >= 1 byte, got {stream_threshold}"
+        )
+    if throttle < 0:
+        raise EngineError(f"throttle must be >= 0, got {throttle}")
+    if connect_retry_s < 0:
+        raise EngineError(
+            f"connect retry must be >= 0, got {connect_retry_s}"
+        )
     worker_id = worker_id or default_worker_id()
     jobs_done = 0
 
     with get_executor(engine, workers) as executor:
         loop = asyncio.get_running_loop()
-        reader, writer = await asyncio.open_connection(host, port)
+        deadline = loop.time() + connect_retry_s
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except (ConnectionError, OSError):
+                if loop.time() >= deadline:
+                    raise
+                await asyncio.sleep(0.1)
         write_lock = asyncio.Lock()
         slots = asyncio.Semaphore(executor.workers)
         inflight: set[asyncio.Task] = set()
@@ -127,23 +224,74 @@ async def run_worker(
                     # futures_pool is None on the serial engine; the
                     # loop's default thread pool keeps heartbeats alive
                     # during compute either way.
-                    result = await loop.run_in_executor(
+                    entries = await loop.run_in_executor(
                         executor.futures_pool,
-                        functools.partial(execute_payload, frame.payload),
+                        functools.partial(
+                            execute_chunk, frame.payload, throttle
+                        ),
                     )
-                ok, payload = True, encode_cluster_payload(result)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
-                # The survival contract: bad payloads (CodecError),
-                # failing jobs, unpicklable/oversized results all come
-                # back as data.
-                ok = False
-                payload = encode_cluster_payload(
-                    f"{type(exc).__name__}: {exc}"
+                # The survival contract: a chunk envelope that does not
+                # decode (CodecError) — or any other chunk-level
+                # surprise — comes back as data, never a worker crash.
+                # Per-job failures were already folded into ``entries``
+                # by execute_chunk and do not land here.
+                await send(
+                    ResultFrame(
+                        job_id=frame.job_id,
+                        ok=False,
+                        payload=encode_cluster_payload(
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
                 )
-            jobs_done += 1
-            await send(ResultFrame(job_id=frame.job_id, ok=ok, payload=payload))
+                return
+            jobs_done += len(entries)
+            try:
+                parts = pack_outcome_parts(entries, stream_threshold)
+                if len(parts) == 1:
+                    await send(
+                        ResultFrame(
+                            job_id=frame.job_id,
+                            ok=True,
+                            payload=encode_cluster_outcomes(parts[0]),
+                        )
+                    )
+                    return
+                # Giant chunk: stream bounded sub-frames.  Each send
+                # drains the transport, so a slow coordinator applies
+                # backpressure here instead of ballooning this
+                # worker's write buffer.
+                for seq, part in enumerate(parts):
+                    await send(
+                        ResultPartFrame(
+                            job_id=frame.job_id,
+                            seq=seq,
+                            payload=encode_cluster_outcomes(part),
+                        )
+                    )
+                await send(
+                    ResultEndFrame(job_id=frame.job_id, parts=len(parts))
+                )
+            except ReproError as exc:
+                # The survival contract extends to the *answer* path: a
+                # part that will not encode or frame (oversized results
+                # vs a small max_frame, a stream_threshold misconfigured
+                # above the payload cap) must come back as a chunk-level
+                # error — an unanswered chunk would hang the caller
+                # forever on a worker that still heartbeats.  (Transport
+                # errors propagate: EOF handling owns those.)
+                await send(
+                    ResultFrame(
+                        job_id=frame.job_id,
+                        ok=False,
+                        payload=encode_cluster_payload(
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+                )
 
         hb_task = asyncio.ensure_future(heartbeats())
         stop_task = (
@@ -229,6 +377,19 @@ def add_worker_args(parser: argparse.ArgumentParser) -> None:
                         default=DEFAULT_HEARTBEAT_INTERVAL,
                         dest="heartbeat_interval",
                         help="seconds between liveness beacons")
+    parser.add_argument("--stream-threshold", type=_positive_int,
+                        default=DEFAULT_STREAM_THRESHOLD_BYTES,
+                        dest="stream_threshold",
+                        help="encoded result bytes above which a chunk's "
+                        "outcomes stream as bounded result_part frames "
+                        f"(default: {DEFAULT_STREAM_THRESHOLD_BYTES})")
+    parser.add_argument("--throttle", type=float, default=0.0,
+                        help="artificial per-job delay in seconds "
+                        "(straggler injection for benches/tests)")
+    parser.add_argument("--connect-retry", type=float, default=0.0,
+                        dest="connect_retry_s",
+                        help="seconds to keep re-dialling a coordinator "
+                        "that is not accepting yet (default: fail fast)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -248,6 +409,9 @@ def run_worker_sync(
     workers: int | None = None,
     worker_id: str | None = None,
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    stream_threshold: int = DEFAULT_STREAM_THRESHOLD_BYTES,
+    throttle: float = 0.0,
+    connect_retry_s: float = 0.0,
 ) -> int:
     """Blocking daemon wrapper with graceful SIGINT/SIGTERM exit.
 
@@ -274,6 +438,9 @@ def run_worker_sync(
                 workers=workers,
                 worker_id=worker_id,
                 heartbeat_interval=heartbeat_interval,
+                stream_threshold=stream_threshold,
+                throttle=throttle,
+                connect_retry_s=connect_retry_s,
                 shutdown=stop,
             )
         finally:
@@ -299,6 +466,9 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         worker_id=args.worker_id,
         heartbeat_interval=args.heartbeat_interval,
+        stream_threshold=args.stream_threshold,
+        throttle=args.throttle,
+        connect_retry_s=args.connect_retry_s,
     )
 
 

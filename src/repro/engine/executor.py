@@ -170,7 +170,9 @@ class ProcessPoolExecutor(_PooledExecutor):
 
 
 def get_executor(
-    engine: str | Executor = "serial", workers: int | None = None
+    engine: str | Executor = "serial",
+    workers: int | None = None,
+    **options: object,
 ) -> Executor:
     """Resolve an engine spec to an :class:`Executor` instance.
 
@@ -178,41 +180,63 @@ def get_executor(
     pools can be shared across calls — ``workers`` is then ignored) or
     one of the registry names ``"serial"``, ``"threads"``,
     ``"processes"``, ``"cluster"``.  For ``"cluster"`` the executor
-    self-hosts ``workers`` local worker daemons; build a
-    :class:`~repro.engine.cluster.ClusterExecutor` directly to attach
-    external workers on other hosts.
+    self-hosts ``workers`` local worker daemons, and ``options`` are
+    forwarded to :class:`~repro.engine.cluster.ClusterExecutor` —
+    the tuning surface (``chunk_min``/``chunk_max``,
+    ``stream_threshold``, ``job_timeout``, …) reaches the scheduler
+    without every dispatch site learning cluster-specific arguments.
+    The in-process backends take no options; passing any raises
+    :class:`EngineError` rather than silently ignoring a knob.  Build
+    a ``ClusterExecutor`` directly to attach external workers on
+    other hosts.
     """
     if isinstance(engine, Executor):
+        if options:
+            raise EngineError(
+                "engine options cannot be applied to an existing executor "
+                f"instance: {sorted(options)}"
+            )
         return engine
-    if engine == "serial":
-        return SerialExecutor()
-    if engine == "threads":
-        return ThreadPoolExecutor(workers=workers)
-    if engine == "processes":
-        return ProcessPoolExecutor(workers=workers)
+    if engine not in ENGINE_NAMES:
+        raise EngineError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
+            "or an Executor instance"
+        )
     if engine == "cluster":
         # Imported lazily: the cluster backend rides the service-layer
         # codec, which the in-process backends must not depend on.
         from repro.engine.cluster.coordinator import ClusterExecutor
 
-        return ClusterExecutor(workers=workers)
-    raise EngineError(
-        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
-        "or an Executor instance"
-    )
+        try:
+            return ClusterExecutor(workers=workers, **options)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise EngineError(f"bad cluster engine options: {exc}") from exc
+    if options:
+        raise EngineError(
+            f"engine {engine!r} accepts no extra options, got "
+            f"{sorted(options)}"
+        )
+    if engine == "serial":
+        return SerialExecutor()
+    if engine == "threads":
+        return ThreadPoolExecutor(workers=workers)
+    return ProcessPoolExecutor(workers=workers)
 
 
 @contextlib.contextmanager
 def resolved_executor(
-    engine: str | Executor = "serial", workers: int | None = None
+    engine: str | Executor = "serial",
+    workers: int | None = None,
+    **options: object,
 ) -> Iterator[Executor]:
     """Resolve an engine spec for one scoped use.
 
     The single ownership rule for every dispatch site: an executor
     created here (from a name) is closed on exit; an :class:`Executor`
     instance passed in is the caller's warm pool and is left open.
+    ``options`` pass through to :func:`get_executor`.
     """
-    executor = get_executor(engine, workers)
+    executor = get_executor(engine, workers, **options)
     try:
         yield executor
     finally:

@@ -64,9 +64,17 @@ def split_batches(
 
 
 def _auto_batch_size(n_jobs: int, executor: Executor) -> int:
-    """Aim for ~4 batches per worker so stragglers rebalance."""
+    """Aim for ~4 batches per worker so stragglers rebalance.
+
+    The cluster backend gets ~16 batches per worker instead: its
+    coordinator regroups map items into throughput-sized chunks per
+    worker, and that adaptation needs finer-grained items to work
+    with.  Chunking affects scheduling only, never results.
+    """
     if isinstance(executor, SerialExecutor):
         return max(1, n_jobs)
+    if executor.name == "cluster":
+        return max(1, math.ceil(n_jobs / (executor.workers * 16)))
     return max(1, math.ceil(n_jobs / (executor.workers * 4)))
 
 

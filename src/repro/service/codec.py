@@ -29,14 +29,26 @@ engine of :mod:`repro.engine.cluster`):
   id, execution capacity and wire version;
 * ``heartbeat`` — periodic worker liveness beacon;
 * ``job`` / ``result`` — one engine chunk out, one chunk's results
-  back.  Payloads are *pickled* (the cluster moves arbitrary engine
-  batches, not protocol messages) and ride base64 inside the envelope
-  with an explicit version tag and a hard size cap — corrupted,
-  truncated, oversized or wrong-version payloads raise
-  :class:`~repro.exceptions.CodecError`, never crash a worker.
-  Pickle implies mutual trust between coordinator and workers; the
-  cluster plane is operator-deployed infrastructure, not the
-  participant-facing socket.
+  back.  A job payload is a *chunk*: an ordered tuple of pickled
+  ``(fn, args, kwargs)`` jobs (:func:`encode_cluster_chunk`), which is
+  what lets the coordinator resize chunks per worker without a new
+  frame type.  A result payload is the matching ordered list of
+  per-job ``(ok, payload)`` outcomes
+  (:func:`encode_cluster_outcomes`).  Payloads are *pickled* (the
+  cluster moves arbitrary engine batches, not protocol messages) and
+  ride base64 inside the envelope with an explicit version tag and a
+  hard size cap — corrupted, truncated, oversized or wrong-version
+  payloads raise :class:`~repro.exceptions.CodecError`, never crash a
+  worker.  Pickle implies mutual trust between coordinator and
+  workers; the cluster plane is operator-deployed infrastructure, not
+  the participant-facing socket.
+* ``result_part`` / ``result_end`` — a worker streaming one giant
+  chunk's outcomes in bounded sub-frames instead of a single huge
+  ``result`` envelope: ``result_part`` carries a contiguous slice of
+  the outcome list (sequenced, size-capped), ``result_end`` closes the
+  stream with the expected part count so the coordinator can verify it
+  reassembled the whole chunk — and requeue cleanly if the worker died
+  mid-stream.
 * ``bye`` — either side announces an orderly departure.
 
 Hostile bytes are a fact of life for a listening socket: every decode
@@ -53,7 +65,7 @@ import binascii
 import json
 import pickle
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Callable, Sequence, Union
 
 from repro.core.protocol import (
     AssignMsg,
@@ -86,7 +98,9 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Version tag every pickled cluster payload carries on the wire.  A
 #: coordinator and its workers must agree byte-for-byte on the job
 #: format; bumping this number fences off incompatible deployments.
-CLUSTER_WIRE_VERSION = 1
+#: v2: ``job`` payloads became multi-job chunks and results gained the
+#: ``result_part``/``result_end`` streaming frames.
+CLUSTER_WIRE_VERSION = 2
 
 #: Ceiling on one pickled ``job``/``result`` payload (pre-base64).  A
 #: chunk of scheme batches or their results at large domains fits with
@@ -97,6 +111,12 @@ MAX_CLUSTER_PAYLOAD_BYTES = 32 * 1024 * 1024
 #: Frame ceiling for cluster-plane connections: the payload cap after
 #: base64 expansion (4/3) plus envelope slack.
 MAX_CLUSTER_FRAME_BYTES = MAX_CLUSTER_PAYLOAD_BYTES // 3 * 4 + 64 * 1024
+
+#: Default worker-side ceiling on one streamed ``result_part``
+#: payload.  A chunk whose encoded outcomes exceed this is shipped as
+#: multiple bounded sub-frames instead of one giant pickle envelope,
+#: so neither side ever materialises an unbounded result frame.
+DEFAULT_STREAM_THRESHOLD_BYTES = 1 * 1024 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +252,36 @@ class ResultFrame:
 
 
 @dataclass(frozen=True)
+class ResultPartFrame:
+    """Worker → coordinator: one bounded slice of a chunk's outcomes.
+
+    ``seq`` numbers the parts of one chunk from zero; the transport is
+    ordered, so the coordinator rejects any gap as a protocol
+    violation.  The payload is an :func:`encode_cluster_outcomes`
+    envelope holding a contiguous run of per-job outcomes.
+    """
+
+    job_id: int
+    seq: int
+    payload: bytes
+    version: int = CLUSTER_WIRE_VERSION
+
+
+@dataclass(frozen=True)
+class ResultEndFrame:
+    """Worker → coordinator: closes one chunk's result stream.
+
+    ``parts`` is the number of ``result_part`` frames the worker sent;
+    a mismatch with what arrived means the stream is incomplete and
+    the chunk must be requeued, never partially accepted.
+    """
+
+    job_id: int
+    parts: int
+    version: int = CLUSTER_WIRE_VERSION
+
+
+@dataclass(frozen=True)
 class ByeFrame:
     """Either side announces an orderly departure."""
 
@@ -251,6 +301,8 @@ Frame = Union[
     HeartbeatFrame,
     JobFrame,
     ResultFrame,
+    ResultPartFrame,
+    ResultEndFrame,
     ByeFrame,
 ]
 
@@ -342,6 +394,91 @@ def decode_cluster_payload(
         raise CodecError(f"malformed cluster payload: {exc}") from exc
 
 
+def encode_cluster_chunk(
+    job_payloads: Sequence[bytes],
+    max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES,
+) -> bytes:
+    """Bundle already-encoded job payloads into one chunk payload.
+
+    A chunk is the unit the coordinator resizes per worker: an ordered
+    tuple of :func:`encode_cluster_payload` job envelopes.  The jobs
+    stay as opaque bytes, so regrouping jobs into differently-sized
+    chunks never re-pickles the work itself.
+    """
+    if not job_payloads:
+        raise CodecError("cluster chunk must contain at least one job")
+    for raw in job_payloads:
+        if not isinstance(raw, bytes):
+            raise CodecError("cluster chunk entries must be bytes")
+    return encode_cluster_payload(tuple(job_payloads), max_bytes=max_bytes)
+
+
+def decode_cluster_chunk(
+    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> tuple[bytes, ...]:
+    """Decode one chunk payload into its ordered job payloads.
+
+    Anything that is not a non-empty tuple/list of byte strings —
+    including bytes that do not unpickle — raises
+    :class:`~repro.exceptions.CodecError` (worker-survival contract).
+    """
+    obj = decode_cluster_payload(raw, max_bytes=max_bytes)
+    if (
+        not isinstance(obj, (tuple, list))
+        or not obj
+        or not all(isinstance(item, bytes) for item in obj)
+    ):
+        raise CodecError(
+            "cluster chunk must be a non-empty sequence of job payloads"
+        )
+    return tuple(obj)
+
+
+def encode_cluster_outcomes(
+    entries: Sequence[tuple[bool, bytes]],
+    max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES,
+) -> bytes:
+    """Encode an ordered run of per-job ``(ok, payload)`` outcomes.
+
+    ``ok`` distinguishes a pickled result payload from a pickled error
+    description; a chunk's outcome list (or any contiguous slice of
+    it, for ``result_part`` streaming) travels in this envelope.
+    """
+    for entry in entries:
+        if (
+            not isinstance(entry, tuple)
+            or len(entry) != 2
+            or not isinstance(entry[0], bool)
+            or not isinstance(entry[1], bytes)
+        ):
+            raise CodecError(
+                "cluster outcome entries must be (ok, payload) pairs"
+            )
+    return encode_cluster_payload(tuple(entries), max_bytes=max_bytes)
+
+
+def decode_cluster_outcomes(
+    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> list[tuple[bool, bytes]]:
+    """Decode one outcome envelope; hostile bytes raise CodecError."""
+    obj = decode_cluster_payload(raw, max_bytes=max_bytes)
+    if not isinstance(obj, (tuple, list)):
+        raise CodecError("cluster outcomes must be a sequence")
+    entries: list[tuple[bool, bytes]] = []
+    for entry in obj:
+        if (
+            not isinstance(entry, tuple)
+            or len(entry) != 2
+            or not isinstance(entry[0], bool)
+            or not isinstance(entry[1], bytes)
+        ):
+            raise CodecError(
+                "cluster outcome entries must be (ok, payload) pairs"
+            )
+        entries.append((entry[0], entry[1]))
+    return entries
+
+
 def _cluster_version_field(obj: dict) -> int:
     version = _int_field(obj, "v")
     if version != CLUSTER_WIRE_VERSION:
@@ -420,6 +557,26 @@ def _payload_dict(frame: Frame) -> dict:
             "id": frame.job_id,
             "ok": frame.ok,
             "p": _b64(frame.payload),
+            "v": frame.version,
+        }
+    if isinstance(frame, ResultPartFrame):
+        if len(frame.payload) > MAX_CLUSTER_PAYLOAD_BYTES:
+            raise CodecError(
+                f"result part payload of {len(frame.payload)} bytes "
+                f"exceeds limit {MAX_CLUSTER_PAYLOAD_BYTES}"
+            )
+        return {
+            "t": "result_part",
+            "id": frame.job_id,
+            "seq": frame.seq,
+            "p": _b64(frame.payload),
+            "v": frame.version,
+        }
+    if isinstance(frame, ResultEndFrame):
+        return {
+            "t": "result_end",
+            "id": frame.job_id,
+            "parts": frame.parts,
             "v": frame.version,
         }
     if isinstance(frame, ByeFrame):
@@ -554,6 +711,33 @@ def decode_frame_payload(payload: bytes) -> Frame:
             payload=_cluster_payload_field(obj, "result payload"),
             version=version,
         )
+
+    if tag == "result_part":
+        version = _cluster_version_field(obj)
+        job_id = _int_field(obj, "id")
+        if job_id < 0:
+            raise ProtocolError(f"job id must be >= 0, got {job_id}")
+        seq = _int_field(obj, "seq")
+        if seq < 0:
+            raise ProtocolError(f"result part seq must be >= 0, got {seq}")
+        return ResultPartFrame(
+            job_id=job_id,
+            seq=seq,
+            payload=_cluster_payload_field(obj, "result part payload"),
+            version=version,
+        )
+
+    if tag == "result_end":
+        version = _cluster_version_field(obj)
+        job_id = _int_field(obj, "id")
+        if job_id < 0:
+            raise ProtocolError(f"job id must be >= 0, got {job_id}")
+        parts = _int_field(obj, "parts")
+        if parts < 1:
+            raise ProtocolError(
+                f"result stream must have >= 1 parts, got {parts}"
+            )
+        return ResultEndFrame(job_id=job_id, parts=parts, version=version)
 
     if tag == "bye":
         return ByeFrame(reason=_str_field(obj, "reason"))

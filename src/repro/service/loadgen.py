@@ -18,6 +18,7 @@ outcome, with the equivalent synchronous
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
 from dataclasses import dataclass
@@ -57,13 +58,25 @@ class LoadgenStats:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 1]) of a non-empty list."""
+    """Nearest-rank percentile (``q`` in [0, 1]) of a non-empty list.
+
+    Returns the smallest sample whose empirical CDF reaches ``q`` —
+    the 1-indexed order statistic ``ceil(q * N)`` — so the result is
+    always an actual sample, ``q=1.0`` is the maximum even for
+    single-sample lists, and no interpolation ever manufactures a
+    latency nobody measured.  (The previous ``round``-based rank
+    drifted one order statistic low near the top of the distribution
+    — banker's rounding pulled p99 of 64 samples to index 62.)
+    """
     if not values:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0, 1], got {q}")
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    if q == 0.0:
+        return ordered[0]
+    # min() guards float overshoot (e.g. 0.99 * N landing on N + eps).
+    rank = min(math.ceil(q * len(ordered)) - 1, len(ordered) - 1)
     return ordered[rank]
 
 
@@ -185,20 +198,24 @@ async def run_service_loadgen(
     transport: str = "memory",
     engine: str = "threads",
     workers: int | None = None,
+    engine_options: dict | None = None,
     concurrency: int = 32,
     compute_workers: int | None = 4,
 ) -> tuple[DetectionReport, LoadgenStats, SupervisorServer]:
     """Self-contained run: spin up a supervisor, drive it, tear down.
 
     ``transport`` is ``"memory"`` (in-process streams) or ``"tcp"``
-    (a real loopback listener).  The stopped server is returned so
-    callers can inspect ``server.outcomes`` / ``server.stats`` — e.g.
-    the parity tests comparing service verdicts against the
-    synchronous simulator.
+    (a real loopback listener).  ``engine_options`` forward to the
+    server's execution backend (the cluster tuning knobs).  The
+    stopped server is returned so callers can inspect
+    ``server.outcomes`` / ``server.stats`` — e.g. the parity tests
+    comparing service verdicts against the synchronous simulator.
     """
     if transport not in ("memory", "tcp"):
         raise ProtocolError(f"unknown transport {transport!r}")
-    server = SupervisorServer(config, engine=engine, workers=workers)
+    server = SupervisorServer(
+        config, engine=engine, workers=workers, engine_options=engine_options
+    )
     try:
         if transport == "tcp":
             host, port = await server.start()

@@ -244,6 +244,7 @@ class SupervisorServer:
         engine: str | Executor = "threads",
         workers: int | None = None,
         *,
+        engine_options: dict | None = None,
         session_ttl: float = 300.0,
         queue_size: int = 32,
         max_pending_verifications: int = 128,
@@ -258,7 +259,9 @@ class SupervisorServer:
                 f"got {max_pending_verifications}"
             )
         self.config = config
-        self._executor = get_executor(engine, workers)
+        # engine_options reach backend constructors (the cluster
+        # engine's tuning knobs); an Executor instance takes none.
+        self._executor = get_executor(engine, workers, **(engine_options or {}))
         self._owns_executor = self._executor is not engine
         self._queue_size = queue_size
         self._max_frame = max_frame

@@ -113,7 +113,12 @@ class SessionStore:
         session = self._sessions.get(task_id)
         if session is None:
             raise ProtocolError(f"unknown task {task_id!r}")
-        session.touched_at = self.clock()
+        # Monotone clamp: the clock is supposed to be monotonic, but an
+        # injectable (or broken) one may jump backwards.  Letting
+        # ``touched_at`` move back in time would make the session look
+        # ancient the moment the clock recovers — and evict a live
+        # participant mid-protocol.  Idle age may only shrink on touch.
+        session.touched_at = max(session.touched_at, self.clock())
         return session
 
     def record_commitment(
@@ -177,13 +182,18 @@ class SessionStore:
         state is reclaimed.  A participant returning after eviction
         sees ``unknown task``, exactly as if it had never been
         assigned.
+
+        Ages are clamped at zero: a clock that jumped backwards makes
+        sessions look *newer*, never older, so a live session can
+        never be evicted by a negative age — it just gets a little
+        extra grace until real time catches up.
         """
         now = self.clock()
         stale = [
             task_id
             for task_id, session in self._sessions.items()
             if session.state is not SessionState.DONE
-            and now - session.touched_at > self.ttl
+            and max(0.0, now - session.touched_at) > self.ttl
         ]
         for task_id in stale:
             del self._sessions[task_id]

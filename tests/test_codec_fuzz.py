@@ -40,15 +40,21 @@ from repro.service.codec import (
     HeartbeatFrame,
     JobFrame,
     ProofsFrame,
+    ResultEndFrame,
     ResultFrame,
+    ResultPartFrame,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
     VerdictFrame,
     WorkerHello,
+    decode_cluster_chunk,
+    decode_cluster_outcomes,
     decode_cluster_payload,
     decode_frame,
     decode_frame_payload,
+    encode_cluster_chunk,
+    encode_cluster_outcomes,
     encode_cluster_payload,
     encode_frame,
 )
@@ -137,8 +143,19 @@ def _sample_proofs(draw):
 
 @st.composite
 def _wire_frames(draw):
-    kind = draw(st.integers(min_value=0, max_value=12))
+    kind = draw(st.integers(min_value=0, max_value=14))
     task_id = draw(_task_ids)
+    if kind == 13:
+        return ResultPartFrame(
+            job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
+            seq=draw(st.integers(min_value=0, max_value=1 << 16)),
+            payload=draw(st.binary(max_size=64)),
+        )
+    if kind == 14:
+        return ResultEndFrame(
+            job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
+            parts=draw(st.integers(min_value=1, max_value=1 << 16)),
+        )
     if kind == 8:
         return WorkerHello(
             worker_id=draw(st.text(max_size=16)),
@@ -322,7 +339,9 @@ class TestClusterEnvelope:
         with pytest.raises(CodecError):
             encode_cluster_payload(lambda: None)
 
-    @pytest.mark.parametrize("tag", ["job", "result"])
+    @pytest.mark.parametrize(
+        "tag", ["job", "result", "result_part", "result_end"]
+    )
     def test_wrong_version_rejected(self, tag):
         import base64
         import json
@@ -335,6 +354,11 @@ class TestClusterEnvelope:
         }
         if tag == "result":
             obj["ok"] = True
+        if tag == "result_part":
+            obj["seq"] = 0
+        if tag == "result_end":
+            del obj["p"]
+            obj["parts"] = 1
         with pytest.raises(CodecError):
             decode_frame_payload(json.dumps(obj).encode("utf-8"))
 
@@ -356,19 +380,119 @@ class TestClusterEnvelope:
                 decode_frame(encoded[:cut])
 
     def test_malformed_cluster_json_rejected(self):
+        v = CLUSTER_WIRE_VERSION
         for payload in (
             b'{"t": "job"}',
-            b'{"t": "job", "id": -1, "p": "", "v": 1}',
-            b'{"t": "job", "id": 0, "p": "!!", "v": 1}',
-            b'{"t": "result", "id": 0, "p": "", "v": 1}',
-            b'{"t": "result", "id": 0, "p": "", "ok": "yes", "v": 1}',
-            b'{"t": "hello", "worker": "w", "capacity": 0, "v": 1}',
+            b'{"t": "job", "id": -1, "p": "", "v": %d}' % v,
+            b'{"t": "job", "id": 0, "p": "!!", "v": %d}' % v,
+            b'{"t": "result", "id": 0, "p": "", "v": %d}' % v,
+            b'{"t": "result", "id": 0, "p": "", "ok": "yes", "v": %d}' % v,
+            b'{"t": "hello", "worker": "w", "capacity": 0, "v": %d}' % v,
             b'{"t": "hello", "worker": "w", "capacity": 1}',
             b'{"t": "heartbeat"}',
             b'{"t": "bye"}',
+            b'{"t": "result_part"}',
+            b'{"t": "result_part", "id": 0, "p": "", "v": %d}' % v,
+            b'{"t": "result_part", "id": 0, "seq": -1, "p": "", "v": %d}' % v,
+            b'{"t": "result_part", "id": -1, "seq": 0, "p": "", "v": %d}' % v,
+            b'{"t": "result_part", "id": 0, "seq": 0, "p": "!!", "v": %d}' % v,
+            b'{"t": "result_part", "id": 0, "seq": true, "p": "", "v": %d}' % v,
+            b'{"t": "result_end"}',
+            b'{"t": "result_end", "id": 0, "v": %d}' % v,
+            b'{"t": "result_end", "id": 0, "parts": 0, "v": %d}' % v,
+            b'{"t": "result_end", "id": -3, "parts": 1, "v": %d}' % v,
+            b'{"t": "result_end", "id": 0, "parts": "many", "v": %d}' % v,
         ):
             with pytest.raises(ReproError):
                 decode_frame_payload(payload)
+
+    def test_oversized_result_part_rejected_at_encode(self):
+        from repro.service.codec import MAX_CLUSTER_PAYLOAD_BYTES
+
+        frame = ResultPartFrame(
+            job_id=0, seq=0,
+            payload=b"\x00" * (MAX_CLUSTER_PAYLOAD_BYTES + 1),
+        )
+        with pytest.raises(CodecError):
+            encode_frame(frame, max_frame=1 << 62)
+
+
+class TestChunkAndOutcomeEnvelopes:
+    """The multi-job chunk and per-job outcome envelopes under hostile
+    bytes: truncated, corrupted, mis-shaped and oversized inputs must
+    raise CodecError, never crash either side of the cluster plane."""
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_rejected(self, data):
+        for decoder in (decode_cluster_chunk, decode_cluster_outcomes):
+            try:
+                decoder(data)
+            except CodecError:
+                pass
+
+    def test_truncated_chunk_every_prefix(self):
+        encoded = encode_cluster_chunk(
+            [encode_cluster_payload((i, i)) for i in range(8)]
+        )
+        for cut in range(len(encoded)):
+            with pytest.raises(CodecError):
+                decode_cluster_chunk(encoded[:cut])
+
+    def test_truncated_outcomes_every_prefix(self):
+        encoded = encode_cluster_outcomes(
+            [(True, b"abc" * 5), (False, b"err")]
+        )
+        for cut in range(len(encoded)):
+            with pytest.raises(CodecError):
+                decode_cluster_outcomes(encoded[:cut])
+
+    def test_round_trips(self):
+        payloads = [encode_cluster_payload(("x", i)) for i in range(5)]
+        assert decode_cluster_chunk(
+            encode_cluster_chunk(payloads)
+        ) == tuple(payloads)
+        entries = [(True, b"one"), (False, b"two"), (True, b"")]
+        assert decode_cluster_outcomes(
+            encode_cluster_outcomes(entries)
+        ) == entries
+
+    def test_wrong_shapes_rejected(self):
+        # Valid pickles of the wrong shape: not chunks, not outcomes.
+        for obj in ("chunk", [1, 2], [(True, "not-bytes")],
+                    [(1, b"x")], [("True", b"x")], [(True,)], {1: b"x"}):
+            raw = encode_cluster_payload(obj)
+            with pytest.raises(CodecError):
+                decode_cluster_chunk(raw)
+            with pytest.raises(CodecError):
+                decode_cluster_outcomes(raw)
+        # An empty outcome list IS legal (a zero-entry part would be
+        # odd but harmless); an empty chunk is not.
+        assert decode_cluster_outcomes(encode_cluster_payload(())) == []
+        with pytest.raises(CodecError):
+            decode_cluster_chunk(encode_cluster_payload(()))
+
+    def test_chunk_entries_must_be_bytes_at_encode(self):
+        with pytest.raises(CodecError):
+            encode_cluster_chunk(["not-bytes"])
+        with pytest.raises(CodecError):
+            encode_cluster_chunk([])
+
+    def test_outcome_entries_validated_at_encode(self):
+        with pytest.raises(CodecError):
+            encode_cluster_outcomes([(True, "not-bytes")])
+        with pytest.raises(CodecError):
+            encode_cluster_outcomes([("yes", b"x")])
+
+    def test_oversized_envelopes_rejected_both_ways(self):
+        with pytest.raises(CodecError):
+            encode_cluster_chunk([b"\x00" * 256], max_bytes=64)
+        with pytest.raises(CodecError):
+            decode_cluster_chunk(b"\x00" * 129, max_bytes=64)
+        with pytest.raises(CodecError):
+            encode_cluster_outcomes([(True, b"\x00" * 256)], max_bytes=64)
+        with pytest.raises(CodecError):
+            decode_cluster_outcomes(b"\x00" * 129, max_bytes=64)
 
 
 class TestUnicodeHostility:

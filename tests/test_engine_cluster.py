@@ -10,6 +10,7 @@ propagation (a failing job surfaces as :class:`EngineError`, never a
 worker crash), payload hygiene and the external-worker topology.
 """
 
+import asyncio
 import os
 import signal
 import threading
@@ -20,10 +21,26 @@ import pytest
 from repro.cheating import HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme, NICBSScheme
 from repro.engine import ClusterExecutor, get_executor
-from repro.engine.cluster.worker import execute_payload, run_worker
+from repro.engine.cluster.coordinator import _Coordinator, _WorkerLink
+from repro.engine.cluster.worker import (
+    execute_chunk,
+    execute_payload,
+    pack_outcome_parts,
+    run_worker,
+)
 from repro.exceptions import CodecError, EngineError
 from repro.grid.simulation import run_population
-from repro.service.codec import encode_cluster_payload
+from repro.service.codec import (
+    MAX_CLUSTER_FRAME_BYTES,
+    ResultEndFrame,
+    ResultFrame,
+    ResultPartFrame,
+    decode_cluster_chunk,
+    decode_frame,
+    encode_cluster_chunk,
+    encode_cluster_outcomes,
+    encode_cluster_payload,
+)
 from repro.tasks import PasswordSearch, RangeDomain
 
 
@@ -291,3 +308,716 @@ class TestExternalWorkers:
         # close() sends bye; the external worker exits cleanly.
         thread.join(timeout=10)
         assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Deterministic scheduler harness (no sockets, injectable clock)
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeWriter:
+    """Collects frames the coordinator 'sends'; never blocks."""
+
+    def __init__(self) -> None:
+        self.raw: list[bytes] = []
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        self.raw.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+    @property
+    def frames(self):
+        return [decode_frame(chunk) for chunk in self.raw]
+
+
+def make_coordinator(clock, **overrides) -> _Coordinator:
+    kwargs = dict(
+        max_frame=MAX_CLUSTER_FRAME_BYTES,
+        window_depth=2,
+        heartbeat_timeout=10.0,
+        job_timeout=0.5,
+        max_attempts=3,
+        chunk_min=1,
+        chunk_max=32,
+        chunk_target_s=0.25,
+        more_workers_expected=lambda: True,
+        clock=clock,
+    )
+    kwargs.update(overrides)
+    return _Coordinator(**kwargs)
+
+
+def attach_worker(co: _Coordinator, worker_id: str, capacity: int = 1):
+    writer = FakeWriter()
+    link = _WorkerLink(
+        worker_id=worker_id,
+        capacity=capacity,
+        writer=writer,
+        window=max(1, capacity) * co.window_depth,
+        now=co.clock(),
+    )
+    co.workers[worker_id] = link
+    return link, writer
+
+
+def job_payload(value: int) -> bytes:
+    return encode_cluster_payload((_square, (value,), {}))
+
+
+def ok_outcomes(*values) -> bytes:
+    return encode_cluster_outcomes(
+        [(True, encode_cluster_payload(v)) for v in values]
+    )
+
+
+async def settle() -> None:
+    """Let the coordinator's _send_chunk tasks run to completion."""
+    for _ in range(5):
+        await asyncio.sleep(0)
+
+
+class TestLateResultRace:
+    """The ISSUE regression: a job_timeout requeue racing the original
+    slow worker's result.  Whichever copy arrives first wins the job;
+    the loser is dropped exactly once — never a double set_result,
+    never a double requeue, never leaked bookkeeping."""
+
+    def test_requeue_then_reassigned_copy_wins_then_late_result_dropped(self):
+        async def scenario():
+            import concurrent.futures
+
+            clock = FakeClock()
+            co = make_coordinator(clock)
+            link, writer = attach_worker(co, "a")
+            future = concurrent.futures.Future()
+            co.submit(job_payload(6), future)
+            await settle()
+            [frame_a] = writer.frames
+            assert decode_cluster_chunk(frame_a.payload) == (job_payload(6),)
+
+            # The chunk stalls past the timeout: its job requeues, the
+            # chunk lingers as a zombie on the live worker.
+            clock.advance(1.0)
+            co._scan_timeouts(clock())
+            assert co.jobs_requeued == 1 and co.chunks_requeued == 1
+            assert frame_a.job_id in co.chunks  # zombie, not retired
+            assert co.chunks[frame_a.job_id].requeued
+
+            # The requeued copy is reassigned under a fresh chunk id.
+            co._pump()
+            await settle()
+            frame_b = writer.frames[1]
+            assert frame_b.job_id != frame_a.job_id
+
+            # The reassigned copy finishes first and wins.
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame_b.job_id, ok=True,
+                            payload=ok_outcomes(36)),
+            )
+            assert future.result(timeout=0) == 36
+            assert co.jobs_completed == 1
+
+            # The slow original's late result: dropped exactly once,
+            # cleanly — the future is untouched (no InvalidStateError
+            # from a second set_result), the zombie id is retired,
+            # nothing is requeued again.
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame_a.job_id, ok=True,
+                            payload=ok_outcomes(36)),
+            )
+            assert future.result(timeout=0) == 36
+            assert co.jobs_completed == 1  # not double-counted
+            assert co.jobs_requeued == 1  # not re-requeued
+            assert co.jobs == {} and co.chunks == {}
+            assert not co.pending
+
+            # And a *third* arrival of the same retired id is inert.
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame_a.job_id, ok=True,
+                            payload=ok_outcomes(36)),
+            )
+            assert co.jobs_completed == 1
+
+        asyncio.run(scenario())
+
+    def test_requeue_then_slow_original_wins_before_reassignment_lands(self):
+        async def scenario():
+            import concurrent.futures
+
+            clock = FakeClock()
+            co = make_coordinator(clock)
+            link, writer = attach_worker(co, "a")
+            future = concurrent.futures.Future()
+            co.submit(job_payload(5), future)
+            await settle()
+            [frame_a] = writer.frames
+
+            clock.advance(1.0)
+            co._scan_timeouts(clock())
+            co._pump()
+            await settle()
+            frame_b = writer.frames[1]  # reassigned copy in flight
+
+            # The slow original answers first: accepted (first result
+            # wins — byte-identical by purity), job resolves once.
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame_a.job_id, ok=True,
+                            payload=ok_outcomes(25)),
+            )
+            assert future.result(timeout=0) == 25
+            assert co.jobs_completed == 1
+
+            # The reassigned copy's result is now the late duplicate.
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame_b.job_id, ok=True,
+                            payload=ok_outcomes(25)),
+            )
+            assert co.jobs_completed == 1
+            assert co.jobs == {} and co.chunks == {} and not co.pending
+
+        asyncio.run(scenario())
+
+    def test_zombie_error_result_cannot_fail_a_requeued_job(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock)
+            link_a, writer_a = attach_worker(co, "a")
+            import concurrent.futures
+
+            future = concurrent.futures.Future()
+            co.submit(job_payload(3), future)
+            await settle()
+            [frame_a] = writer_a.frames
+            clock.advance(1.0)
+            co._scan_timeouts(clock())
+
+            # The timed-out worker eventually answers with an error —
+            # that must not fail a job whose requeued copy is live.
+            co._on_result(
+                link_a,
+                ResultFrame(job_id=frame_a.job_id, ok=False,
+                            payload=encode_cluster_payload("boom")),
+            )
+            assert not future.done()
+            assert 0 in co.jobs  # still tracked, not failed
+
+            # The requeued copy (the pump inside _on_result already
+            # reassigned it) still completes the job.
+            await settle()
+            frame_b = writer_a.frames[1]
+            co._on_result(
+                link_a,
+                ResultFrame(job_id=frame_b.job_id, ok=True,
+                            payload=ok_outcomes(9)),
+            )
+            assert future.result(timeout=0) == 9
+
+        asyncio.run(scenario())
+
+    def test_worker_death_retires_zombie_chunks(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock)
+            link_a, writer_a = attach_worker(co, "a")
+            import concurrent.futures
+
+            future = concurrent.futures.Future()
+            co.submit(job_payload(2), future)
+            await settle()
+            [frame_a] = writer_a.frames
+            clock.advance(1.0)
+            co._scan_timeouts(clock())
+            assert frame_a.job_id in co.chunks  # zombie
+
+            co._drop_worker(link_a)
+            assert co.chunks == {}  # no result can arrive on a dead link
+            assert co.jobs_requeued == 1  # the timeout requeue, no double
+            assert list(co.pending) == [0]
+            assert not future.done()
+
+        asyncio.run(scenario())
+
+
+class TestStreamedReassembly:
+    """result_part/result_end reassembly and its failure modes."""
+
+    def test_parts_reassemble_in_order(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock, chunk_min=3, chunk_max=3)
+            import concurrent.futures
+
+            futures = [concurrent.futures.Future() for _ in range(3)]
+            for i, future in enumerate(futures):
+                co.submit(job_payload(i), future)  # no worker yet: queued
+            link, writer = attach_worker(co, "a")
+            co._pump()
+            await settle()
+            [frame] = writer.frames
+            assert len(decode_cluster_chunk(frame.payload)) == 3
+
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=frame.job_id, seq=0,
+                                payload=ok_outcomes(0, 1)),
+            )
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=frame.job_id, seq=1,
+                                payload=ok_outcomes(4)),
+            )
+            co._on_result_end(
+                link, ResultEndFrame(job_id=frame.job_id, parts=2)
+            )
+            assert [f.result(timeout=0) for f in futures] == [0, 1, 4]
+            assert co.result_parts == 2
+            assert co.jobs == {} and co.chunks == {}
+
+        asyncio.run(scenario())
+
+    def test_incomplete_stream_end_requeues_never_partially_accepts(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock, chunk_min=2, chunk_max=2)
+            import concurrent.futures
+
+            futures = [concurrent.futures.Future() for _ in range(2)]
+            for i, future in enumerate(futures):
+                co.submit(job_payload(i), future)  # no worker yet: queued
+            link, writer = attach_worker(co, "a")
+            co._pump()
+            await settle()
+            [frame] = writer.frames
+
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=frame.job_id, seq=0,
+                                payload=ok_outcomes(0)),
+            )
+            # The worker claims the stream is over after 1 of 2 jobs.
+            co._on_result_end(
+                link, ResultEndFrame(job_id=frame.job_id, parts=1)
+            )
+            assert not futures[0].done() and not futures[1].done()
+            assert co.jobs_requeued == 2  # whole chunk requeued
+            assert 0 in co.jobs and 1 in co.jobs  # neither failed
+            # The pump inside _on_result_end reassigned both under a
+            # fresh chunk id; a complete stream then delivers them.
+            await settle()
+            retry = writer.frames[1]
+            assert retry.job_id != frame.job_id
+            assert len(decode_cluster_chunk(retry.payload)) == 2
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=retry.job_id, seq=0,
+                                payload=ok_outcomes(0, 1)),
+            )
+            co._on_result_end(
+                link, ResultEndFrame(job_id=retry.job_id, parts=1)
+            )
+            assert [f.result(timeout=0) for f in futures] == [0, 1]
+
+        asyncio.run(scenario())
+
+    def test_out_of_order_part_drops_the_worker_and_requeues(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock, chunk_min=2, chunk_max=2)
+            import concurrent.futures
+
+            futures = [concurrent.futures.Future() for _ in range(2)]
+            for i, future in enumerate(futures):
+                co.submit(job_payload(i), future)  # no worker yet: queued
+            link, writer = attach_worker(co, "a")
+            co._pump()
+            await settle()
+            [frame] = writer.frames
+
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=frame.job_id, seq=5,
+                                payload=ok_outcomes(0)),
+            )
+            assert "a" not in co.workers  # protocol violation
+            assert co.workers_lost == 1
+            assert sorted(co.pending) == [0, 1]  # chunk disbanded
+
+        asyncio.run(scenario())
+
+    def test_death_mid_stream_discards_partial_results(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock, chunk_min=2, chunk_max=2)
+            import concurrent.futures
+
+            futures = [concurrent.futures.Future() for _ in range(2)]
+            for i, future in enumerate(futures):
+                co.submit(job_payload(i), future)  # no worker yet: queued
+            link, writer = attach_worker(co, "a")
+            co._pump()
+            await settle()
+            [frame] = writer.frames
+
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=frame.job_id, seq=0,
+                                payload=ok_outcomes(0)),
+            )
+            co._drop_worker(link)  # dies mid-stream
+            assert co.chunks == {}
+            assert not futures[0].done()  # nothing partially accepted
+            assert sorted(co.pending) == [0, 1]
+
+            # Late frames from the dead worker's stream are inert.
+            co._on_result_part(
+                link,
+                ResultPartFrame(job_id=frame.job_id, seq=1,
+                                payload=ok_outcomes(1)),
+            )
+            co._on_result_end(
+                link, ResultEndFrame(job_id=frame.job_id, parts=2)
+            )
+            assert not futures[0].done() and not futures[1].done()
+
+        asyncio.run(scenario())
+
+
+class TestAdaptiveChunkSizing:
+    """EWMA throughput → per-worker chunk size, clamped and fair."""
+
+    def test_unmeasured_worker_probes_at_chunk_min(self):
+        clock = FakeClock()
+        co = make_coordinator(clock, chunk_min=2, chunk_max=16)
+        link, _writer = attach_worker(co, "a")
+        co.pending.extend(range(100))
+        assert co._chunk_size(link) == 2
+
+    def test_fast_worker_gets_bigger_chunks_than_straggler(self):
+        clock = FakeClock()
+        co = make_coordinator(clock, chunk_min=1, chunk_max=16,
+                              chunk_target_s=0.5)
+        fast, _ = attach_worker(co, "fast")
+        slow, _ = attach_worker(co, "slow")
+        fast.ewma_rate = 40.0  # jobs/sec
+        slow.ewma_rate = 4.0
+        co.pending.extend(range(1000))
+        assert co._chunk_size(fast) == 16  # 40*0.5 clamped to max
+        assert co._chunk_size(slow) == 2  # 4*0.5
+        assert co._chunk_size(fast) > co._chunk_size(slow)
+
+    def test_fair_share_clamp_protects_the_tail(self):
+        clock = FakeClock()
+        co = make_coordinator(clock, chunk_min=1, chunk_max=32)
+        fast, _ = attach_worker(co, "fast")
+        attach_worker(co, "other")
+        fast.ewma_rate = 1000.0
+        co.pending.extend(range(6))  # 6 jobs left, 2 workers
+        assert co._chunk_size(fast) == 3  # not all 6
+
+    def test_ewma_update_blends_samples(self):
+        clock = FakeClock()
+        co = make_coordinator(clock)
+        link, _ = attach_worker(co, "a")
+        co._observe_rate(link, 10.0)
+        assert link.ewma_rate == 10.0
+        co._observe_rate(link, 20.0)
+        assert 10.0 < link.ewma_rate < 20.0
+
+    def test_completion_timing_feeds_the_ewma(self):
+        async def scenario():
+            clock = FakeClock()
+            co = make_coordinator(clock, chunk_min=4, chunk_max=4)
+            import concurrent.futures
+
+            futures = [concurrent.futures.Future() for _ in range(4)]
+            for i, future in enumerate(futures):
+                co.submit(job_payload(i), future)  # no worker yet: queued
+            link, writer = attach_worker(co, "a")
+            co._pump()
+            await settle()
+            [frame] = writer.frames
+            clock.advance(2.0)  # 4 jobs in 2s -> 2 jobs/s
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame.job_id, ok=True,
+                            payload=ok_outcomes(0, 1, 4, 9)),
+            )
+            assert link.ewma_rate == pytest.approx(2.0)
+
+        asyncio.run(scenario())
+
+
+class TestWorkerChunkExecution:
+    def test_execute_chunk_runs_jobs_in_order(self):
+        raw = encode_cluster_chunk([job_payload(i) for i in range(5)])
+        entries = execute_chunk(raw)
+        assert [ok for ok, _ in entries] == [True] * 5
+        from repro.service.codec import decode_cluster_payload
+
+        assert [decode_cluster_payload(p) for _, p in entries] == [
+            0, 1, 4, 9, 16
+        ]
+
+    def test_execute_chunk_isolates_a_failing_job(self):
+        raw = encode_cluster_chunk(
+            [
+                job_payload(1),
+                encode_cluster_payload((_boom, (3,), {})),
+                job_payload(2),
+            ]
+        )
+        entries = execute_chunk(raw)
+        assert [ok for ok, _ in entries] == [True, False, True]
+        from repro.service.codec import decode_cluster_payload
+
+        assert "boom 3" in decode_cluster_payload(entries[1][1])
+
+    def test_execute_chunk_rejects_corrupt_envelope(self):
+        with pytest.raises(CodecError):
+            execute_chunk(b"\x00 garbage")
+        with pytest.raises(CodecError):
+            execute_chunk(encode_cluster_payload("not a chunk"))
+
+    def test_pack_outcome_parts_identity_and_bounds(self):
+        entries = [(True, bytes(range(10)) * k) for k in (1, 5, 2, 9, 1)]
+        parts = pack_outcome_parts(entries, 60)
+        assert [e for part in parts for e in part] == entries  # identity
+        assert all(len(part) >= 1 for part in parts)
+        big = pack_outcome_parts(entries, 10 ** 9)
+        assert len(big) == 1  # everything fits in one part
+
+    def test_pack_outcome_parts_oversized_entry_gets_own_part(self):
+        entries = [(True, b"x")] * 2 + [(True, b"y" * 500)] + [(True, b"x")]
+        parts = pack_outcome_parts(entries, 100)
+        assert [e for part in parts for e in part] == entries
+        assert [len(p) for p in parts] == [2, 1, 1]
+
+
+class TestStreamedEndToEnd:
+    """Real workers forced into streaming via a tiny threshold."""
+
+    def test_streamed_map_matches_serial(self):
+        with ClusterExecutor(
+            workers=2, stream_threshold=1, chunk_min=4, chunk_max=8
+        ) as executor:
+            assert executor.map(_square, range(64)) == [
+                i * i for i in range(64)
+            ]
+            assert executor.stats["result_parts"] > 0  # streaming happened
+
+    def test_streamed_population_parity(self):
+        scheme = CBSScheme(n_samples=8)
+        serial = report_fingerprint(population(scheme, engine="serial"))
+        with ClusterExecutor(
+            workers=2, stream_threshold=1, chunk_min=2, chunk_max=4
+        ) as executor:
+            streamed = report_fingerprint(
+                population(scheme, engine=executor, batch_size=1)
+            )
+            assert executor.stats["result_parts"] > 0
+        assert serial == streamed
+
+    def test_sigkill_mid_streaming_population_stays_byte_identical(self):
+        """The ISSUE acceptance: death mid-stream requeues cleanly."""
+        scheme = CBSScheme(n_samples=8)
+        serial = report_fingerprint(
+            population(scheme, engine="serial", n=1 << 15, participants=32)
+        )
+        with ClusterExecutor(
+            workers=2, stream_threshold=1, chunk_min=4, chunk_max=8
+        ) as executor:
+            executor.map(_square, [0])  # force startup; pids known
+            victim = executor.local_worker_pids[0]
+            report_box: list = []
+
+            def run() -> None:
+                report_box.append(
+                    population(
+                        scheme,
+                        engine=executor,
+                        n=1 << 15,
+                        participants=32,
+                        batch_size=1,
+                    )
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.15)  # let the first streams start
+            os.kill(victim, signal.SIGKILL)
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+            # The EOF for the killed worker may still be in flight
+            # right after the map returns; give the loop a moment.
+            deadline = time.monotonic() + 10.0
+            while (
+                executor.stats["workers_lost"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            stats = executor.stats
+        assert stats["workers_lost"] >= 1
+        assert report_fingerprint(report_box[0]) == serial
+
+
+class TestTuningValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_min": 0},
+            {"chunk_min": 8, "chunk_max": 4},
+            {"chunk_target_s": 0.0},
+            {"stream_threshold": 0},
+            {"job_timeout": 0.0},
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_timeout": -1.0},
+            {"startup_timeout": 0.0},
+            {"min_workers": 0},
+        ],
+    )
+    def test_bad_tuning_rejected(self, kwargs):
+        with pytest.raises(EngineError):
+            ClusterExecutor(workers=1, **kwargs)
+
+    def test_get_executor_forwards_cluster_options(self):
+        executor = get_executor(
+            "cluster", 1, chunk_min=2, chunk_max=4, stream_threshold=128
+        )
+        try:
+            assert isinstance(executor, ClusterExecutor)
+            assert executor._chunk_min == 2
+            assert executor._chunk_max == 4
+            assert executor._stream_threshold == 128
+        finally:
+            executor.close()
+
+    def test_get_executor_rejects_unknown_cluster_option(self):
+        with pytest.raises(EngineError):
+            get_executor("cluster", 1, warp_factor=9)
+
+    def test_get_executor_rejects_options_for_inprocess_engines(self):
+        with pytest.raises(EngineError):
+            get_executor("serial", chunk_min=2)
+        with pytest.raises(EngineError):
+            get_executor("threads", 2, stream_threshold=1)
+
+    def test_get_executor_rejects_options_on_instances(self):
+        executor = get_executor("serial")
+        with pytest.raises(EngineError):
+            get_executor(executor, chunk_min=2)
+
+
+def _megabyte(x: int) -> bytes:
+    return bytes([x % 256]) * (1 << 20)
+
+
+class TestAnswerPathSurvival:
+    """Review fix: a result that cannot encode or frame must come back
+    as a chunk-level error — never an unanswered chunk that hangs the
+    caller on a worker that still heartbeats."""
+
+    def test_unframeable_result_fails_fast_instead_of_hanging(self):
+        """Worker max_frame too small for the 1 MiB result: the send
+        fails on the worker, the fallback error frame (which fits)
+        arrives, and map() raises promptly instead of blocking."""
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        executor = ClusterExecutor(
+            workers=1, port=port, spawn_local=False, startup_timeout=30.0
+        )
+
+        def worker_thread() -> None:
+            async def dial() -> None:
+                await run_worker(
+                    "127.0.0.1",
+                    port,
+                    engine="serial",
+                    connect_retry_s=30.0,
+                    max_frame=64 * 1024,  # cannot frame a 1 MiB result
+                )
+
+            asyncio.run(dial())
+
+        thread = threading.Thread(target=worker_thread, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(EngineError, match="exceeds limit"):
+                executor.map(_megabyte, [1])
+            # The worker survived its own answer failure.
+            assert executor.map(_square, [5]) == [25]
+        finally:
+            executor.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_zombie_count_mismatch_cannot_fail_requeued_jobs(self):
+        async def scenario():
+            import concurrent.futures
+
+            clock = FakeClock()
+            co = make_coordinator(clock, chunk_min=2, chunk_max=2)
+            futures = [concurrent.futures.Future() for _ in range(2)]
+            for i, future in enumerate(futures):
+                co.submit(job_payload(i), future)  # no worker yet: queued
+            link, writer = attach_worker(co, "a")
+            co._pump()
+            await settle()
+            [frame] = writer.frames
+
+            clock.advance(2.5)  # past the size-scaled budget (0.5 * 2)
+            co._scan_timeouts(clock())  # zombie; jobs requeued
+            assert co.chunks[frame.job_id].requeued
+
+            # The slow worker answers with the wrong outcome count —
+            # the requeued copies own these jobs now; nothing fails.
+            co._on_result(
+                link,
+                ResultFrame(job_id=frame.job_id, ok=True,
+                            payload=ok_outcomes(0)),  # 1 of 2
+            )
+            assert not futures[0].done() and not futures[1].done()
+            assert 0 in co.jobs and 1 in co.jobs
+
+            # The reassigned copy (pumped by _on_result) delivers.
+            await settle()
+            retry = writer.frames[1]
+            co._on_result(
+                link,
+                ResultFrame(job_id=retry.job_id, ok=True,
+                            payload=ok_outcomes(0, 1)),
+            )
+            assert [f.result(timeout=0) for f in futures] == [0, 1]
+
+        asyncio.run(scenario())
+
+    def test_min_workers_cannot_exceed_spawn_local_count(self):
+        with pytest.raises(EngineError, match="min_workers"):
+            ClusterExecutor(workers=2, min_workers=4)
+        # External mode has no spawn target; any floor is legal.
+        ClusterExecutor(workers=2, min_workers=4, spawn_local=False).close()

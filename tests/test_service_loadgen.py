@@ -7,8 +7,11 @@ synchronous ``GridSimulation``.
 """
 
 import asyncio
+import statistics
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cheating import HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme, NICBSScheme
@@ -160,9 +163,96 @@ class TestPercentile:
 
     def test_single_sample(self):
         assert percentile([7.0], 0.99) == 7.0
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_q1_is_max_for_every_length(self):
+        for n in range(1, 30):
+            values = [float(i) for i in range(n)]
+            assert percentile(values, 1.0) == float(n - 1)
+
+    def test_p99_regression_no_round_drift(self):
+        # The old round()-based rank pulled p99 of 64 distinct samples
+        # down to index 62; nearest-rank demands ceil(0.99 * 64) = 64,
+        # i.e. the maximum.
+        values = [float(i) for i in range(64)]
+        assert percentile(values, 0.99) == 63.0
 
     def test_bad_inputs_rejected(self):
         with pytest.raises(ValueError):
             percentile([], 0.5)
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_nearest_rank_defining_property(self, values, q):
+        """The two inequalities that uniquely define nearest-rank.
+
+        The result x must be an actual sample with (a) at least a
+        ``q`` fraction of samples <= x and (b) strictly less than a
+        ``q`` fraction strictly below x — i.e. x is the *smallest*
+        sample whose empirical CDF reaches q.
+        """
+        x = percentile(values, q)
+        n = len(values)
+        assert x in values
+        at_or_below = sum(1 for v in values if v <= x)
+        strictly_below = sum(1 for v in values if v < x)
+        assert at_or_below / n >= q
+        if q > 0.0:
+            assert strictly_below / n < q
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=60
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_q(self, values, data):
+        lo = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        hi = data.draw(st.floats(min_value=lo, max_value=1.0))
+        assert percentile(values, lo) <= percentile(values, hi)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=64
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_median_matches_statistics_median_low(self, values):
+        # Exact stdlib cross-check: nearest-rank at q = 0.5 is by
+        # definition the lower median (ceil(n/2)'th order statistic).
+        assert percentile(values, 0.5) == statistics.median_low(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=8, max_size=64
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_within_one_rank_of_statistics_quantiles(self, values):
+        """Cross-check against ``statistics.quantiles``: the inclusive
+        method interpolates at position q*(n-1), nearest-rank picks
+        order statistic ceil(q*n) — the chosen sample's rank must sit
+        within one position of the stdlib's anchor."""
+        ordered = sorted(values)
+        n = len(ordered)
+        for k, q in ((1, 0.25), (2, 0.50), (3, 0.75)):
+            x = percentile(values, q)
+            # index() finds the first equal sample, i.e. the smallest
+            # rank holding this value — compare against the smallest
+            # and largest rank holding it.
+            first = ordered.index(x)
+            last = n - 1 - ordered[::-1].index(x)
+            anchor = q * (n - 1)
+            assert first - 1.0 <= anchor + 1e-9
+            assert last + 1.0 >= anchor - 1e-9

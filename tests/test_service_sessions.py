@@ -19,6 +19,10 @@ class FakeClock:
     def advance(self, seconds: float) -> None:
         self.now += seconds
 
+    def jump_to(self, seconds: float) -> None:
+        """Set absolute time — backwards jumps included (clock skew)."""
+        self.now = seconds
+
 
 def assignment(task_id: str = "task-0") -> TaskAssignment:
     return TaskAssignment(task_id, RangeDomain(0, 32), PasswordSearch())
@@ -178,3 +182,57 @@ class TestEvictionRacingVerification:
             store.record_outcome("task-0", outcome())
         assert store.stats.completed == 0
         assert store.outcomes == {}
+
+
+class TestBackwardJumpingClock:
+    """Clock skew hardening: a clock that jumps backwards must never
+    evict a live session — negative ages clamp, and a touch at an
+    earlier timestamp never rewinds ``touched_at``."""
+
+    def test_negative_age_never_evicts(self):
+        clock = FakeClock()
+        clock.jump_to(100.0)
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        clock.jump_to(0.0)  # the clock falls over
+        assert store.evict_stale() == []
+        assert "task-0" in store
+        assert store.stats.evicted == 0
+
+    def test_touch_during_backward_jump_does_not_rewind(self):
+        # The dangerous interleaving: create at t=100, clock jumps to
+        # t=0, the participant touches the session (which must NOT
+        # rewind touched_at to 0), clock recovers to t=105.  The
+        # session was touched 5 "real" seconds ago — evicting it would
+        # kick a live participant mid-protocol.
+        clock = FakeClock()
+        clock.jump_to(100.0)
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        clock.jump_to(0.0)
+        store.get("task-0")  # touch at the skewed time
+        clock.jump_to(105.0)
+        assert store.evict_stale() == []
+        assert "task-0" in store
+
+    def test_eviction_resumes_once_clock_recovers(self):
+        # The clamp grants grace, not immortality: once real time
+        # advances past the TTL from the last forward-time touch, an
+        # abandoned session still goes.
+        clock = FakeClock()
+        clock.jump_to(100.0)
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        clock.jump_to(0.0)
+        store.get("task-0")
+        clock.jump_to(111.0)  # 11s after the surviving touched_at=100
+        assert store.evict_stale() == ["task-0"]
+
+    def test_forward_touch_still_refreshes(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        store.create("task-0", 0, assignment(), seed=1, protocol="cbs")
+        clock.advance(8.0)
+        store.get("task-0")  # normal monotone touch
+        clock.advance(8.0)
+        assert store.evict_stale() == []  # only 8s idle, not 16
