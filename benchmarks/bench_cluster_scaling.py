@@ -1,6 +1,6 @@
 """Cluster scaling — population throughput across remote worker pools.
 
-Two claims are pinned here:
+Three claims are pinned here:
 
 1. **Scaling** — a coordinator sharding a population across local
    worker daemons (one process each, dialled in over real loopback TCP
@@ -14,6 +14,11 @@ Two claims are pinned here:
    straggler's rate and strands less work on it, exactly the
    feedback-driven allocation the storage-subnet related repo applies
    to heterogeneous miners.
+3. **Security price** — the PR-5 transport layer (mutual HMAC
+   handshake + TLS, ``repro.net``) must cost < 15% throughput at the
+   CI smoke size versus plaintext: authentication happens once per
+   connection and TLS bulk crypto is cheap next to scheme compute, so
+   a securely-deployed cluster stays on the perf trajectory.
 
 Results are byte-identical to serial on every worker count and chunk
 policy — pinned by tests/test_engine_cluster.py — so only wall-clock
@@ -52,6 +57,12 @@ N_PARTICIPANTS_QUICK = 16
 N_SAMPLES = 16
 CLUSTER_SIZES = (2, 4)
 TARGET_SPEEDUP = 1.5
+
+# Auth+TLS overhead scenario: always measured at the CI smoke size.
+SECURITY_D_EXP = 12
+SECURITY_PARTICIPANTS = 16
+SECURITY_WORKERS = 2
+MAX_SECURITY_OVERHEAD = 0.15  # < 15% throughput cost
 
 # Skewed-worker scenario: 4 external workers, one throttled.
 SKEW_WORKERS = 4
@@ -176,6 +187,94 @@ def test_cluster_scaling(save_json, save_table, quick):
             f"(measured {speedup:.2f}x: serial {serial_t:.3f}s, "
             f"cluster {cluster_t[4]:.3f}s)"
         )
+
+
+# ----------------------------------------------------------------------
+# Auth + TLS overhead: the security layer's price, pinned
+# ----------------------------------------------------------------------
+
+
+def test_auth_tls_overhead_under_15_percent(
+    save_json, save_table, quick, security_material
+):
+    """Plaintext vs secured (HMAC auth + TLS) cluster at smoke size.
+
+    Both runs use the same worker count and domain; the handshake is
+    per-connection and the crypto is per-byte, while the work is
+    per-job — so the measured cost stays small.  Best-of-two on each
+    side tames shared-runner noise before the assertion fires.
+    """
+    secret_file, tls_cert, tls_key = security_material
+    cores = default_workers()
+    secured_kwargs = {
+        "secret_file": secret_file,
+        "tls_cert": tls_cert,
+        "tls_key": tls_key,
+    }
+
+    def measure(**security_kwargs) -> tuple[float, dict]:
+        with ClusterExecutor(
+            workers=SECURITY_WORKERS, **security_kwargs
+        ) as executor:
+            elapsed = _run_once(
+                executor, SECURITY_D_EXP, SECURITY_PARTICIPANTS
+            )
+            return elapsed, executor.stats
+
+    plain_t, plain_stats = measure()
+    secured_t, secured_stats = measure(**secured_kwargs)
+    assert secured_stats["auth_rejects"] == 0
+
+    if secured_t / plain_t > 1.0 + MAX_SECURITY_OVERHEAD:
+        # One best-of-two retry per side before judging.
+        plain_t = min(plain_t, measure()[0])
+        secured_t = min(secured_t, measure(**secured_kwargs)[0])
+
+    overhead = secured_t / plain_t - 1.0
+    rows = [
+        {
+            "transport": "plaintext",
+            "elapsed_s": round(plain_t, 4),
+            "participants_per_s": round(SECURITY_PARTICIPANTS / plain_t, 1),
+            "overhead_vs_plain": 0.0,
+        },
+        {
+            "transport": "hmac auth + tls",
+            "elapsed_s": round(secured_t, 4),
+            "participants_per_s": round(SECURITY_PARTICIPANTS / secured_t, 1),
+            "overhead_vs_plain": round(overhead, 3),
+        },
+    ]
+    save_json(
+        "cluster_security_overhead",
+        {
+            "bench": "cluster_security_overhead",
+            "quick": quick,
+            "domain_size": 1 << SECURITY_D_EXP,
+            "n_participants": SECURITY_PARTICIPANTS,
+            "workers": SECURITY_WORKERS,
+            "available_cores": cores,
+            "max_overhead": MAX_SECURITY_OVERHEAD,
+            "rows": rows,
+        },
+    )
+    save_table(
+        "cluster_security_overhead",
+        format_table(
+            rows,
+            title=(
+                f"Cluster security overhead — D = 2^{SECURITY_D_EXP}, "
+                f"{SECURITY_PARTICIPANTS} participants, "
+                f"{SECURITY_WORKERS} workers, {cores} core(s)"
+                f"{' [quick]' if quick else ''}"
+            ),
+        ),
+    )
+    assert overhead < MAX_SECURITY_OVERHEAD, (
+        f"auth + TLS should cost < {MAX_SECURITY_OVERHEAD:.0%} throughput "
+        f"at the smoke size (measured {overhead:.1%}: plaintext "
+        f"{plain_t:.3f}s, secured {secured_t:.3f}s)"
+    )
 
 
 # ----------------------------------------------------------------------

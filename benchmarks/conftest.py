@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import secrets
 
 import pytest
 
@@ -90,3 +91,28 @@ def save_json(results_dir):
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def security_material(tmp_path_factory):
+    """Shared secret + self-signed TLS cert/key for the auth overhead
+    bench (the README "Security model" recipe via the shared
+    ``repro.net`` helper).
+
+    Returns ``(secret_file, cert_file, key_file)`` paths; skips the
+    requesting bench when no ``openssl`` binary is available.
+    """
+    from repro.exceptions import ProtocolError
+    from repro.net.transport import generate_self_signed_cert
+
+    directory = tmp_path_factory.mktemp("bench-security")
+    secret = directory / "secret"
+    secret.write_text(secrets.token_hex(32) + "\n")
+    cert, key = directory / "cert.pem", directory / "key.pem"
+    try:
+        generate_self_signed_cert(
+            str(cert), str(key), common_name="repro-coordinator", days=1
+        )
+    except ProtocolError as exc:
+        pytest.skip(f"cannot generate TLS material: {exc}")
+    return str(secret), str(cert), str(key)

@@ -35,6 +35,14 @@ throughput-sized chunks, ``--stream-threshold`` sets where workers
 start streaming results as bounded sub-frames (README "Cluster
 tuning").  The multi-host recipe (one coordinator, workers on other
 machines) is in the README.
+
+Transport security (README "Security model"): ``--secret-file`` gates
+every connection behind the mutual repro.net HMAC handshake,
+``--tls-cert``/``--tls-key`` add pinned-certificate TLS.  ``serve``
+and ``loadgen`` apply them to the participant socket; any ``--engine
+cluster`` command forwards them to the cluster plane; ``worker``
+takes ``--secret-file``/``--tls-cert`` to prove itself to (and pin)
+its coordinator.
 """
 
 from __future__ import annotations
@@ -61,8 +69,10 @@ from repro.core import CBSScheme, predicted_rco
 from repro.baselines import NaiveSamplingScheme
 from repro.engine import ENGINE_NAMES, get_executor
 from repro.engine.cluster.worker import add_worker_args, run_worker_sync
+from repro.exceptions import ReproError
 from repro.grid import run_population
 from repro.merkle import get_hash
+from repro.net.transport import SecurityConfig
 from repro.service import (
     ServiceConfig,
     SupervisorServer,
@@ -311,7 +321,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config,
             engine=args.engine,
             workers=_engine_workers(args),
-            engine_options=_engine_options(args),
+            engine_options=_engine_options(args, service_plane=True),
+            security=_service_security(args),
             session_ttl=args.session_ttl,
         )
         # Graceful shutdown: SIGINT/SIGTERM set an event instead of
@@ -357,23 +368,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _loadgen_connect(args, behaviors):
-    """Drive a remote supervisor, retrying the first connect briefly."""
-    deadline = time.monotonic() + args.connect_timeout
-    while True:
-        try:
-            reader, writer = await asyncio.open_connection(args.host, args.port)
-            writer.close()
-            await writer.wait_closed()
-            break
-        except (ConnectionError, OSError):
-            if time.monotonic() >= deadline:
-                raise
-            await asyncio.sleep(0.2)
+    """Drive a remote supervisor; the shared repro.net retry/backoff
+    helper inside ``ServiceClient.open_tcp`` absorbs a slow-starting
+    server (the old private probe loop is gone)."""
     return await run_loadgen(
         args.participants,
         behaviors,
         host=args.host,
         port=args.port,
+        security=_service_security(args),
+        connect_retry_s=args.connect_timeout,
         concurrency=args.concurrency,
     )
 
@@ -387,7 +391,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(
             "connected mode: the supervisor's own config governs the "
             "workload — local --n/--m/--protocol/--workload/--seed/"
-            "--engine/--workers are ignored"
+            "--engine/--workers are ignored (--secret-file/--tls-cert "
+            "still apply: they authenticate this client)"
         )
         report, stats = asyncio.run(_loadgen_connect(args, behaviors))
     else:
@@ -398,7 +403,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 transport="tcp",
                 engine=args.engine,
                 workers=_engine_workers(args),
-                engine_options=_engine_options(args),
+                engine_options=_engine_options(args, service_plane=True),
+                security=_service_security(args),
                 concurrency=args.concurrency,
             )
         )
@@ -461,6 +467,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         stream_threshold=args.stream_threshold,
         throttle=args.throttle,
         connect_retry_s=args.connect_retry_s,
+        secret_file=args.secret_file,
+        tls_cert=args.tls_cert,
     )
 
 
@@ -515,6 +523,47 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="encoded result bytes above which cluster workers stream a "
         "chunk's outcomes as bounded result_part frames",
     )
+    _add_security_args(parser)
+
+
+def _add_security_args(parser: argparse.ArgumentParser) -> None:
+    """The repro.net security flags (README "Security model").
+
+    One set of flags secures whatever wire the subcommand opens: the
+    participant socket for ``serve``/``loadgen``, the cluster plane
+    for ``--engine cluster`` (both at once when a service runs on the
+    cluster backend).
+    """
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        dest="secret_file",
+        help="path to a shared-secret file; peers must complete the "
+        "HMAC-SHA256 challenge/response handshake before any frame "
+        "is decoded",
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        dest="tls_cert",
+        help="TLS certificate path: listeners present it (with "
+        "--tls-key), dialling sides pin it as the trust anchor",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        dest="tls_key",
+        help="TLS private key path (listening side only)",
+    )
+    parser.add_argument(
+        "--cluster-secret-file",
+        default=None,
+        dest="cluster_secret_file",
+        help="separate shared secret for the cluster plane; without it "
+        "a serve/loadgen --engine cluster run keys both planes from "
+        "--secret-file — avoid that when participants hold the service "
+        "secret (the cluster secret admits pickled code to workers)",
+    )
 
 
 def _engine_workers(args: argparse.Namespace) -> int | None:
@@ -529,12 +578,17 @@ def _engine_workers(args: argparse.Namespace) -> int | None:
     return args.workers
 
 
-def _engine_options(args: argparse.Namespace) -> dict:
+def _engine_options(
+    args: argparse.Namespace, service_plane: bool = False
+) -> dict:
     """Cluster tuning knobs as ``get_executor`` keyword options.
 
     Collected regardless of ``--engine``: passing a cluster knob to an
     in-process backend is an error the engine layer raises loudly —
-    never a silently ignored flag.
+    never a silently ignored flag.  The security flags follow the same
+    rule, except under ``service_plane=True`` (``serve``/``loadgen``),
+    where a non-cluster engine leaves them to the participant socket
+    (see :func:`_service_security`) instead of erroring.
     """
     options: dict = {}
     if args.cluster_chunk_min is not None:
@@ -543,7 +597,31 @@ def _engine_options(args: argparse.Namespace) -> dict:
         options["chunk_max"] = args.cluster_chunk_max
     if args.stream_threshold is not None:
         options["stream_threshold"] = args.stream_threshold
+    # --cluster-secret-file always wins for the cluster plane (and is
+    # passed through — hence rejected loudly — for in-process engines);
+    # a bare --secret-file reaches the cluster only where no service
+    # socket could claim it instead.
+    if args.cluster_secret_file is not None:
+        options["secret_file"] = args.cluster_secret_file
+    elif (
+        not service_plane or args.engine == "cluster"
+    ) and args.secret_file is not None:
+        options["secret_file"] = args.secret_file
+    if not service_plane or args.engine == "cluster":
+        if args.tls_cert is not None:
+            options["tls_cert"] = args.tls_cert
+        if args.tls_key is not None:
+            options["tls_key"] = args.tls_key
     return options
+
+
+def _service_security(args: argparse.Namespace) -> SecurityConfig | None:
+    """Security material for the participant-facing service socket."""
+    return SecurityConfig.from_options(
+        secret_file=args.secret_file,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -669,9 +747,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Configuration errors (an unreadable ``--secret-file``, a
+    ``--tls-key`` without its cert, a cluster knob on an in-process
+    engine) surface as one clean line on stderr and exit code 2 —
+    the same UX the ``worker`` daemon already had — not a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

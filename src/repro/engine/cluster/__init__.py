@@ -27,6 +27,12 @@ Parity: a cluster run produces byte-identical
 including under worker kills mid-population or mid-stream — because
 every job is a pure function of its payload and results are accepted
 at most once.
+
+Security: the plane moves pickles, so it rides the shared
+:mod:`repro.net` transport layer — ``secret_file`` enables the mutual
+HMAC handshake on every connection (an unauthenticated peer never
+reaches the pickle decoder), ``tls_cert``/``tls_key`` put the
+coordinator behind pinned-certificate TLS (README "Security model").
 """
 
 from repro.engine.cluster.coordinator import (

@@ -74,6 +74,7 @@ from typing import Any, Callable, Sequence
 
 from repro.engine.executor import Executor, default_workers
 from repro.exceptions import CodecError, EngineError, ReproError
+from repro.net.transport import SecurityConfig
 from repro.service.codec import (
     DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
@@ -213,9 +214,11 @@ class _Coordinator:
         chunk_max: int,
         chunk_target_s: float,
         more_workers_expected: Callable[[], bool],
+        security: SecurityConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.max_frame = max_frame
+        self.security = security
         self.window_depth = window_depth
         self.heartbeat_timeout = heartbeat_timeout
         self.job_timeout = job_timeout
@@ -236,6 +239,7 @@ class _Coordinator:
         self.chunks_requeued = 0
         self.result_parts = 0
         self.workers_lost = 0
+        self.auth_rejects = 0
         self._next_job_id = 0
         self._next_chunk_id = 0
         self._server: asyncio.base_events.Server | None = None
@@ -248,8 +252,13 @@ class _Coordinator:
     # ------------------------------------------------------------------
 
     async def start(self, host: str, port: int) -> tuple[str, int]:
+        ssl_context = (
+            self.security.server_ssl_context()
+            if self.security is not None
+            else None
+        )
         self._server = await asyncio.start_server(
-            self._spawn_connection, host, port
+            self._spawn_connection, host, port, ssl=ssl_context
         )
         self._monitor_task = asyncio.ensure_future(self._monitor())
         sockname = self._server.sockets[0].getsockname()
@@ -422,6 +431,15 @@ class _Coordinator:
     async def _serve_worker(self, reader, writer) -> None:
         link: _WorkerLink | None = None
         try:
+            if self.security is not None:
+                # The repro.net HMAC handshake gates the pickle plane:
+                # a peer without the shared secret is rejected here,
+                # before any envelope — JSON or pickle — is decoded.
+                try:
+                    await self.security.authenticate_inbound(reader, writer)
+                except (ReproError, ConnectionError, OSError):
+                    self.auth_rejects += 1
+                    return
             frame = await read_frame(reader, max_frame=self.max_frame)
             if not isinstance(frame, WorkerHello):
                 with contextlib.suppress(Exception):
@@ -778,6 +796,13 @@ class ClusterExecutor(Executor):
     ``chunk_target_s`` sets how many seconds of work one chunk should
     carry, and ``stream_threshold`` is the worker-side byte count above
     which chunk results stream as bounded ``result_part`` frames.
+
+    Security surface (see README "Security model"): ``secret_file``
+    enables the mutual repro.net HMAC handshake — every worker must
+    prove the shared secret *before* any pickle envelope is decoded —
+    and ``tls_cert``/``tls_key`` put the listener behind TLS (external
+    workers pin the cert with ``repro.cli worker --tls-cert``;
+    spawn-local daemons inherit both flags automatically).
     """
 
     name = "cluster"
@@ -801,6 +826,9 @@ class ClusterExecutor(Executor):
         chunk_max: int = DEFAULT_CHUNK_MAX,
         chunk_target_s: float = DEFAULT_CHUNK_TARGET_S,
         stream_threshold: int = DEFAULT_STREAM_THRESHOLD_BYTES,
+        secret_file: str | None = None,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
         startup_timeout: float = 60.0,
         max_frame: int = MAX_CLUSTER_FRAME_BYTES,
     ) -> None:
@@ -844,6 +872,23 @@ class ClusterExecutor(Executor):
             )
         if worker_engine == "cluster":
             raise EngineError("cluster workers cannot use the cluster engine")
+        # Security material (repro.net): shared-secret HMAC auth gates
+        # every worker connection before the pickle plane; the TLS
+        # cert/key pair encrypts the wire.  A TLS coordinator needs
+        # both; workers pin the cert (no key) — validated here so a
+        # misconfigured deployment fails at construction, not mid-map.
+        if tls_cert is not None and tls_key is None:
+            raise EngineError(
+                "a TLS coordinator needs both tls_cert and tls_key"
+            )
+        try:
+            self._security = SecurityConfig.from_options(
+                secret_file=secret_file, tls_cert=tls_cert, tls_key=tls_key
+            )
+        except ReproError as exc:
+            raise EngineError(f"bad cluster security options: {exc}") from exc
+        self._secret_file = secret_file
+        self._tls_cert = tls_cert
         self._n_local = workers or default_workers()
         if (
             spawn_local
@@ -908,6 +953,7 @@ class ClusterExecutor(Executor):
             return {"jobs_completed": 0, "jobs_requeued": 0,
                     "chunks_completed": 0, "chunks_requeued": 0,
                     "result_parts": 0, "workers_lost": 0,
+                    "auth_rejects": 0,
                     "workers_live": 0, "worker_rates": {}}
         return {
             "jobs_completed": co.jobs_completed,
@@ -916,6 +962,7 @@ class ClusterExecutor(Executor):
             "chunks_requeued": co.chunks_requeued,
             "result_parts": co.result_parts,
             "workers_lost": co.workers_lost,
+            "auth_rejects": co.auth_rejects,
             "workers_live": len(co.workers),
             "worker_rates": {
                 link.worker_id: round(link.ewma_rate, 3)
@@ -1017,6 +1064,7 @@ class ClusterExecutor(Executor):
                 chunk_max=self._chunk_max,
                 chunk_target_s=self._chunk_target_s,
                 more_workers_expected=self._more_workers_expected,
+                security=self._security,
             )
             try:
                 self._address = asyncio.run_coroutine_threadsafe(
@@ -1059,6 +1107,10 @@ class ClusterExecutor(Executor):
             ]
             if self._worker_processes is not None:
                 cmd += ["--workers", str(self._worker_processes)]
+            if self._secret_file is not None:
+                cmd += ["--secret-file", self._secret_file]
+            if self._tls_cert is not None:
+                cmd += ["--tls-cert", self._tls_cert]
             self._procs.append(
                 subprocess.Popen(
                     cmd, env=env, stdout=subprocess.DEVNULL

@@ -44,6 +44,12 @@ import time
 
 from repro.engine.executor import get_executor
 from repro.exceptions import CodecError, EngineError, ReproError
+from repro.net.transport import (
+    SecurityConfig,
+    close_writer,
+    heartbeat_loop,
+    open_connection,
+)
 from repro.service.codec import (
     DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
@@ -158,6 +164,7 @@ async def run_worker(
     stream_threshold: int = DEFAULT_STREAM_THRESHOLD_BYTES,
     throttle: float = 0.0,
     connect_retry_s: float = 0.0,
+    security: SecurityConfig | None = None,
     max_frame: int = MAX_CLUSTER_FRAME_BYTES,
     shutdown: asyncio.Event | None = None,
 ) -> int:
@@ -171,8 +178,12 @@ async def run_worker(
     an artificial per-job delay (straggler injection for benches and
     scheduler tests).  ``connect_retry_s`` keeps re-dialling a
     coordinator that has not bound its port yet — workers racing the
-    coordinator's startup across hosts is normal, not an error.
-    ``shutdown`` is the graceful-exit hook the signal handlers set.
+    coordinator's startup across hosts is normal, not an error
+    (shared :func:`repro.net.transport.open_connection` backoff).
+    ``security`` carries the coordinator's shared secret and TLS pin:
+    when a secret is set the worker completes the repro.net HMAC
+    handshake before its ``hello`` frame.  ``shutdown`` is the
+    graceful-exit hook the signal handlers set.
     """
     if engine == "cluster":
         raise EngineError("a cluster worker cannot use the cluster engine")
@@ -195,15 +206,22 @@ async def run_worker(
 
     with get_executor(engine, workers) as executor:
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + connect_retry_s
-        while True:
+        reader, writer = await open_connection(
+            host,
+            port,
+            ssl_context=(
+                security.client_ssl_context() if security is not None else None
+            ),
+            connect_retry_s=connect_retry_s,
+        )
+        if security is not None:
+            # Authenticate before the hello: a worker that cannot
+            # prove the shared secret never gets to speak the codec.
             try:
-                reader, writer = await asyncio.open_connection(host, port)
-                break
-            except (ConnectionError, OSError):
-                if loop.time() >= deadline:
-                    raise
-                await asyncio.sleep(0.1)
+                await security.authenticate_outbound(reader, writer)
+            except BaseException:
+                await close_writer(writer)
+                raise
         write_lock = asyncio.Lock()
         slots = asyncio.Semaphore(executor.workers)
         inflight: set[asyncio.Task] = set()
@@ -212,10 +230,11 @@ async def run_worker(
             async with write_lock:
                 await write_frame(writer, frame, max_frame=max_frame)
 
-        async def heartbeats() -> None:
-            while True:
-                await asyncio.sleep(heartbeat_interval)
-                await send(HeartbeatFrame(worker_id=worker_id))
+        def heartbeats():
+            return heartbeat_loop(
+                lambda: send(HeartbeatFrame(worker_id=worker_id)),
+                heartbeat_interval,
+            )
 
         async def run_job(frame: JobFrame) -> None:
             nonlocal jobs_done
@@ -345,9 +364,7 @@ async def run_worker(
                         asyncio.CancelledError, Exception
                     ):
                         await task
-            with contextlib.suppress(Exception):
-                writer.close()
-                await writer.wait_closed()
+            await close_writer(writer)
     return jobs_done
 
 
@@ -390,6 +407,13 @@ def add_worker_args(parser: argparse.ArgumentParser) -> None:
                         dest="connect_retry_s",
                         help="seconds to keep re-dialling a coordinator "
                         "that is not accepting yet (default: fail fast)")
+    parser.add_argument("--secret-file", default=None, dest="secret_file",
+                        help="path to the coordinator's shared secret; "
+                        "the worker authenticates (HMAC-SHA256 "
+                        "challenge/response) before its hello frame")
+    parser.add_argument("--tls-cert", default=None, dest="tls_cert",
+                        help="path to the coordinator's TLS certificate "
+                        "(pinned as the trust anchor; enables TLS)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -412,13 +436,23 @@ def run_worker_sync(
     stream_threshold: int = DEFAULT_STREAM_THRESHOLD_BYTES,
     throttle: float = 0.0,
     connect_retry_s: float = 0.0,
+    secret_file: str | None = None,
+    tls_cert: str | None = None,
 ) -> int:
     """Blocking daemon wrapper with graceful SIGINT/SIGTERM exit.
 
     The shared entry point behind ``python -m repro.cli worker`` and
     ``python -m repro.engine.cluster.worker``; returns a process exit
-    code.
+    code.  ``secret_file``/``tls_cert`` are the operator-distributed
+    security material (see README "Security model").
     """
+    try:
+        security = SecurityConfig.from_options(
+            secret_file=secret_file, tls_cert=tls_cert
+        )
+    except ReproError as exc:
+        print(f"cluster worker failed: {exc}", file=sys.stderr)
+        return 1
 
     async def runner() -> int:
         stop = asyncio.Event()
@@ -441,6 +475,7 @@ def run_worker_sync(
                 stream_threshold=stream_threshold,
                 throttle=throttle,
                 connect_retry_s=connect_retry_s,
+                security=security,
                 shutdown=stop,
             )
         finally:
@@ -469,6 +504,8 @@ def main(argv: list[str] | None = None) -> int:
         stream_threshold=args.stream_threshold,
         throttle=args.throttle,
         connect_retry_s=args.connect_retry_s,
+        secret_file=args.secret_file,
+        tls_cert=args.tls_cert,
     )
 
 

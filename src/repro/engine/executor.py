@@ -183,8 +183,10 @@ def get_executor(
     self-hosts ``workers`` local worker daemons, and ``options`` are
     forwarded to :class:`~repro.engine.cluster.ClusterExecutor` —
     the tuning surface (``chunk_min``/``chunk_max``,
-    ``stream_threshold``, ``job_timeout``, …) reaches the scheduler
-    without every dispatch site learning cluster-specific arguments.
+    ``stream_threshold``, ``job_timeout``, …) and the transport
+    security material (``secret_file``/``tls_cert``/``tls_key``,
+    README "Security model") reach the scheduler without every
+    dispatch site learning cluster-specific arguments.
     The in-process backends take no options; passing any raises
     :class:`EngineError` rather than silently ignoring a knob.  Build
     a ``ClusterExecutor`` directly to attach external workers on

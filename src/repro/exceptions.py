@@ -18,6 +18,10 @@ subsystems:
   does not support (e.g. the ringer scheme on a non-one-way function,
   exactly the restriction §1.1 of the paper discusses).
 * :class:`CodecError` — wire-format encode/decode failures.
+* :class:`AuthError` — a transport-level authentication handshake
+  failed (wrong shared secret, malformed or truncated handshake
+  frames, handshake timeout).  A :class:`ProtocolError` subclass so
+  every existing connection-level handler already rejects it cleanly.
 * :class:`EngineError` — execution-engine (executor backend)
   misconfiguration: unknown backend names, invalid worker counts,
   submission to a closed executor.
@@ -73,6 +77,10 @@ class SchemeConfigurationError(ReproError):
 
 class CodecError(ReproError):
     """Wire-format encoding or decoding failed."""
+
+
+class AuthError(ProtocolError):
+    """A transport authentication handshake failed or was malformed."""
 
 
 class EngineError(ReproError):

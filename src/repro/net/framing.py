@@ -1,0 +1,200 @@
+"""Length-prefixed frame I/O: the one framing layer both planes share.
+
+Every byte stream in this repository — the participant-facing
+supervisor service (:mod:`repro.service`) and the operator-facing
+cluster plane (:mod:`repro.engine.cluster`) — moves *frames*: a
+4-byte big-endian payload length followed by the payload bytes.  This
+module owns that rule exactly once, in sync and asyncio flavours,
+together with the size-cap constants that used to be duplicated
+across the service codec and the cluster envelope.
+
+The framing layer is deliberately payload-agnostic: it deals in
+``bytes`` and leaves the JSON/pickle vocabulary to
+:mod:`repro.service.codec`.  That split is what lets the
+authentication handshake (:mod:`repro.net.auth`) run *underneath* the
+application codec — an unauthenticated peer is rejected before any
+JSON or pickle envelope is ever decoded.
+
+Error contract: truncation, oversized length prefixes and short reads
+raise :class:`~repro.exceptions.ProtocolError`; size-cap violations on
+typed payloads raise :class:`~repro.exceptions.CodecError` naming the
+offending frame type and the observed size (:func:`check_payload_size`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import BinaryIO
+
+from repro.exceptions import CodecError, ProtocolError
+
+#: Width of the frame length prefix.
+FRAME_HEADER_BYTES = 4
+
+#: Default ceiling on a single frame's payload.  Large enough for a
+#: full NI-CBS submission at big domains, small enough that a hostile
+#: length prefix cannot balloon server memory.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Ceiling on one pickled ``job``/``result`` payload (pre-base64).  A
+#: chunk of scheme batches or their results at large domains fits with
+#: room to spare; anything bigger is a misconfigured batch size or a
+#: hostile frame.
+MAX_CLUSTER_PAYLOAD_BYTES = 32 * 1024 * 1024
+
+#: Frame ceiling for cluster-plane connections: the payload cap after
+#: base64 expansion (4/3) plus envelope slack.
+MAX_CLUSTER_FRAME_BYTES = MAX_CLUSTER_PAYLOAD_BYTES // 3 * 4 + 64 * 1024
+
+#: Default worker-side ceiling on one streamed ``result_part``
+#: payload.  A chunk whose encoded outcomes exceed this is shipped as
+#: multiple bounded sub-frames instead of one giant pickle envelope,
+#: so neither side ever materialises an unbounded result frame.
+DEFAULT_STREAM_THRESHOLD_BYTES = 1 * 1024 * 1024
+
+#: Ceiling on one authentication handshake frame.  Handshake messages
+#: are tens of bytes; a pre-auth peer claiming anything bigger is
+#: hostile and is rejected before a single payload byte is allocated.
+MAX_AUTH_FRAME_BYTES = 256
+
+
+def check_payload_size(what: str, size: int, limit: int) -> None:
+    """Enforce a payload size cap, naming the frame type and size.
+
+    The single chokepoint for every typed payload ceiling — ``job``,
+    ``result``, ``result_part``, handshake — so cap violations always
+    read the same: *which* frame, *how big*, against *what* limit.
+    """
+    if size > limit:
+        raise CodecError(f"{what} of {size} bytes exceeds limit {limit}")
+
+
+def frame_buffer(payload: bytes, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one payload: 4-byte big-endian length prefix + bytes."""
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds limit {max_frame}"
+        )
+    return len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload
+
+
+def split_frame_buffer(
+    data: bytes, max_frame: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Extract the payload of one complete frame buffer.
+
+    ``data`` must hold exactly one frame (header + payload, nothing
+    else); truncation or an oversized length prefix raises
+    :class:`~repro.exceptions.ProtocolError`.
+    """
+    if len(data) < FRAME_HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated frame header ({len(data)} of {FRAME_HEADER_BYTES} bytes)"
+        )
+    length = int.from_bytes(data[:FRAME_HEADER_BYTES], "big")
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    body = data[FRAME_HEADER_BYTES:]
+    if len(body) != length:
+        raise ProtocolError(
+            f"frame length prefix says {length} bytes, buffer has {len(body)}"
+        )
+    return body
+
+
+# ----------------------------------------------------------------------
+# Asyncio variants (the service and cluster event loops)
+# ----------------------------------------------------------------------
+
+
+async def read_frame_bytes(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> bytes | None:
+    """Read one frame payload from an asyncio stream reader.
+
+    Returns ``None`` on clean EOF (no partial header); raises
+    :class:`~repro.exceptions.ProtocolError` on a truncated or
+    oversized frame.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid frame header") from exc
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame ({len(exc.partial)} of {length} bytes)"
+        ) from exc
+
+
+async def write_frame_bytes(
+    writer: asyncio.StreamWriter,
+    payload: bytes,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> None:
+    """Write one frame and drain — the backpressure point for senders."""
+    writer.write(frame_buffer(payload, max_frame=max_frame))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Sync variants (blocking sockets / file-like streams)
+# ----------------------------------------------------------------------
+
+
+def _read_exactly(stream: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes from a blocking file-like stream."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            got = n - remaining
+            if not chunks and got == 0:
+                raise EOFError  # clean EOF, translated by the caller
+            raise ProtocolError(
+                f"connection closed mid frame ({got} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_bytes_sync(
+    stream: BinaryIO, max_frame: int = MAX_FRAME_BYTES
+) -> bytes | None:
+    """Blocking twin of :func:`read_frame_bytes` for file-like streams.
+
+    ``stream`` is anything with a blocking ``read(n)`` — a
+    ``socket.makefile("rb")``, a pipe, a file.  Returns ``None`` on
+    clean EOF at a frame boundary.
+    """
+    try:
+        header = _read_exactly(stream, FRAME_HEADER_BYTES)
+    except EOFError:
+        return None
+    except ProtocolError as exc:
+        raise ProtocolError("connection closed mid frame header") from exc
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    try:
+        return _read_exactly(stream, length)
+    except EOFError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame (0 of {length} bytes)"
+        ) from exc
+
+
+def write_frame_bytes_sync(
+    stream: BinaryIO, payload: bytes, max_frame: int = MAX_FRAME_BYTES
+) -> None:
+    """Blocking twin of :func:`write_frame_bytes` for file-like streams."""
+    stream.write(frame_buffer(payload, max_frame=max_frame))
+    stream.flush()

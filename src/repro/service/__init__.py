@@ -21,9 +21,17 @@ untrusted clients:
   :class:`~repro.grid.report.DetectionReport` plus throughput and
   latency percentiles.
 
+Transport mechanics — length-prefix framing, the HMAC shared-secret
+handshake, TLS contexts, connect retry/backoff — live one layer down
+in :mod:`repro.net`; :class:`repro.net.SecurityConfig` (re-exported
+here) is how a deployment hands the server and clients their secret
+and certificate material (README "Security model").
+
 CLI entry points: ``repro-experiments serve`` and
 ``repro-experiments loadgen``.
 """
+
+from repro.net.transport import SecurityConfig
 
 from repro.service.codec import (
     CLUSTER_WIRE_VERSION,
@@ -107,6 +115,8 @@ __all__ = [
     "decode_cluster_payload",
     "read_frame",
     "write_frame",
+    # transport security (repro.net)
+    "SecurityConfig",
     # sessions
     "Session",
     "SessionState",

@@ -30,6 +30,7 @@ from repro.core.scheme import RejectReason
 from repro.exceptions import ProtocolError
 from repro.merkle.hashing import get_hash
 from repro.merkle.tree import LeafEncoding
+from repro.net.transport import SecurityConfig, open_connection
 from repro.service.codec import (
     MAX_FRAME_BYTES,
     ChallengeFrame,
@@ -84,10 +85,44 @@ class ServiceClient:
 
     @classmethod
     async def open_tcp(
-        cls, host: str, port: int, max_frame: int = MAX_FRAME_BYTES
+        cls,
+        host: str,
+        port: int,
+        max_frame: int = MAX_FRAME_BYTES,
+        *,
+        security: SecurityConfig | None = None,
+        connect_retry_s: float = 0.0,
     ) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame=max_frame)
+        """Dial a supervisor (shared repro.net retry/backoff helper).
+
+        ``connect_retry_s`` keeps re-dialling a supervisor that has not
+        bound its port yet — a participant racing a slow-starting
+        server is normal, not an error.  ``security`` carries the
+        optional TLS pin and shared secret; when a secret is set the
+        client authenticates before the first protocol frame.
+        """
+        reader, writer = await open_connection(
+            host,
+            port,
+            ssl_context=(
+                security.client_ssl_context() if security is not None else None
+            ),
+            connect_retry_s=connect_retry_s,
+        )
+        client = cls(reader, writer, max_frame=max_frame)
+        if security is not None:
+            await client.authenticate(security)
+        return client
+
+    async def authenticate(self, security: SecurityConfig) -> None:
+        """Run the client side of the HMAC handshake (no-op without a
+        secret).  Exposed separately so in-process (memory-duplex)
+        connections can authenticate too."""
+        try:
+            await security.authenticate_outbound(self._reader, self._writer)
+        except BaseException:
+            await self.close()
+            raise
 
     async def close(self) -> None:
         self._writer.close()

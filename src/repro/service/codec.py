@@ -2,7 +2,10 @@
 
 The asyncio service (:mod:`repro.service.server`) speaks framed JSON
 over a byte stream: every frame is a 4-byte big-endian payload length
-followed by a UTF-8 JSON object carrying a ``"t"`` type tag.  Protocol
+followed by a UTF-8 JSON object carrying a ``"t"`` type tag.  The
+length-prefix mechanics and the size-cap constants live in
+:mod:`repro.net.framing` (the transport layer both planes share —
+this module owns only the message vocabulary on top).  Protocol
 messages — commitments, challenges, proof bundles, one-shot NI-CBS
 submissions, verdicts — are *not* re-modelled in JSON: their canonical
 binary encodings from :mod:`repro.core.protocol` (which in turn reuse
@@ -76,6 +79,18 @@ from repro.core.protocol import (
     VerdictMsg,
 )
 from repro.exceptions import CodecError, ProtocolError
+from repro.net.framing import (
+    DEFAULT_STREAM_THRESHOLD_BYTES as DEFAULT_STREAM_THRESHOLD_BYTES,
+    FRAME_HEADER_BYTES as FRAME_HEADER_BYTES,
+    MAX_CLUSTER_FRAME_BYTES as MAX_CLUSTER_FRAME_BYTES,
+    MAX_CLUSTER_PAYLOAD_BYTES as MAX_CLUSTER_PAYLOAD_BYTES,
+    MAX_FRAME_BYTES as MAX_FRAME_BYTES,
+    check_payload_size,
+    frame_buffer,
+    read_frame_bytes,
+    split_frame_buffer,
+    write_frame_bytes,
+)
 from repro.tasks.function import TaskFunction
 from repro.tasks.workloads import (
     FactoringTask,
@@ -87,13 +102,11 @@ from repro.tasks.workloads import (
     SignalSearch,
 )
 
-#: Width of the frame length prefix.
-FRAME_HEADER_BYTES = 4
-
-#: Default ceiling on a single frame's JSON payload.  Large enough for
-#: a full NI-CBS submission at big domains, small enough that a
-#: hostile length prefix cannot balloon server memory.
-MAX_FRAME_BYTES = 8 * 1024 * 1024
+# Framing geometry and size caps live in repro.net.framing (the shared
+# transport layer); re-exported here so wire-level call sites keep one
+# import home.  FRAME_HEADER_BYTES / MAX_FRAME_BYTES /
+# MAX_CLUSTER_PAYLOAD_BYTES / MAX_CLUSTER_FRAME_BYTES /
+# DEFAULT_STREAM_THRESHOLD_BYTES: see that module.
 
 #: Version tag every pickled cluster payload carries on the wire.  A
 #: coordinator and its workers must agree byte-for-byte on the job
@@ -101,22 +114,6 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: v2: ``job`` payloads became multi-job chunks and results gained the
 #: ``result_part``/``result_end`` streaming frames.
 CLUSTER_WIRE_VERSION = 2
-
-#: Ceiling on one pickled ``job``/``result`` payload (pre-base64).  A
-#: chunk of scheme batches or their results at large domains fits with
-#: room to spare; anything bigger is a misconfigured batch size or a
-#: hostile frame.
-MAX_CLUSTER_PAYLOAD_BYTES = 32 * 1024 * 1024
-
-#: Frame ceiling for cluster-plane connections: the payload cap after
-#: base64 expansion (4/3) plus envelope slack.
-MAX_CLUSTER_FRAME_BYTES = MAX_CLUSTER_PAYLOAD_BYTES // 3 * 4 + 64 * 1024
-
-#: Default worker-side ceiling on one streamed ``result_part``
-#: payload.  A chunk whose encoded outcomes exceed this is shipped as
-#: multiple bounded sub-frames instead of one giant pickle envelope,
-#: so neither side ever materialises an unbounded result frame.
-DEFAULT_STREAM_THRESHOLD_BYTES = 1 * 1024 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -367,10 +364,7 @@ def encode_cluster_payload(
         raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise CodecError(f"cluster payload does not pickle: {exc}") from exc
-    if len(raw) > max_bytes:
-        raise CodecError(
-            f"cluster payload of {len(raw)} bytes exceeds limit {max_bytes}"
-        )
+    check_payload_size("cluster payload", len(raw), max_bytes)
     return raw
 
 
@@ -384,10 +378,7 @@ def decode_cluster_payload(
     contract of the cluster plane.  (Unpickling trusts the peer; the
     cluster plane is operator infrastructure, never participant-facing.)
     """
-    if len(raw) > max_bytes:
-        raise CodecError(
-            f"cluster payload of {len(raw)} bytes exceeds limit {max_bytes}"
-        )
+    check_payload_size("cluster payload", len(raw), max_bytes)
     try:
         return pickle.loads(raw)
     except Exception as exc:
@@ -491,11 +482,7 @@ def _cluster_version_field(obj: dict) -> int:
 
 def _cluster_payload_field(obj: dict, what: str) -> bytes:
     raw = _unb64(obj.get("p"), what)
-    if len(raw) > MAX_CLUSTER_PAYLOAD_BYTES:
-        raise CodecError(
-            f"{what} of {len(raw)} bytes exceeds limit "
-            f"{MAX_CLUSTER_PAYLOAD_BYTES}"
-        )
+    check_payload_size(what, len(raw), MAX_CLUSTER_PAYLOAD_BYTES)
     return raw
 
 
@@ -535,11 +522,9 @@ def _payload_dict(frame: Frame) -> dict:
     if isinstance(frame, HeartbeatFrame):
         return {"t": "heartbeat", "worker": frame.worker_id}
     if isinstance(frame, JobFrame):
-        if len(frame.payload) > MAX_CLUSTER_PAYLOAD_BYTES:
-            raise CodecError(
-                f"job payload of {len(frame.payload)} bytes exceeds "
-                f"limit {MAX_CLUSTER_PAYLOAD_BYTES}"
-            )
+        check_payload_size(
+            "job payload", len(frame.payload), MAX_CLUSTER_PAYLOAD_BYTES
+        )
         return {
             "t": "job",
             "id": frame.job_id,
@@ -547,11 +532,9 @@ def _payload_dict(frame: Frame) -> dict:
             "v": frame.version,
         }
     if isinstance(frame, ResultFrame):
-        if len(frame.payload) > MAX_CLUSTER_PAYLOAD_BYTES:
-            raise CodecError(
-                f"result payload of {len(frame.payload)} bytes exceeds "
-                f"limit {MAX_CLUSTER_PAYLOAD_BYTES}"
-            )
+        check_payload_size(
+            "result payload", len(frame.payload), MAX_CLUSTER_PAYLOAD_BYTES
+        )
         return {
             "t": "result",
             "id": frame.job_id,
@@ -560,11 +543,11 @@ def _payload_dict(frame: Frame) -> dict:
             "v": frame.version,
         }
     if isinstance(frame, ResultPartFrame):
-        if len(frame.payload) > MAX_CLUSTER_PAYLOAD_BYTES:
-            raise CodecError(
-                f"result part payload of {len(frame.payload)} bytes "
-                f"exceeds limit {MAX_CLUSTER_PAYLOAD_BYTES}"
-            )
+        check_payload_size(
+            "result part payload",
+            len(frame.payload),
+            MAX_CLUSTER_PAYLOAD_BYTES,
+        )
         return {
             "t": "result_part",
             "id": frame.job_id,
@@ -587,16 +570,18 @@ def _payload_dict(frame: Frame) -> dict:
     raise ProtocolError(f"cannot encode frame of type {type(frame).__name__}")
 
 
-def encode_frame(frame: Frame, max_frame: int = MAX_FRAME_BYTES) -> bytes:
-    """Serialize one frame: 4-byte length prefix + JSON payload."""
-    payload = json.dumps(
+def _encode_payload(frame: Frame) -> bytes:
+    """One frame's canonical JSON payload bytes (no length prefix) —
+    the single serialization rule both the sync and async writers use,
+    so the two wire paths can never diverge."""
+    return json.dumps(
         _payload_dict(frame), separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
-    if len(payload) > max_frame:
-        raise ProtocolError(
-            f"frame payload of {len(payload)} bytes exceeds limit {max_frame}"
-        )
-    return len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload
+
+
+def encode_frame(frame: Frame, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one frame: 4-byte length prefix + JSON payload."""
+    return frame_buffer(_encode_payload(frame), max_frame=max_frame)
 
 
 # ----------------------------------------------------------------------
@@ -751,23 +736,11 @@ def decode_frame_payload(payload: bytes) -> Frame:
 
 def decode_frame(data: bytes, max_frame: int = MAX_FRAME_BYTES) -> Frame:
     """Decode a complete frame buffer (header + payload, nothing else)."""
-    if len(data) < FRAME_HEADER_BYTES:
-        raise ProtocolError(
-            f"truncated frame header ({len(data)} of {FRAME_HEADER_BYTES} bytes)"
-        )
-    length = int.from_bytes(data[:FRAME_HEADER_BYTES], "big")
-    if length > max_frame:
-        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
-    body = data[FRAME_HEADER_BYTES:]
-    if len(body) != length:
-        raise ProtocolError(
-            f"frame length prefix says {length} bytes, buffer has {len(body)}"
-        )
-    return decode_frame_payload(body)
+    return decode_frame_payload(split_frame_buffer(data, max_frame=max_frame))
 
 
 # ----------------------------------------------------------------------
-# Async stream helpers
+# Async stream helpers (framing mechanics live in repro.net.framing)
 # ----------------------------------------------------------------------
 
 
@@ -777,23 +750,9 @@ async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> Frame | None:
     Returns ``None`` on clean EOF (no partial header); raises
     :class:`ProtocolError` on a truncated or oversized frame.
     """
-    import asyncio
-
-    try:
-        header = await reader.readexactly(FRAME_HEADER_BYTES)
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
-        raise ProtocolError("connection closed mid frame header") from exc
-    length = int.from_bytes(header, "big")
-    if length > max_frame:
-        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
-    try:
-        payload = await reader.readexactly(length)
-    except asyncio.IncompleteReadError as exc:
-        raise ProtocolError(
-            f"connection closed mid frame ({len(exc.partial)} of {length} bytes)"
-        ) from exc
+    payload = await read_frame_bytes(reader, max_frame=max_frame)
+    if payload is None:
+        return None
     return decode_frame_payload(payload)
 
 
@@ -801,5 +760,4 @@ async def write_frame(
     writer, frame: Frame, max_frame: int = MAX_FRAME_BYTES
 ) -> None:
     """Write one frame and drain — the backpressure point for senders."""
-    writer.write(encode_frame(frame, max_frame=max_frame))
-    await writer.drain()
+    await write_frame_bytes(writer, _encode_payload(frame), max_frame=max_frame)

@@ -28,6 +28,7 @@ from repro.accounting import CostLedger
 from repro.cheating.strategies import Behavior
 from repro.exceptions import ProtocolError, ReproError
 from repro.grid.report import DetectionReport, ParticipantReport
+from repro.net.transport import SecurityConfig
 from repro.service.client import ParticipantRun, ServiceClient
 from repro.service.server import ServiceConfig, SupervisorServer
 
@@ -87,6 +88,8 @@ async def run_loadgen(
     host: str | None = None,
     port: int | None = None,
     server: SupervisorServer | None = None,
+    security: SecurityConfig | None = None,
+    connect_retry_s: float = 0.0,
     concurrency: int = 32,
     compute_workers: int | None = 4,
     max_errors: int | None = None,
@@ -104,6 +107,12 @@ async def run_loadgen(
     there is no verdict and no ground truth for it, so a fabricated
     row would corrupt the detection/false-alarm rates.  ``max_errors``
     (default: allow all) aborts the run early when crossed.
+
+    ``security`` carries the supervisor's TLS pin and shared secret
+    (every participant connection authenticates before its first
+    frame); ``connect_retry_s`` is the shared repro.net connect
+    retry/backoff budget, so a loadgen racing a slow-starting server
+    keeps dialling instead of failing hard.
     """
     if (host is None) == (server is None):
         raise ProtocolError("pass exactly one of host/port or server")
@@ -136,8 +145,15 @@ async def run_loadgen(
                 if server is not None:
                     reader, writer = server.connect_memory()
                     client = ServiceClient(reader, writer)
+                    if security is not None:
+                        await client.authenticate(security)
                 else:
-                    client = await ServiceClient.open_tcp(host, port)
+                    client = await ServiceClient.open_tcp(
+                        host,
+                        port,
+                        security=security,
+                        connect_retry_s=connect_retry_s,
+                    )
                 try:
                     return await client.run_participant(
                         behavior, participant=index, compute_pool=pool
@@ -199,6 +215,7 @@ async def run_service_loadgen(
     engine: str = "threads",
     workers: int | None = None,
     engine_options: dict | None = None,
+    security: SecurityConfig | None = None,
     concurrency: int = 32,
     compute_workers: int | None = 4,
 ) -> tuple[DetectionReport, LoadgenStats, SupervisorServer]:
@@ -206,7 +223,9 @@ async def run_service_loadgen(
 
     ``transport`` is ``"memory"`` (in-process streams) or ``"tcp"``
     (a real loopback listener).  ``engine_options`` forward to the
-    server's execution backend (the cluster tuning knobs).  The
+    server's execution backend (the cluster tuning knobs).
+    ``security`` applies to both ends: the server gates its socket
+    with it, the generated participants authenticate with it.  The
     stopped server is returned so callers can inspect
     ``server.outcomes`` / ``server.stats`` — e.g. the parity tests
     comparing service verdicts against the synchronous simulator.
@@ -214,7 +233,11 @@ async def run_service_loadgen(
     if transport not in ("memory", "tcp"):
         raise ProtocolError(f"unknown transport {transport!r}")
     server = SupervisorServer(
-        config, engine=engine, workers=workers, engine_options=engine_options
+        config,
+        engine=engine,
+        workers=workers,
+        engine_options=engine_options,
+        security=security,
     )
     try:
         if transport == "tcp":
@@ -224,6 +247,7 @@ async def run_service_loadgen(
                 behaviors,
                 host=host,
                 port=port,
+                security=security,
                 concurrency=concurrency,
                 compute_workers=compute_workers,
             )
@@ -232,6 +256,7 @@ async def run_service_loadgen(
                 config.n_participants,
                 behaviors,
                 server=server,
+                security=security,
                 concurrency=concurrency,
                 compute_workers=compute_workers,
             )

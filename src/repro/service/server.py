@@ -52,6 +52,7 @@ from repro.core.scheme import VerificationOutcome
 from repro.engine import Executor, derive_seed, get_executor
 from repro.exceptions import ProtocolError, ReproError
 from repro.merkle.hashing import get_hash
+from repro.net.transport import SecurityConfig
 from repro.merkle.tree import LeafEncoding
 from repro.service.codec import (
     MAX_FRAME_BYTES,
@@ -122,6 +123,7 @@ class ServiceStats:
     frames_in: int = 0
     verifications: int = 0
     errors: int = 0
+    auth_failures: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +247,7 @@ class SupervisorServer:
         workers: int | None = None,
         *,
         engine_options: dict | None = None,
+        security: SecurityConfig | None = None,
         session_ttl: float = 300.0,
         queue_size: int = 32,
         max_pending_verifications: int = 128,
@@ -263,6 +266,10 @@ class SupervisorServer:
         # engine's tuning knobs); an Executor instance takes none.
         self._executor = get_executor(engine, workers, **(engine_options or {}))
         self._owns_executor = self._executor is not engine
+        # security gates the participant socket: optional TLS on the
+        # listener, and — when a secret is configured — the repro.net
+        # HMAC handshake before any frame is decoded.
+        self._security = security
         self._queue_size = queue_size
         self._max_frame = max_frame
         self._verify_slots = asyncio.Semaphore(max_pending_verifications)
@@ -300,8 +307,13 @@ class SupervisorServer:
         # start_server wrapped a coroutine itself, its done-callback
         # would call task.exception() and log noise when stop()
         # cancels straggling connections.
+        ssl_context = (
+            self._security.server_ssl_context()
+            if self._security is not None
+            else None
+        )
         self._server = await asyncio.start_server(
-            self._spawn_connection, host, port
+            self._spawn_connection, host, port, ssl=ssl_context
         )
         self._ensure_sweeper()
         sockname = self._server.sockets[0].getsockname()
@@ -375,6 +387,15 @@ class SupervisorServer:
     async def _serve_connection(self, reader, writer) -> None:
         self.stats.connections += 1
         try:
+            if self._security is not None:
+                # The HMAC handshake runs underneath the codec: a peer
+                # without the secret is cut off here, before a single
+                # application frame is decoded.
+                try:
+                    await self._security.authenticate_inbound(reader, writer)
+                except (ReproError, ConnectionError, OSError):
+                    self.stats.auth_failures += 1
+                    return
             await self._handle_connection(reader, writer)
         finally:
             with contextlib.suppress(Exception):

@@ -1,6 +1,10 @@
-"""Shared fixtures: canonical assignments, functions and behaviours."""
+"""Shared fixtures: canonical assignments, functions and behaviours,
+plus the transport-security material (shared secret, self-signed TLS
+cert) the repro.net suites use."""
 
 from __future__ import annotations
+
+import secrets
 
 import pytest
 
@@ -60,3 +64,49 @@ def honest() -> HonestBehavior:
 @pytest.fixture
 def half_cheater() -> SemiHonestCheater:
     return SemiHonestCheater(honesty_ratio=0.5)
+
+
+# ----------------------------------------------------------------------
+# Transport security material (repro.net)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def secret_file(tmp_path_factory) -> str:
+    """A high-entropy shared secret on disk, as operators deploy it."""
+    path = tmp_path_factory.mktemp("auth") / "secret"
+    path.write_text(secrets.token_hex(32) + "\n")
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def wrong_secret_file(tmp_path_factory) -> str:
+    """A different (equally valid-looking) secret: the impostor's."""
+    path = tmp_path_factory.mktemp("auth-wrong") / "secret"
+    path.write_text(secrets.token_hex(32) + "\n")
+    return str(path)
+
+
+def make_self_signed_cert(directory) -> tuple[str, str]:
+    """One self-signed cert + key via the shared repro.net helper.
+
+    Returns ``(cert_path, key_path)``; skips the requesting test when
+    no ``openssl`` binary is available.
+    """
+    from repro.exceptions import ProtocolError
+    from repro.net.transport import generate_self_signed_cert
+
+    cert, key = directory / "cert.pem", directory / "key.pem"
+    try:
+        generate_self_signed_cert(
+            str(cert), str(key), common_name="repro-coordinator", days=1
+        )
+    except ProtocolError as exc:
+        pytest.skip(f"cannot generate TLS material: {exc}")
+    return str(cert), str(key)
+
+
+@pytest.fixture(scope="session")
+def tls_material(tmp_path_factory) -> tuple[str, str]:
+    """Session-wide ``(cert, key)`` pair for TLS-enabled suites."""
+    return make_self_signed_cert(tmp_path_factory.mktemp("tls"))

@@ -42,6 +42,47 @@ class TestParser:
         assert args.cluster_workers == 3
 
 
+class TestSecurityFlagRouting:
+    """Which plane each --secret-file/--tls-* flag reaches."""
+
+    def parse(self, *argv):
+        return build_parser().parse_args(list(argv))
+
+    def test_engine_options_carry_security_for_cluster(self):
+        from repro.cli import _engine_options
+
+        args = self.parse(
+            "population", "--engine", "cluster",
+            "--secret-file", "s", "--tls-cert", "c", "--tls-key", "k",
+        )
+        options = _engine_options(args)
+        assert options["secret_file"] == "s"
+        assert options["tls_cert"] == "c" and options["tls_key"] == "k"
+
+    def test_service_plane_keeps_security_off_inprocess_engines(self):
+        from repro.cli import _engine_options
+
+        args = self.parse("serve", "--secret-file", "s", "--tls-cert", "c",
+                          "--tls-key", "k")
+        assert _engine_options(args, service_plane=True) == {}
+
+    def test_cluster_secret_file_wins_for_the_cluster_plane(self):
+        from repro.cli import _engine_options
+
+        args = self.parse(
+            "serve", "--engine", "cluster",
+            "--secret-file", "service-secret",
+            "--cluster-secret-file", "cluster-secret",
+        )
+        options = _engine_options(args, service_plane=True)
+        assert options["secret_file"] == "cluster-secret"
+
+    def test_misconfigured_security_exits_2_not_traceback(self):
+        assert main(["serve", "--secret-file", "/nonexistent"]) == 2
+        assert main(["population", "--n", "64", "--participants", "2",
+                     "--engine", "serial", "--secret-file", "s"]) == 2
+
+
 class TestFig2:
     def test_prints_paper_values(self, capsys):
         assert main(["fig2"]) == 0

@@ -495,6 +495,146 @@ class TestChunkAndOutcomeEnvelopes:
             decode_cluster_outcomes(b"\x00" * 129, max_bytes=64)
 
 
+class TestAuthHandshakeFuzz:
+    """The repro.net auth handshake under hostile input: garbage,
+    truncation and bit flips must raise AuthError (a ReproError) on
+    both planes' gatekeepers — never hang, never crash with anything
+    else, and never fall through to a pickle or JSON decode."""
+
+    def _decoders(self):
+        from repro.net import auth
+
+        return [auth.decode_challenge, auth.decode_response, auth.decode_confirm]
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_rejected(self, data):
+        from repro.exceptions import AuthError
+
+        for decoder in self._decoders():
+            with pytest.raises(AuthError):
+                decoder(data)
+            # A hostile peer can also prepend the real magic.
+            from repro.net.auth import AUTH_MAGIC
+
+            try:
+                decoder(AUTH_MAGIC + data)
+            except AuthError:
+                pass
+
+    def test_truncated_valid_frames_every_prefix(self):
+        from repro.exceptions import AuthError
+        from repro.net import auth
+
+        frames = [
+            (auth.decode_challenge, auth.encode_challenge(b"n" * 32)),
+            (auth.decode_response, auth.encode_response(b"n" * 32, b"m" * 32)),
+            (auth.decode_confirm, auth.encode_confirm(b"m" * 32)),
+        ]
+        for decoder, encoded in frames:
+            for cut in range(len(encoded)):
+                with pytest.raises(AuthError):
+                    decoder(encoded[:cut])
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flipped_frames_never_crash(self, data):
+        from repro.net import auth
+
+        encoded = bytearray(auth.encode_response(b"n" * 32, b"m" * 32))
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        encoded[position] ^= 0xFF
+        try:
+            auth.decode_response(bytes(encoded))
+        except ReproError:
+            pass  # rejection is fine (a flipped nonce byte still decodes)
+
+    @given(hostile=st.binary(max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_server_handshake_survives_framed_garbage(self, hostile):
+        """Feed arbitrary framed bytes where the auth response belongs:
+        the server side must reject within its timeout, cleanly."""
+        import asyncio
+
+        from repro.exceptions import AuthError
+        from repro.net.auth import authenticate_server
+        from repro.net.framing import MAX_AUTH_FRAME_BYTES, frame_buffer
+        from repro.service.server import memory_duplex
+
+        async def scenario():
+            (sr, sw), (cr, cw) = memory_duplex()
+            server = asyncio.ensure_future(
+                authenticate_server(
+                    sr, sw, b"0123456789abcdef0123456789abcdef", timeout=2.0
+                )
+            )
+            await asyncio.sleep(0)  # let the challenge go out
+            if len(hostile) <= MAX_AUTH_FRAME_BYTES:
+                cw.write(frame_buffer(hostile, max_frame=MAX_AUTH_FRAME_BYTES))
+            else:
+                cw.write(hostile)
+            cw.close()
+            with pytest.raises(AuthError):
+                await server
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+
+    @given(hostile=st.binary(max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_client_handshake_survives_framed_garbage(self, hostile):
+        """A rogue listener feeding garbage where the challenge belongs
+        cannot hang or crash a keyed client."""
+        import asyncio
+
+        from repro.exceptions import AuthError
+        from repro.net.auth import authenticate_client
+        from repro.net.framing import MAX_AUTH_FRAME_BYTES, frame_buffer
+        from repro.service.server import memory_duplex
+
+        async def scenario():
+            (sr, sw), (cr, cw) = memory_duplex()
+            client = asyncio.ensure_future(
+                authenticate_client(
+                    cr, cw, b"0123456789abcdef0123456789abcdef", timeout=2.0
+                )
+            )
+            await asyncio.sleep(0)
+            if len(hostile) <= MAX_AUTH_FRAME_BYTES:
+                sw.write(frame_buffer(hostile, max_frame=MAX_AUTH_FRAME_BYTES))
+            else:
+                sw.write(hostile)
+            sw.close()
+            with pytest.raises(AuthError):
+                await client
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+
+    def test_giant_pre_auth_length_prefix_rejected(self):
+        """An unauthenticated peer claiming a huge frame is rejected at
+        the tiny auth cap — before any allocation, any JSON, any pickle."""
+        import asyncio
+
+        from repro.exceptions import AuthError
+        from repro.net.auth import authenticate_server
+        from repro.service.server import memory_duplex
+
+        async def scenario():
+            (sr, sw), (cr, cw) = memory_duplex()
+            server = asyncio.ensure_future(
+                authenticate_server(
+                    sr, sw, b"0123456789abcdef0123456789abcdef", timeout=2.0
+                )
+            )
+            await asyncio.sleep(0)
+            cw.write((64 * 1024 * 1024).to_bytes(4, "big"))
+            with pytest.raises(AuthError):
+                await server
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+
+
 class TestUnicodeHostility:
     def test_non_utf8_task_id_rejected_cleanly(self):
         # A hostile peer can put invalid UTF-8 where a task id belongs;

@@ -1,0 +1,195 @@
+"""Tests for repro.net.transport — SecurityConfig, retrying connects,
+TLS contexts and the heartbeat helper."""
+
+import asyncio
+import ssl
+
+import pytest
+
+from repro.exceptions import AuthError, ProtocolError
+from repro.net.transport import (
+    SecurityConfig,
+    close_writer,
+    heartbeat_loop,
+    open_connection,
+)
+
+SECRET = b"0123456789abcdef0123456789abcdef"
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+class TestSecurityConfig:
+    def test_from_options_all_unset_is_none(self):
+        assert SecurityConfig.from_options() is None
+
+    def test_from_options_loads_secret(self, secret_file):
+        config = SecurityConfig.from_options(secret_file=secret_file)
+        assert config is not None and len(config.secret) >= 32
+
+    def test_tls_key_without_cert_rejected(self):
+        with pytest.raises(ProtocolError, match="without --tls-cert"):
+            SecurityConfig(tls_key="/tmp/key.pem")
+
+    def test_bad_handshake_timeout_rejected(self):
+        with pytest.raises(ProtocolError, match="handshake timeout"):
+            SecurityConfig(secret=SECRET, handshake_timeout=0.0)
+
+    def test_no_tls_means_no_contexts(self):
+        config = SecurityConfig(secret=SECRET)
+        assert config.server_ssl_context() is None
+        assert config.client_ssl_context() is None
+
+    def test_server_context_needs_the_key(self, tls_material):
+        cert, _key = tls_material
+        with pytest.raises(ProtocolError, match="--tls-key"):
+            SecurityConfig(tls_cert=cert).server_ssl_context()
+
+    def test_contexts_built_from_real_material(self, tls_material):
+        cert, key = tls_material
+        config = SecurityConfig(tls_cert=cert, tls_key=key)
+        server_ctx = config.server_ssl_context()
+        client_ctx = config.client_ssl_context()
+        assert server_ctx.minimum_version >= ssl.TLSVersion.TLSv1_2
+        assert client_ctx.verify_mode == ssl.CERT_REQUIRED
+        assert client_ctx.check_hostname is False
+
+    def test_unreadable_material_raises_protocol_error(self, tmp_path):
+        missing = str(tmp_path / "nope.pem")
+        with pytest.raises(ProtocolError, match="cannot load"):
+            SecurityConfig(tls_cert=missing, tls_key=missing).server_ssl_context()
+        with pytest.raises(ProtocolError, match="cannot load"):
+            SecurityConfig(tls_cert=missing).client_ssl_context()
+
+    def test_from_options_propagates_secret_errors(self, tmp_path):
+        with pytest.raises(AuthError):
+            SecurityConfig.from_options(secret_file=str(tmp_path / "nope"))
+
+    def test_repr_never_leaks_the_secret(self):
+        """A logged/raised SecurityConfig must not print the secret."""
+        config = SecurityConfig(secret=SECRET, tls_cert="/tmp/cert.pem")
+        assert SECRET.decode() not in repr(config)
+        assert "cert.pem" in repr(config)  # non-sensitive fields stay
+
+    def test_client_ssl_context_is_cached_per_config(self, tls_material):
+        cert, key = tls_material
+        config = SecurityConfig(tls_cert=cert, tls_key=key)
+        assert config.client_ssl_context() is config.client_ssl_context()
+
+    def test_generate_self_signed_cert_yields_loadable_material(
+        self, tmp_path
+    ):
+        from repro.net.transport import generate_self_signed_cert
+
+        cert = str(tmp_path / "c.pem")
+        key = str(tmp_path / "k.pem")
+        try:
+            generate_self_signed_cert(cert, key, common_name="t", days=1)
+        except Exception as exc:  # no openssl in this environment
+            pytest.skip(f"cannot generate cert: {exc}")
+        config = SecurityConfig(tls_cert=cert, tls_key=key)
+        assert config.server_ssl_context() is not None
+        assert config.client_ssl_context() is not None
+
+
+class TestOpenConnection:
+    def test_negative_retry_rejected(self):
+        async def scenario():
+            with pytest.raises(ProtocolError, match="connect retry"):
+                await open_connection("127.0.0.1", 1, connect_retry_s=-1.0)
+
+        run(scenario())
+
+    def test_no_retry_fails_fast_on_refused(self):
+        async def scenario():
+            import socket
+
+            with socket.socket() as probe:  # grab a port nobody serves
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+            with pytest.raises(OSError):
+                await open_connection("127.0.0.1", port)
+
+        run(scenario())
+
+    def test_retry_budget_eventually_gives_up(self):
+        async def scenario():
+            import socket
+
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+            start = asyncio.get_running_loop().time()
+            with pytest.raises(OSError):
+                await open_connection(
+                    "127.0.0.1", port, connect_retry_s=0.4
+                )
+            assert asyncio.get_running_loop().time() - start >= 0.3
+
+        run(scenario())
+
+    def test_retry_absorbs_a_late_binding_listener(self):
+        """The worker-races-coordinator scenario, on the shared helper."""
+
+        async def scenario():
+            import socket
+
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+
+            async def bind_late():
+                await asyncio.sleep(0.3)
+                return await asyncio.start_server(
+                    lambda r, w: w.close(), "127.0.0.1", port
+                )
+
+            server_task = asyncio.ensure_future(bind_late())
+            reader, writer = await open_connection(
+                "127.0.0.1", port, connect_retry_s=15.0
+            )
+            await close_writer(writer)
+            server = await server_task
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+
+class TestHeartbeatLoop:
+    def test_bad_interval_rejected(self):
+        async def scenario():
+            with pytest.raises(ProtocolError, match="heartbeat interval"):
+                await heartbeat_loop(lambda: None, 0.0)
+
+        run(scenario())
+
+    def test_beacons_fire_until_cancelled(self):
+        async def scenario():
+            beats = []
+
+            async def send():
+                beats.append(1)
+
+            task = asyncio.ensure_future(heartbeat_loop(send, 0.01))
+            await asyncio.sleep(0.2)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert len(beats) >= 3
+
+        run(scenario())
+
+
+class TestCloseWriter:
+    def test_tolerates_a_dead_writer(self):
+        class DeadWriter:
+            def close(self):
+                raise ConnectionResetError
+
+            async def wait_closed(self):
+                raise ConnectionResetError
+
+        run(close_writer(DeadWriter()))
