@@ -1,0 +1,125 @@
+"""Performance-trajectory plumbing shared by the benchmarks.
+
+Every perf bench appends one JSONL record to
+``benchmarks/results/perf_trajectory.jsonl`` — the committed,
+append-only participants/sec history of this repository — and gates
+itself against the latest record from the *same machine fingerprint*.
+Fingerprint matching is what makes the gate honest: a CI runner with
+different hardware starts its own trajectory line instead of
+false-failing against numbers measured on another box, while a real
+regression on the same machine trips the floor.
+
+Records are schema-versioned (:data:`BENCH_SCHEMA_VERSION`); bump the
+version when a field changes meaning and old records stop gating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import time
+
+#: Version stamp carried by every saved bench record (JSON and
+#: trajectory lines).  Readers skip records from other versions.
+BENCH_SCHEMA_VERSION = 1
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY_FILE = RESULTS_DIR / "perf_trajectory.jsonl"
+
+#: A bench run failing this far below its machine's committed
+#: participants/sec baseline is a regression, not noise.
+MAX_REGRESSION = 0.30
+
+
+def cpu_model() -> str:
+    """Human-readable CPU model (best effort, '' when unknowable)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def machine_fingerprint() -> str:
+    """Short stable id for "the same perf environment".
+
+    CPU model + usable core count + Python minor version: the three
+    inputs that move these pure-Python benchmarks.  Same fingerprint →
+    comparable numbers; different fingerprint → separate trajectory.
+    """
+    raw = "|".join(
+        (
+            cpu_model(),
+            str(os.cpu_count()),
+            platform.machine(),
+            ".".join(platform.python_version_tuple()[:2]),
+        )
+    )
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+
+
+class Trajectory:
+    """Append-only perf history with fingerprint-matched baselines."""
+
+    def __init__(self, path: pathlib.Path = TRAJECTORY_FILE) -> None:
+        self.path = path
+        self.fingerprint = machine_fingerprint()
+
+    def records(self, bench: str, **where) -> list[dict]:
+        """All schema-current records for ``bench`` matching ``where``."""
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # a corrupt line must not wedge the gate
+            if (
+                record.get("schema") == BENCH_SCHEMA_VERSION
+                and record.get("bench") == bench
+                and all(record.get(k) == v for k, v in where.items())
+            ):
+                out.append(record)
+        return out
+
+    def baseline(self, bench: str, metric: str, **where) -> float | None:
+        """Latest committed ``metric`` for this machine, or ``None``.
+
+        ``None`` (no record from this fingerprint yet) means the gate
+        is vacuous — the run records a first trajectory point instead
+        of failing against another machine's numbers.
+        """
+        matches = self.records(bench, fingerprint=self.fingerprint, **where)
+        for record in reversed(matches):
+            value = record.get(metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        return None
+
+    def append(self, bench: str, **metrics) -> dict:
+        """Append one fingerprinted record; returns what was written."""
+        record = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "bench": bench,
+            "fingerprint": self.fingerprint,
+            "cpu": cpu_model(),
+            "cores": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": round(time.time(), 1),
+            **metrics,
+        }
+        self.path.parent.mkdir(exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"[trajectory: {bench} record appended to {self.path}]")
+        return record

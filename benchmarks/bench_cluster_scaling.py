@@ -43,6 +43,7 @@ import subprocess
 import sys
 import time
 
+import _perf
 from repro.analysis import format_table
 from repro.cheating import HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme
@@ -101,7 +102,7 @@ def _run_once(executor, d_exp: int, participants: int) -> float:
     return elapsed
 
 
-def test_cluster_scaling(save_json, save_table, quick):
+def test_cluster_scaling(save_json, save_table, trajectory, quick):
     cores = default_workers()
     d_exp = D_EXP_QUICK if quick else D_EXP
     participants = N_PARTICIPANTS_QUICK if quick else N_PARTICIPANTS
@@ -157,6 +158,7 @@ def test_cluster_scaling(save_json, save_table, quick):
     save_json(
         "cluster_scaling",
         {
+            "schema": _perf.BENCH_SCHEMA_VERSION,
             "bench": "cluster_scaling",
             "quick": quick,
             "domain_size": 1 << d_exp,
@@ -164,6 +166,7 @@ def test_cluster_scaling(save_json, save_table, quick):
             "n_samples": N_SAMPLES,
             "available_cores": cores,
             "target_speedup": TARGET_SPEEDUP,
+            "fingerprint": trajectory.fingerprint,
             "rows": rows,
         },
     )
@@ -187,6 +190,35 @@ def test_cluster_scaling(save_json, save_table, quick):
             f"(measured {speedup:.2f}x: serial {serial_t:.3f}s, "
             f"cluster {cluster_t[4]:.3f}s)"
         )
+
+    # Absolute participants/sec floor at the pinned domain for the
+    # 4-worker cluster, against this machine's committed trajectory
+    # (fingerprint-matched; quick and full sizes keep separate
+    # baselines via the domain_size key).  Unmatched fingerprints gate
+    # vacuously and start their own trajectory.
+    cluster_pps = round(participants / cluster_t[4], 1)
+    baseline = trajectory.baseline(
+        "cluster_scaling",
+        "cluster4_participants_per_s",
+        domain_size=1 << d_exp,
+    )
+    if baseline is not None:
+        floor = (1.0 - _perf.MAX_REGRESSION) * baseline
+        assert cluster_pps >= floor, (
+            f"4-worker cluster participants/sec at D = 2^{d_exp} "
+            f"regressed >30% below this machine's committed trajectory: "
+            f"{cluster_pps:.1f} vs baseline {baseline:.1f} "
+            f"(floor {floor:.1f})"
+        )
+    # Append only after the gates pass — a regressed point must never
+    # become the next run's (lower) baseline.
+    trajectory.append(
+        "cluster_scaling",
+        quick=quick,
+        domain_size=1 << d_exp,
+        cluster4_participants_per_s=cluster_pps,
+        available_cores=cores,
+    )
 
 
 # ----------------------------------------------------------------------

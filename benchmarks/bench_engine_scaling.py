@@ -20,6 +20,7 @@ the JSON row records the environment honestly.
 
 import time
 
+import _perf
 from repro.analysis import format_table
 from repro.cheating import HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme
@@ -51,7 +52,7 @@ def _run_once(exp: int, executor) -> float:
     return elapsed
 
 
-def test_engine_scaling(save_json, save_table):
+def test_engine_scaling(save_json, save_table, trajectory):
     workers = default_workers()
     rows = []
     serial_elapsed: dict[int, float] = {}
@@ -82,10 +83,12 @@ def test_engine_scaling(save_json, save_table):
     save_json(
         "engine_scaling",
         {
+            "schema": _perf.BENCH_SCHEMA_VERSION,
             "bench": "engine_scaling",
             "n_participants": N_PARTICIPANTS,
             "n_samples": N_SAMPLES,
             "available_cores": workers,
+            "fingerprint": trajectory.fingerprint,
             "rows": rows,
         },
     )
@@ -122,3 +125,33 @@ def test_engine_scaling(save_json, save_table):
             "process backend should beat serial at D = 2^18 on multi-core "
             f"(processes {proc_t:.3f}s vs serial {serial_t:.3f}s)"
         )
+
+    # Absolute participants/sec floor at the pinned domain: the serial
+    # backend at D = 2^18 is the machine's single-worker gauge — no
+    # core-count or pool-startup noise — so a >30% drop below this
+    # machine's committed trajectory is a hot-path regression, not a
+    # scheduling artifact.  Unmatched fingerprints (new CI runners)
+    # gate vacuously and start their own trajectory.
+    serial_pps = next(
+        r["participants_per_s"]
+        for r in rows
+        if r["engine"] == "serial" and r["domain_size"] == 1 << 18
+    )
+    baseline = trajectory.baseline(
+        "engine_scaling", "serial_participants_per_s", domain_size=1 << 18
+    )
+    if baseline is not None:
+        floor = (1.0 - _perf.MAX_REGRESSION) * baseline
+        assert serial_pps >= floor, (
+            f"serial participants/sec at D = 2^18 regressed >30% below "
+            f"this machine's committed trajectory: {serial_pps:.1f} vs "
+            f"baseline {baseline:.1f} (floor {floor:.1f})"
+        )
+    # Append only after the gate passes — a regressed point must never
+    # become the next run's (lower) baseline.
+    trajectory.append(
+        "engine_scaling",
+        domain_size=1 << 18,
+        serial_participants_per_s=serial_pps,
+        available_cores=workers,
+    )

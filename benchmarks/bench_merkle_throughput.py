@@ -6,8 +6,11 @@ backing §3.1's "the communication cost of this process is proportional
 to the height of the tree".
 """
 
+import time
+
 import pytest
 
+import _perf
 from repro.analysis import format_table
 from repro.merkle import MerkleTree, StreamingMerkleBuilder, get_hash
 from repro.tasks import PasswordSearch
@@ -108,3 +111,43 @@ def test_streaming_memory_footprint(benchmark, save_table):
         "slots (vs 32767 nodes for the in-memory tree)",
     )
     assert peak <= 15
+
+
+def test_throughput_record(benchmark, save_json, trajectory, leaves_4k):
+    """Machine-readable build throughput, same record schema as the
+    profiling harness (``bench_profile``): schema-versioned, carrying
+    the machine fingerprint, diffable across commits."""
+    n = len(leaves_4k)
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def streaming():
+        builder = StreamingMerkleBuilder()
+        builder.add_leaves(leaves_4k)
+        return builder.finalize()
+
+    tree_s = benchmark.pedantic(
+        lambda: best_of(lambda: MerkleTree(leaves_4k).root),
+        rounds=1,
+        iterations=1,
+    )
+    streaming_s = best_of(streaming)
+    save_json(
+        "merkle_throughput",
+        {
+            "schema": _perf.BENCH_SCHEMA_VERSION,
+            "bench": "merkle_throughput",
+            "n_leaves": n,
+            "tree_build_s": round(tree_s, 6),
+            "streaming_build_s": round(streaming_s, 6),
+            "tree_leaves_per_s": round(n / tree_s, 1),
+            "streaming_leaves_per_s": round(n / streaming_s, 1),
+            "fingerprint": trajectory.fingerprint,
+        },
+    )

@@ -11,8 +11,12 @@ from __future__ import annotations
 import json
 import pathlib
 import secrets
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import _perf  # noqa: E402  (sibling helper; needs the path insert)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -91,6 +95,18 @@ def save_json(results_dir):
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def trajectory(results_dir) -> _perf.Trajectory:
+    """The committed participants/sec history (see ``_perf``).
+
+    ``baseline(bench, metric, **where)`` looks up the latest record
+    from this machine's fingerprint; ``append(bench, **metrics)``
+    writes this run's point.  Perf benches gate on a >30% drop below
+    their own machine's committed baseline and always append.
+    """
+    return _perf.Trajectory()
 
 
 @pytest.fixture(scope="session")

@@ -206,6 +206,11 @@ async def run_worker(
 
     with get_executor(engine, workers) as executor:
         loop = asyncio.get_running_loop()
+        # Warm the local pool before dialling: the coordinator starts
+        # scheduling the moment the hello lands, and the first chunk
+        # must not pay process-pool startup on the request path.
+        # Synchronous on purpose — nothing else is on the loop yet.
+        executor.prewarm()
         reader, writer = await open_connection(
             host,
             port,

@@ -71,6 +71,17 @@ class Executor(abc.ABC):
         """
         return None
 
+    def prewarm(self) -> None:
+        """Spawn pooled workers ahead of the first :meth:`map`.
+
+        Pools are lazy by default, which is right for one-shot use but
+        wrong for a long-lived daemon: the first chunk to arrive would
+        pay the full pool startup (process fork + interpreter init) on
+        the request path.  Backends with a pool override this to spawn
+        and exercise every worker up front; the default is a no-op so
+        pool-less backends (serial, cluster coordinator) stay lazy.
+        """
+
     def close(self) -> None:
         """Release pooled workers (idempotent)."""
 
@@ -97,6 +108,10 @@ class SerialExecutor(Executor):
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[Any]:
         return [fn(item) for item in items]
+
+
+def _noop() -> None:
+    """Module-level no-op task (picklable) used by :meth:`prewarm`."""
 
 
 class _PooledExecutor(Executor):
@@ -135,6 +150,25 @@ class _PooledExecutor(Executor):
         if self._pool is None:
             self._pool = self._make_pool()
         return self._pool
+
+    def prewarm(self) -> None:
+        """Spawn the pool and run one no-op on every worker slot.
+
+        ``concurrent.futures`` pools spawn workers on demand, so merely
+        creating the pool leaves process startup on the first real
+        task's critical path.  Submitting ``workers`` no-ops and
+        waiting for all of them forces every worker fully up (for
+        processes: forked, interpreter initialised, ready on the call
+        queue) before this returns.  Idempotent and cheap on a pool
+        that is already warm.
+        """
+        if self._closed:
+            raise EngineError(f"{self.name} executor already closed")
+        if self._pool is None:
+            self._pool = self._make_pool()
+        done = [self._pool.submit(_noop) for _ in range(self._workers)]
+        for future in done:
+            future.result()
 
     def close(self) -> None:
         self._closed = True

@@ -45,7 +45,9 @@ from repro.merkle.tree import (
     MerkleTree,
     chunked_proofs,
     chunked_root,
+    combine_level,
     encode_leaf,
+    encode_leaves,
     hash_leaves,
     subtree_root,
 )
@@ -55,6 +57,8 @@ __all__ = [
     "chunked_proofs",
     "hash_leaves",
     "subtree_root",
+    "combine_level",
+    "encode_leaves",
     "HashFunction",
     "IteratedHash",
     "CountingHash",

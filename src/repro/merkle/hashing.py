@@ -20,7 +20,7 @@ profitability (Eq. 5).  This module provides:
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from repro.exceptions import ReproError
 
@@ -49,6 +49,13 @@ class HashFunction:
         Abstract cost of one invocation, in the same units used for
         ``C_f`` by :class:`repro.tasks.function.TaskFunction`.  Defaults
         to 1.0; the iterated hash multiplies this by its round count.
+    hasher_factory:
+        Optional ``hashlib``-style constructor (``factory(data=b"")``
+        returns an object with ``copy``/``update``/``digest``).  When
+        present, the batched methods below hash whole levels through
+        cached, pre-seeded hasher objects instead of one Python call
+        chain per digest — the Merkle hot path.  The registry's stdlib
+        entries all carry one; wrapper classes compose without it.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class HashFunction:
         fn: Callable[[bytes], bytes],
         digest_size: int,
         cost: float = 1.0,
+        hasher_factory: Callable[..., "hashlib._Hash"] | None = None,
     ) -> None:
         if digest_size <= 0:
             raise ReproError(f"digest_size must be positive, got {digest_size}")
@@ -64,12 +72,76 @@ class HashFunction:
             raise ReproError(f"cost must be non-negative, got {cost}")
         self.name = name
         self._fn = fn
+        self._factory = hasher_factory
         self.digest_size = digest_size
         self.cost = cost
 
     def digest(self, data: bytes) -> bytes:
         """Hash ``data`` and return the digest."""
         return self._fn(data)
+
+    # ------------------------------------------------------------------
+    # Batched digests — the Merkle builders' call boundary.
+    #
+    # All three methods are byte-identical to their per-digest loops;
+    # registry entries dispatch through a cached constructor (and, for
+    # the tagged forms, a pre-seeded hasher copied per item, skipping
+    # the ``tag + blob`` concatenation), while wrappers
+    # (:class:`IteratedHash`, :class:`CountingHash`) override them to
+    # preserve their semantics — so every composition still works and
+    # only the Python-call overhead changes.
+    # ------------------------------------------------------------------
+
+    def digest_many(self, blobs: Sequence[bytes]) -> list[bytes]:
+        """Hash many blobs in one call; equals ``[digest(b) for b in blobs]``."""
+        factory = self._factory
+        if factory is not None:
+            return [factory(blob).digest() for blob in blobs]
+        fn = self._fn
+        return [fn(blob) for blob in blobs]
+
+    def tagged_digest_many(
+        self, tag: bytes, blobs: Sequence[bytes]
+    ) -> list[bytes]:
+        """``[digest(tag + b) for b in blobs]`` without per-item concats.
+
+        The leaf-level hot path: the domain-separation tag is absorbed
+        into one seeded hasher, copied per blob.
+        """
+        factory = self._factory
+        if factory is None:
+            return self.digest_many([tag + blob for blob in blobs])
+        copy = factory(tag).copy
+        # ``update`` returns None, so ``or`` chains it into the
+        # comprehension — measurably faster than an append loop.
+        return [
+            (hasher := copy()).update(blob) or hasher.digest()
+            for blob in blobs
+        ]
+
+    def tagged_digest_pairs(
+        self, tag: bytes, level: Sequence[bytes]
+    ) -> list[bytes]:
+        """``[digest(tag + level[i] + level[i+1]) for even i]`` batched.
+
+        The internal-node hot path: consecutive pairs of an even-width
+        digest level are combined without materialising the
+        ``tag || left || right`` concatenations.
+        """
+        factory = self._factory
+        if factory is None:
+            pairs = iter(level)
+            return self.digest_many(
+                [tag + left + right for left, right in zip(pairs, pairs)]
+            )
+        copy = factory(tag).copy
+        pairs = iter(level)
+        return [
+            (hasher := copy()).update(left)
+            or hasher.update(right)
+            or hasher.digest()
+            for left, right in zip(pairs, pairs)
+        ]
 
     def __call__(self, data: bytes) -> bytes:
         return self.digest(data)
@@ -108,6 +180,29 @@ class IteratedHash(HashFunction):
             digest = self.base.digest(digest)
         return digest
 
+    def digest_many(self, blobs: Sequence[bytes]) -> list[bytes]:
+        """Batched iteration: ``k`` level-wide passes over the base hash."""
+        digests = blobs if isinstance(blobs, list) else list(blobs)
+        for _ in range(self.rounds):
+            digests = self.base.digest_many(digests)
+        return digests
+
+    def tagged_digest_many(
+        self, tag: bytes, blobs: Sequence[bytes]
+    ) -> list[bytes]:
+        digests = self.base.tagged_digest_many(tag, blobs)
+        for _ in range(self.rounds - 1):
+            digests = self.base.digest_many(digests)
+        return digests
+
+    def tagged_digest_pairs(
+        self, tag: bytes, level: Sequence[bytes]
+    ) -> list[bytes]:
+        digests = self.base.tagged_digest_pairs(tag, level)
+        for _ in range(self.rounds - 1):
+            digests = self.base.digest_many(digests)
+        return digests
+
 
 class CountingHash(HashFunction):
     """Wrap a hash so every invocation is charged to a ledger.
@@ -130,22 +225,68 @@ class CountingHash(HashFunction):
         self.ledger.charge_hash(self.inner.cost)
         return self.inner.digest(data)
 
+    def digest_many(self, blobs: Sequence[bytes]) -> list[bytes]:
+        """Batched digests with per-invocation ledger charges preserved."""
+        blobs = blobs if isinstance(blobs, list) else list(blobs)
+        self._charge_each(blobs)
+        return self.inner.digest_many(blobs)
 
-def _stdlib(name: str) -> Callable[[bytes], bytes]:
-    def fn(data: bytes) -> bytes:
-        return hashlib.new(name, data).digest()
+    def tagged_digest_many(
+        self, tag: bytes, blobs: Sequence[bytes]
+    ) -> list[bytes]:
+        blobs = blobs if isinstance(blobs, list) else list(blobs)
+        self._charge_each(blobs)
+        return self.inner.tagged_digest_many(tag, blobs)
 
-    return fn
+    def tagged_digest_pairs(
+        self, tag: bytes, level: Sequence[bytes]
+    ) -> list[bytes]:
+        charge, cost = self.ledger.charge_hash, self.inner.cost
+        for _ in range(len(level) // 2):
+            charge(cost)
+        return self.inner.tagged_digest_pairs(tag, level)
+
+    def _charge_each(self, blobs: Sequence[bytes]) -> None:
+        charge, cost = self.ledger.charge_hash, self.inner.cost
+        for _ in blobs:
+            charge(cost)
+
+
+def _stdlib(name: str) -> HashFunction:
+    """Registry entry over a *bound* ``hashlib`` constructor.
+
+    ``hashlib.new(name, data)`` resolves the algorithm by string on
+    every call; caching the constructor once at registry construction
+    removes that lookup from every leaf and internal-node digest, and
+    exposing the constructor as ``hasher_factory`` unlocks the
+    pre-seeded batched paths.
+    """
+    ctor = getattr(hashlib, name)
+
+    def fn(data: bytes, _ctor=ctor) -> bytes:
+        return _ctor(data).digest()
+
+    return HashFunction(
+        name, fn, ctor(b"").digest_size, hasher_factory=ctor
+    )
+
+
+def _blake2b_32() -> HashFunction:
+    def ctor(data: bytes = b"", _b2=hashlib.blake2b):
+        return _b2(data, digest_size=32)
+
+    def fn(data: bytes, _ctor=ctor) -> bytes:
+        return _ctor(data).digest()
+
+    return HashFunction("blake2b", fn, 32, hasher_factory=ctor)
 
 
 _REGISTRY: dict[str, HashFunction] = {
-    "sha256": HashFunction("sha256", _stdlib("sha256"), 32),
-    "sha1": HashFunction("sha1", _stdlib("sha1"), 20),
-    "md5": HashFunction("md5", _stdlib("md5"), 16),
-    "blake2b": HashFunction(
-        "blake2b", lambda data: hashlib.blake2b(data, digest_size=32).digest(), 32
-    ),
-    "sha512": HashFunction("sha512", _stdlib("sha512"), 64),
+    "sha256": _stdlib("sha256"),
+    "sha1": _stdlib("sha1"),
+    "md5": _stdlib("md5"),
+    "blake2b": _blake2b_32(),
+    "sha512": _stdlib("sha512"),
 }
 
 

@@ -89,6 +89,40 @@ def combine(hash_fn: HashFunction, left: bytes, right: bytes) -> bytes:
     return hash_fn.digest(_NODE_TAG + left + right)
 
 
+def combine_level(
+    hash_fn: HashFunction, level: Sequence[bytes]
+) -> list[bytes]:
+    """Apply Eq. (1) to a whole even-width level in one batched call.
+
+    Byte-identical to pairwise :func:`combine` over the level; the
+    difference is one
+    :meth:`~repro.merkle.hashing.HashFunction.tagged_digest_pairs`
+    boundary instead of ``len(level) / 2`` per-digest Python call
+    chains — the internal-node half of the batched-hashing hot path.
+    """
+    if len(level) % 2:
+        raise MerkleError(
+            f"level width must be even to combine, got {len(level)}"
+        )
+    return hash_fn.tagged_digest_pairs(_NODE_TAG, level)
+
+
+def encode_leaves(
+    payloads: Sequence[bytes],
+    hash_fn: HashFunction,
+    encoding: LeafEncoding = LeafEncoding.HASHED,
+) -> list[bytes]:
+    """``Φ`` values for many leaves through one batched hash call.
+
+    Byte-identical to ``[encode_leaf(p, ...) for p in payloads]``; the
+    leaf-level half of the batched hot path, shared by
+    :func:`hash_leaves` and the streaming builder's ``add_leaves``.
+    """
+    if encoding is LeafEncoding.RAW:
+        return [encode_leaf(payload, hash_fn, encoding) for payload in payloads]
+    return hash_fn.tagged_digest_many(_LEAF_TAG, payloads)
+
+
 def hash_leaves(
     payloads: Sequence[bytes],
     hash_fn: HashFunction,
@@ -103,7 +137,7 @@ def hash_leaves(
     """
     if n_padding < 0:
         raise MerkleError(f"n_padding must be >= 0, got {n_padding}")
-    digests = [encode_leaf(payload, hash_fn, encoding) for payload in payloads]
+    digests = encode_leaves(payloads, hash_fn, encoding)
     if n_padding:
         digests.extend([empty_leaf_digest(hash_fn)] * n_padding)
     return digests
@@ -118,10 +152,7 @@ def subtree_root(digests: Sequence[bytes], hash_fn: HashFunction) -> bytes:
         )
     level = list(digests)
     while len(level) > 1:
-        level = [
-            combine(hash_fn, level[i], level[i + 1])
-            for i in range(0, len(level), 2)
-        ]
+        level = combine_level(hash_fn, level)
     return level[0]
 
 
@@ -199,13 +230,7 @@ def _fold_levels(
         )
     levels = [list(digests)]
     while len(levels[-1]) > 1:
-        current = levels[-1]
-        levels.append(
-            [
-                combine(hash_fn, current[i], current[i + 1])
-                for i in range(0, len(current), 2)
-            ]
-        )
+        levels.append(combine_level(hash_fn, levels[-1]))
     return levels
 
 
@@ -364,10 +389,7 @@ class MerkleTree:
         levels: list[list[bytes]] = [leaf_level]
         current = leaf_level
         while len(current) > 1:
-            parent = [
-                combine(self.hash_fn, current[i], current[i + 1])
-                for i in range(0, len(current), 2)
-            ]
+            parent = combine_level(self.hash_fn, current)
             levels.append(parent)
             current = parent
         levels.reverse()  # root first

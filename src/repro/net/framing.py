@@ -24,12 +24,24 @@ offending frame type and the observed size (:func:`check_payload_size`).
 from __future__ import annotations
 
 import asyncio
-from typing import BinaryIO
+from typing import BinaryIO, Union
 
 from repro.exceptions import CodecError, ProtocolError
 
+#: Anything the framing layer accepts as a payload: the senders hand
+#: over ``bytes`` today, but ``bytearray``/``memoryview`` views are
+#: first-class so callers can frame slices of a reused buffer without
+#: copying them into fresh ``bytes`` first.
+Buffer = Union[bytes, bytearray, memoryview]
+
 #: Width of the frame length prefix.
 FRAME_HEADER_BYTES = 4
+
+#: Below this payload size one coalesced ``header || payload`` write is
+#: issued (a 4-byte-plus-payload copy is cheaper than a second write
+#: call); at or above it the header and payload are written as two
+#: buffers so the payload bytes are never copied into a frame buffer.
+INLINE_FRAME_BYTES = 64 * 1024
 
 #: Default ceiling on a single frame's payload.  Large enough for a
 #: full NI-CBS submission at big domains, small enough that a hostile
@@ -69,37 +81,56 @@ def check_payload_size(what: str, size: int, limit: int) -> None:
         raise CodecError(f"{what} of {size} bytes exceeds limit {limit}")
 
 
-def frame_buffer(payload: bytes, max_frame: int = MAX_FRAME_BYTES) -> bytes:
-    """Serialize one payload: 4-byte big-endian length prefix + bytes."""
-    if len(payload) > max_frame:
+def _frame_header(payload: Buffer, max_frame: int) -> bytes:
+    """Size-check one payload and return its 4-byte length prefix.
+
+    The single encode-side chokepoint shared by :func:`frame_buffer`
+    and both write variants, so every path enforces the cap the same
+    way and produces the same wire bytes.
+    """
+    length = len(payload)
+    if length > max_frame:
         raise ProtocolError(
-            f"frame payload of {len(payload)} bytes exceeds limit {max_frame}"
+            f"frame payload of {length} bytes exceeds limit {max_frame}"
         )
-    return len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload
+    return length.to_bytes(FRAME_HEADER_BYTES, "big")
+
+
+def _parse_length(header: Buffer, max_frame: int) -> int:
+    """Decode and cap-check a length prefix (decode-side chokepoint)."""
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    return length
+
+
+def frame_buffer(payload: Buffer, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one payload: 4-byte big-endian length prefix + bytes."""
+    return b"".join((_frame_header(payload, max_frame), payload))
 
 
 def split_frame_buffer(
-    data: bytes, max_frame: int = MAX_FRAME_BYTES
+    data: Buffer, max_frame: int = MAX_FRAME_BYTES
 ) -> bytes:
     """Extract the payload of one complete frame buffer.
 
     ``data`` must hold exactly one frame (header + payload, nothing
     else); truncation or an oversized length prefix raises
-    :class:`~repro.exceptions.ProtocolError`.
+    :class:`~repro.exceptions.ProtocolError`.  ``memoryview`` input is
+    parsed in place — the only copy is the returned payload bytes.
     """
     if len(data) < FRAME_HEADER_BYTES:
         raise ProtocolError(
             f"truncated frame header ({len(data)} of {FRAME_HEADER_BYTES} bytes)"
         )
-    length = int.from_bytes(data[:FRAME_HEADER_BYTES], "big")
-    if length > max_frame:
-        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
-    body = data[FRAME_HEADER_BYTES:]
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    length = _parse_length(view[:FRAME_HEADER_BYTES], max_frame)
+    body = view[FRAME_HEADER_BYTES:]
     if len(body) != length:
         raise ProtocolError(
             f"frame length prefix says {length} bytes, buffer has {len(body)}"
         )
-    return body
+    return bytes(body)
 
 
 # ----------------------------------------------------------------------
@@ -122,9 +153,7 @@ async def read_frame_bytes(
         if not exc.partial:
             return None
         raise ProtocolError("connection closed mid frame header") from exc
-    length = int.from_bytes(header, "big")
-    if length > max_frame:
-        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    length = _parse_length(header, max_frame)
     try:
         return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
@@ -135,11 +164,22 @@ async def read_frame_bytes(
 
 async def write_frame_bytes(
     writer: asyncio.StreamWriter,
-    payload: bytes,
+    payload: Buffer,
     max_frame: int = MAX_FRAME_BYTES,
 ) -> None:
-    """Write one frame and drain — the backpressure point for senders."""
-    writer.write(frame_buffer(payload, max_frame=max_frame))
+    """Write one frame and drain — the backpressure point for senders.
+
+    Small payloads coalesce with their header into one buffered write;
+    payloads of :data:`INLINE_FRAME_BYTES` or more are handed to the
+    transport as-is after the header, so a large result frame is never
+    copied into a fresh ``header || payload`` buffer first.
+    """
+    header = _frame_header(payload, max_frame)
+    if len(payload) < INLINE_FRAME_BYTES:
+        writer.write(b"".join((header, payload)))
+    else:
+        writer.write(header)
+        writer.write(payload)
     await writer.drain()
 
 
@@ -149,21 +189,39 @@ async def write_frame_bytes(
 
 
 def _read_exactly(stream: BinaryIO, n: int) -> bytes:
-    """Read exactly ``n`` bytes from a blocking file-like stream."""
-    chunks: list[bytes] = []
-    remaining = n
-    while remaining > 0:
-        chunk = stream.read(remaining)
-        if not chunk:
-            got = n - remaining
-            if not chunks and got == 0:
-                raise EOFError  # clean EOF, translated by the caller
-            raise ProtocolError(
-                f"connection closed mid frame ({got} of {n} bytes)"
-            )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    """Read exactly ``n`` bytes from a blocking file-like stream.
+
+    Fills one pre-sized buffer via ``readinto`` — a single allocation
+    per frame instead of one ``bytes`` chunk per ``read()`` plus a
+    join.  Streams without ``readinto`` (rare duck-typed wrappers)
+    fall back to chunked ``read``.
+    """
+    buffer = bytearray(n)
+    readinto = getattr(stream, "readinto", None)
+    got = 0
+    if readinto is not None:
+        view = memoryview(buffer)
+        while got < n:
+            read = readinto(view[got:])
+            if not read:
+                if got == 0:
+                    raise EOFError  # clean EOF, translated by the caller
+                raise ProtocolError(
+                    f"connection closed mid frame ({got} of {n} bytes)"
+                )
+            got += read
+    else:
+        while got < n:
+            chunk = stream.read(n - got)
+            if not chunk:
+                if got == 0:
+                    raise EOFError  # clean EOF, translated by the caller
+                raise ProtocolError(
+                    f"connection closed mid frame ({got} of {n} bytes)"
+                )
+            buffer[got : got + len(chunk)] = chunk
+            got += len(chunk)
+    return bytes(buffer)
 
 
 def read_frame_bytes_sync(
@@ -171,9 +229,9 @@ def read_frame_bytes_sync(
 ) -> bytes | None:
     """Blocking twin of :func:`read_frame_bytes` for file-like streams.
 
-    ``stream`` is anything with a blocking ``read(n)`` — a
-    ``socket.makefile("rb")``, a pipe, a file.  Returns ``None`` on
-    clean EOF at a frame boundary.
+    ``stream`` is anything with a blocking ``read(n)`` (ideally also
+    ``readinto``) — a ``socket.makefile("rb")``, a pipe, a file.
+    Returns ``None`` on clean EOF at a frame boundary.
     """
     try:
         header = _read_exactly(stream, FRAME_HEADER_BYTES)
@@ -181,9 +239,7 @@ def read_frame_bytes_sync(
         return None
     except ProtocolError as exc:
         raise ProtocolError("connection closed mid frame header") from exc
-    length = int.from_bytes(header, "big")
-    if length > max_frame:
-        raise ProtocolError(f"frame of {length} bytes exceeds limit {max_frame}")
+    length = _parse_length(header, max_frame)
     try:
         return _read_exactly(stream, length)
     except EOFError as exc:
@@ -193,8 +249,18 @@ def read_frame_bytes_sync(
 
 
 def write_frame_bytes_sync(
-    stream: BinaryIO, payload: bytes, max_frame: int = MAX_FRAME_BYTES
+    stream: BinaryIO, payload: Buffer, max_frame: int = MAX_FRAME_BYTES
 ) -> None:
-    """Blocking twin of :func:`write_frame_bytes` for file-like streams."""
-    stream.write(frame_buffer(payload, max_frame=max_frame))
+    """Blocking twin of :func:`write_frame_bytes` for file-like streams.
+
+    Mirrors the asyncio variant's split: small frames are one coalesced
+    write, frames of :data:`INLINE_FRAME_BYTES` or more write the
+    header and the payload separately so the payload is never copied.
+    """
+    header = _frame_header(payload, max_frame)
+    if len(payload) < INLINE_FRAME_BYTES:
+        stream.write(b"".join((header, payload)))
+    else:
+        stream.write(header)
+        stream.write(payload)
     stream.flush()

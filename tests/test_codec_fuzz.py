@@ -495,6 +495,76 @@ class TestChunkAndOutcomeEnvelopes:
             decode_cluster_outcomes(b"\x00" * 129, max_bytes=64)
 
 
+class TestFramingFuzz:
+    """The raw length-prefix layer under hostile bytes: every parse
+    path (one-shot buffer, sync stream, asyncio stream) must raise
+    ProtocolError — never IndexError/MemoryError/silent nonsense — and
+    the zero-copy view paths must reject exactly what the bytes paths
+    reject."""
+
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_split_frame_buffer_random_bytes(self, data):
+        from repro.net.framing import split_frame_buffer
+
+        for convert in (bytes, bytearray, memoryview):
+            try:
+                split_frame_buffer(convert(data), max_frame=4096)
+            except ProtocolError:
+                pass
+
+    @given(data=st.binary(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_sync_reader_random_bytes(self, data):
+        import io
+
+        from repro.net.framing import read_frame_bytes_sync
+
+        stream = io.BytesIO(data)
+        try:
+            while read_frame_bytes_sync(stream, max_frame=4096) is not None:
+                pass
+        except ProtocolError:
+            pass
+
+    @given(payload=st.binary(max_size=100), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flipped_header_never_crashes(self, payload, data):
+        import io
+
+        from repro.net.framing import frame_buffer, read_frame_bytes_sync
+
+        encoded = bytearray(frame_buffer(payload))
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        encoded[position] ^= 0xFF
+        stream = io.BytesIO(bytes(encoded))
+        try:
+            read_frame_bytes_sync(stream, max_frame=4096)
+        except ProtocolError:
+            pass  # a flipped length prefix truncates or overflows
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_async_reader_random_bytes(self, data):
+        import asyncio
+
+        from repro.net.framing import read_frame_bytes
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            try:
+                while await read_frame_bytes(reader, max_frame=4096) is not None:
+                    pass
+            except ProtocolError:
+                pass
+
+        asyncio.run(scenario())
+
+
 class TestAuthHandshakeFuzz:
     """The repro.net auth handshake under hostile input: garbage,
     truncation and bit flips must raise AuthError (a ReproError) on

@@ -129,6 +129,45 @@ class TestExecutors:
             assert ex.map(str, []) == []
 
 
+def _worker_pid(_item) -> int:
+    import os
+
+    return os.getpid()
+
+
+class TestPrewarm:
+    """prewarm() moves pool startup off the first map's critical path."""
+
+    def test_serial_prewarm_is_a_noop(self):
+        SerialExecutor().prewarm()  # no pool; must not raise
+
+    def test_threads_prewarm_spawns_and_map_reuses_the_pool(self):
+        with ThreadPoolExecutor(workers=2) as ex:
+            assert ex._pool is None  # lazy until warmed
+            ex.prewarm()
+            pool = ex._pool
+            assert pool is not None
+            ex.prewarm()  # idempotent
+            assert ex._pool is pool
+            assert ex.map(str, [1, 2, 3]) == ["1", "2", "3"]
+            assert ex._pool is pool
+
+    def test_processes_prewarm_spawns_workers_up_front(self):
+        with ProcessPoolExecutor(workers=2) as ex:
+            ex.prewarm()
+            pool = ex._pool
+            assert len(pool._processes) == 2  # all workers forked now
+            pids = set(ex.map(_worker_pid, range(16)))
+            assert pids <= set(pool._processes)  # mapped on the warm pool
+            assert ex._pool is pool
+
+    def test_prewarm_after_close_rejected(self):
+        ex = ThreadPoolExecutor(workers=1)
+        ex.close()
+        with pytest.raises(EngineError):
+            ex.prewarm()
+
+
 # ----------------------------------------------------------------------
 # Seeds and batching
 # ----------------------------------------------------------------------

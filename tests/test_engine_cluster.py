@@ -270,6 +270,72 @@ class TestFaultTolerance:
             assert executor.stats["jobs_requeued"] >= 1
 
 
+def _worker_pid(_item) -> int:
+    return os.getpid()
+
+
+class TestWarmPoolLifecycle:
+    """The worker daemon's local pool is prewarmed at startup and
+    reused across every chunk it serves — never respawned between
+    chunks — and a signalled worker drains cleanly."""
+
+    def test_process_pool_reused_across_consecutive_chunks(self):
+        with ClusterExecutor(
+            workers=1, worker_engine="processes", worker_processes=2
+        ) as executor:
+            first = set(executor.map(_worker_pid, range(16)))
+            second = set(executor.map(_worker_pid, range(16)))
+        assert first and second
+        # One warm pool of 2 processes serving both maps: a pool
+        # respawn between chunks would surface fresh pids here.
+        assert len(first | second) <= 2
+
+    @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM])
+    def test_signalled_worker_drains_cleanly(self, sig):
+        import socket
+        import subprocess
+        import sys
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        # Same path-injection rule as the coordinator's spawn-local
+        # mode: the daemon must unpickle this module's functions.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        with ClusterExecutor(
+            workers=1, port=port, spawn_local=False, startup_timeout=30.0
+        ) as executor:
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.engine.cluster.worker",
+                    "--port", str(port), "--engine", "processes",
+                    "--workers", "2", "--connect-retry", "10",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            try:
+                assert executor.map(_square, range(6)) == [
+                    i * i for i in range(6)
+                ]
+                proc.send_signal(sig)
+                out, err = proc.communicate(timeout=30)
+            finally:
+                if proc.poll() is None:
+                    # Don't communicate() here: the daemon's forked
+                    # pool children hold the pipes open after a kill.
+                    proc.kill()
+                    proc.wait(timeout=10)
+                    proc.stdout.close()
+                    proc.stderr.close()
+        assert proc.returncode == 0, err
+        assert "cluster worker done" in out
+
+
 class TestExternalWorkers:
     def test_worker_dialing_a_fixed_port(self):
         """spawn_local=False serves operator-started remote workers."""

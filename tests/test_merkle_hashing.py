@@ -97,6 +97,86 @@ class TestCountingHash:
         assert counted.digest_size == inner.digest_size
 
 
+class TestBatchedDigests:
+    """The batched hot-path methods must equal their per-digest loops."""
+
+    BLOBS = [bytes([i]) * (i + 1) for i in range(9)] + [b""]
+    LEVEL = [hashlib.sha256(bytes([i])).digest() for i in range(8)]
+    TAG = b"\x00"
+
+    @pytest.mark.parametrize("name", ["sha256", "md5", "blake2b", "md5^3"])
+    def test_digest_many_matches_loop(self, name):
+        h = get_hash(name)
+        assert h.digest_many(self.BLOBS) == [h.digest(b) for b in self.BLOBS]
+
+    @pytest.mark.parametrize("name", ["sha256", "md5", "blake2b", "md5^3"])
+    def test_tagged_digest_many_matches_loop(self, name):
+        h = get_hash(name)
+        assert h.tagged_digest_many(self.TAG, self.BLOBS) == [
+            h.digest(self.TAG + b) for b in self.BLOBS
+        ]
+
+    @pytest.mark.parametrize("name", ["sha256", "md5", "blake2b", "md5^3"])
+    def test_tagged_digest_pairs_matches_loop(self, name):
+        h = get_hash(name)
+        assert h.tagged_digest_pairs(self.TAG, self.LEVEL) == [
+            h.digest(self.TAG + self.LEVEL[i] + self.LEVEL[i + 1])
+            for i in range(0, len(self.LEVEL), 2)
+        ]
+
+    def test_batched_accepts_iterators(self):
+        h = get_hash("sha256")
+        assert h.digest_many(iter(self.BLOBS)) == h.digest_many(self.BLOBS)
+
+    def test_custom_hash_without_factory(self):
+        # A registered custom hash has no hasher_factory; the batched
+        # methods must fall back to the plain function, byte-identically.
+        h = HashFunction("plainfn", lambda d: hashlib.sha1(d).digest(), 20)
+        assert h.digest_many(self.BLOBS) == [h.digest(b) for b in self.BLOBS]
+        assert h.tagged_digest_many(self.TAG, self.BLOBS) == [
+            h.digest(self.TAG + b) for b in self.BLOBS
+        ]
+
+    def test_counting_hash_charges_match_loop(self):
+        batched, looped = CostLedger(), CostLedger()
+        h_batched = CountingHash(get_hash("md5^4"), batched)
+        h_looped = CountingHash(get_hash("md5^4"), looped)
+        assert h_batched.digest_many(self.BLOBS) == [
+            h_looped.digest(b) for b in self.BLOBS
+        ]
+        assert batched.hashes == looped.hashes == len(self.BLOBS)
+        assert batched.hash_cost == looped.hash_cost
+
+    def test_counting_hash_tagged_pairs_charges(self):
+        ledger = CostLedger()
+        counted = CountingHash(get_hash("sha256"), ledger)
+        counted.tagged_digest_pairs(self.TAG, self.LEVEL)
+        assert ledger.hashes == len(self.LEVEL) // 2
+
+    def test_counting_iterated_composition(self):
+        # CountingHash over IteratedHash: batched path must produce the
+        # same digests and the same charges as the per-digest path.
+        ledger = CostLedger()
+        counted = CountingHash(IteratedHash(get_hash("md5"), 5), ledger)
+        out = counted.tagged_digest_many(self.TAG, self.BLOBS)
+        assert out == [counted.digest(self.TAG + b) for b in self.BLOBS]
+        assert ledger.hashes == 2 * len(self.BLOBS)
+        assert ledger.hash_cost == 2 * len(self.BLOBS) * 5.0
+
+    def test_registry_entries_carry_cached_factories(self):
+        # The stdlib registry entries must dispatch through a bound
+        # constructor, not a hashlib.new() string lookup per call.
+        for name in ("sha256", "sha1", "md5", "sha512"):
+            assert get_hash(name)._factory is getattr(hashlib, name)
+        assert get_hash("blake2b")._factory is not None
+
+    def test_empty_batches(self):
+        h = get_hash("sha256")
+        assert h.digest_many([]) == []
+        assert h.tagged_digest_many(self.TAG, []) == []
+        assert h.tagged_digest_pairs(self.TAG, []) == []
+
+
 class TestHashFunctionValidation:
     def test_rejects_bad_digest_size(self):
         with pytest.raises(ReproError):

@@ -14,6 +14,7 @@ import pytest
 from repro.exceptions import CodecError, ProtocolError
 from repro.net.framing import (
     FRAME_HEADER_BYTES,
+    INLINE_FRAME_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
     MAX_CLUSTER_PAYLOAD_BYTES,
     MAX_FRAME_BYTES,
@@ -74,6 +75,91 @@ class TestBufferRoundTrip:
     def test_trailing_garbage_rejected(self):
         with pytest.raises(ProtocolError, match="length prefix"):
             split_frame_buffer(frame_buffer(b"ok") + b"extra")
+
+
+class TestBufferViews:
+    """Zero-copy contract: views frame and parse byte-identically."""
+
+    @pytest.mark.parametrize("payload", [b"", b"x", b"hello" * 100])
+    def test_frame_buffer_accepts_views(self, payload):
+        reference = frame_buffer(payload)
+        assert frame_buffer(bytearray(payload)) == reference
+        assert frame_buffer(memoryview(bytes(payload))) == reference
+
+    def test_frame_buffer_accepts_sliced_view(self):
+        blob = b"prefix|payload|suffix"
+        view = memoryview(blob)[7:14]
+        assert frame_buffer(view) == frame_buffer(b"payload")
+
+    @pytest.mark.parametrize("payload", [b"", b"x", b"hello" * 100])
+    def test_split_frame_buffer_accepts_views(self, payload):
+        data = frame_buffer(payload)
+        assert split_frame_buffer(bytearray(data)) == payload
+        assert split_frame_buffer(memoryview(data)) == payload
+
+    def test_split_returns_bytes_not_view(self):
+        # Callers hold payloads past the parse; a view into a reused
+        # buffer would alias future frames.
+        out = split_frame_buffer(memoryview(frame_buffer(b"data")))
+        assert type(out) is bytes
+
+    def test_sync_write_accepts_views(self):
+        reference = io.BytesIO()
+        write_frame_bytes_sync(reference, b"view-payload")
+        for convert in (bytearray, lambda b: memoryview(bytes(b))):
+            stream = io.BytesIO()
+            write_frame_bytes_sync(stream, convert(b"view-payload"))
+            assert stream.getvalue() == reference.getvalue()
+
+    def test_large_frame_wire_bytes_unchanged(self):
+        # The >= INLINE_FRAME_BYTES split-write path must leave the
+        # wire format untouched: header || payload, nothing else.
+        payload = bytes(range(256)) * (INLINE_FRAME_BYTES // 256 + 1)
+        assert len(payload) > INLINE_FRAME_BYTES
+        stream = io.BytesIO()
+        write_frame_bytes_sync(stream, payload)
+        assert stream.getvalue() == frame_buffer(payload)
+        stream.seek(0)
+        assert read_frame_bytes_sync(stream) == payload
+
+    def test_async_large_frame_wire_bytes_unchanged(self):
+        async def scenario():
+            from repro.service.server import memory_duplex
+
+            payload = b"\xab" * (INLINE_FRAME_BYTES + 17)
+            (reader, _), (_, writer) = memory_duplex()
+            await write_frame_bytes(writer, payload)
+            writer.close()
+            assert await reader.read(-1) == frame_buffer(payload)
+
+        asyncio.run(scenario())
+
+    def test_async_write_accepts_views(self):
+        async def scenario():
+            from repro.service.server import memory_duplex
+
+            (reader, _), (_, writer) = memory_duplex()
+            await write_frame_bytes(writer, memoryview(b"async-view"))
+            await write_frame_bytes(writer, bytearray(b"async-view"))
+            assert await read_frame_bytes(reader) == b"async-view"
+            assert await read_frame_bytes(reader) == b"async-view"
+
+        asyncio.run(scenario())
+
+    def test_sync_read_without_readinto_falls_back(self):
+        class ReadOnly:
+            def __init__(self, data):
+                self._stream = io.BytesIO(data)
+
+            def read(self, n):
+                return self._stream.read(min(n, 3))  # dribble in chunks
+
+        assert (
+            read_frame_bytes_sync(ReadOnly(frame_buffer(b"fallback-path")))
+            == b"fallback-path"
+        )
+        with pytest.raises(ProtocolError, match="mid frame"):
+            read_frame_bytes_sync(ReadOnly(frame_buffer(b"truncated")[:-2]))
 
 
 class TestSyncStreams:
