@@ -1,0 +1,85 @@
+"""Guard: the metrics registry must stay off the hot path.
+
+The observability plane (README "Observability") meters *plane
+boundaries* — one counter add per engine map, per frame, per chunk —
+and deliberately leaves the per-item hot loops (leaf hashing, Merkle
+folding, task evaluation) unmetered.  This bench pins that contract:
+a full population run with the process-global registry recording must
+cost within ``MAX_OVERHEAD`` of the same run with recording disabled.
+If someone later meters a per-item loop, this is the test that goes
+red before a deployment notices the throughput cliff.
+
+Run via ``pytest benchmarks/bench_obs_overhead.py`` (``--quick``
+shrinks the domain; the assertion always applies — the whole point is
+catching accidental hot-loop metering on every PR).
+"""
+
+import time
+
+from repro.cheating import HonestBehavior, SemiHonestCheater
+from repro.core import CBSScheme
+from repro.grid.simulation import run_population
+from repro.obs.metrics import default_registry
+from repro.tasks import PasswordSearch, RangeDomain
+
+#: Allowed slowdown of metered vs unmetered (ISSUE 7: < 2%).
+MAX_OVERHEAD = 0.02
+ROUNDS = 5
+
+
+def _population(n: int) -> None:
+    run_population(
+        RangeDomain(0, n),
+        PasswordSearch(),
+        CBSScheme(n_samples=16),
+        behaviors=[HonestBehavior(), SemiHonestCheater(0.5)],
+        n_participants=8,
+        seed=11,
+        engine="serial",
+    )
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_registry_overhead_under_two_percent(quick, save_table):
+    n = 1 << (12 if quick else 14)
+    registry = default_registry()
+    was_enabled = registry.enabled
+
+    def run_enabled() -> None:
+        registry.enabled = True
+        _population(n)
+
+    def run_disabled() -> None:
+        registry.enabled = False
+        _population(n)
+
+    # Interleave the contenders inside every round (the bench_profile
+    # idiom): both sides see the same machine states, min discards the
+    # noise.
+    best = {"enabled": float("inf"), "disabled": float("inf")}
+    try:
+        for _ in range(ROUNDS):
+            best["disabled"] = min(best["disabled"], _time(run_disabled))
+            best["enabled"] = min(best["enabled"], _time(run_enabled))
+    finally:
+        registry.enabled = was_enabled
+
+    overhead = best["enabled"] / best["disabled"] - 1.0
+    save_table(
+        "bench_obs_overhead",
+        (
+            f"registry overhead on a D=2^{n.bit_length() - 1} population\n"
+            f"  disabled: {best['disabled'] * 1e3:8.2f} ms\n"
+            f"  enabled:  {best['enabled'] * 1e3:8.2f} ms\n"
+            f"  overhead: {overhead * 100:+.2f}%  (limit {MAX_OVERHEAD:.0%})"
+        ),
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"metrics recording costs {overhead:.1%} (> {MAX_OVERHEAD:.0%}): "
+        "something is metering a per-item hot loop"
+    )

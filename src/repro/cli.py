@@ -49,7 +49,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
+import logging
+import os
 import signal
 import sys
 import time
@@ -73,7 +76,17 @@ from repro.exceptions import ReproError
 from repro.grid import run_population
 from repro.merkle import get_hash
 from repro.net.transport import SecurityConfig
+from repro.obs import (
+    MetricsServer,
+    bind_trace,
+    configure_logging,
+    default_registry,
+    get_logger,
+    log_event,
+    new_trace_id,
+)
 from repro.service import (
+    ServiceClient,
     ServiceConfig,
     SupervisorServer,
     WORKLOADS,
@@ -81,6 +94,27 @@ from repro.service import (
     run_service_loadgen,
 )
 from repro.tasks import PasswordSearch, RangeDomain, TaskAssignment
+
+_log = get_logger("cli")
+
+
+@contextlib.contextmanager
+def _traced_run(args: argparse.Namespace):
+    """Bind a population-level trace for the duration of a command.
+
+    Under ``--trace`` every subsystem logs structured JSON records at
+    DEBUG carrying this trace id (and per-chunk/per-round span ids),
+    so one chunk's journey — coordinator dispatch, worker execution,
+    result acceptance — reconstructs from the logs alone.
+    """
+    if not getattr(args, "trace", False):
+        yield None
+        return
+    configure_logging(json=True, level=logging.DEBUG)
+    trace_id = new_trace_id()
+    with bind_trace(trace_id):
+        log_event(_log, "trace_started", command=args.command)
+        yield trace_id
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -273,7 +307,7 @@ def _cmd_population(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     # The executor is built here (not inside run_population) so the
     # cluster tuning flags reach the backend constructor.
-    with get_executor(
+    with _traced_run(args), get_executor(
         args.engine, _engine_workers(args), **_engine_options(args)
     ) as executor:
         report = run_population(
@@ -315,6 +349,12 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     config = _service_config(args)
+    if args.trace:
+        configure_logging(json=True, level=logging.DEBUG)
+    elif args.stats_interval is not None:
+        # The periodic snapshot line needs a handler even without
+        # --trace; keep it human-readable at INFO.
+        configure_logging(json=False, level=logging.INFO)
 
     async def serve() -> None:
         server = SupervisorServer(
@@ -324,6 +364,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine_options=_engine_options(args, service_plane=True),
             security=_service_security(args),
             session_ttl=args.session_ttl,
+            registry=default_registry(),
         )
         # Graceful shutdown: SIGINT/SIGTERM set an event instead of
         # tearing through the loop as KeyboardInterrupt; server.stop()
@@ -347,11 +388,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{config.n_participants} participant slots, m={config.n_samples}",
             flush=True,
         )
+        metrics_server: MetricsServer | None = None
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(
+                server.registry, port=args.metrics_port
+            )
+            print(
+                f"metrics on http://127.0.0.1:{metrics_server.port}/metrics",
+                flush=True,
+            )
+
+        async def snapshot_loop() -> None:
+            while True:
+                await asyncio.sleep(args.stats_interval)
+                stats = server.stats
+                log_event(
+                    _log,
+                    "stats_snapshot",
+                    connections=stats.connections,
+                    verifications=stats.verifications,
+                    sessions_active=server.sessions.active,
+                    errors=stats.errors,
+                    auth_failures=stats.auth_failures,
+                )
+
+        snapshot_task = (
+            asyncio.ensure_future(snapshot_loop())
+            if args.stats_interval is not None
+            else None
+        )
         try:
             await stop.wait()
         finally:
             for sig in handled:
                 loop.remove_signal_handler(sig)
+            if snapshot_task is not None:
+                snapshot_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await snapshot_task
+            if metrics_server is not None:
+                metrics_server.close()
             await server.stop()
             print(
                 f"supervisor stopped — {server.stats.connections} "
@@ -394,20 +470,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "--engine/--workers are ignored (--secret-file/--tls-cert "
             "still apply: they authenticate this client)"
         )
-        report, stats = asyncio.run(_loadgen_connect(args, behaviors))
+        with _traced_run(args):
+            report, stats = asyncio.run(_loadgen_connect(args, behaviors))
     else:
-        report, stats, _server = asyncio.run(
-            run_service_loadgen(
-                _service_config(args),
-                behaviors,
-                transport="tcp",
-                engine=args.engine,
-                workers=_engine_workers(args),
-                engine_options=_engine_options(args, service_plane=True),
-                security=_service_security(args),
-                concurrency=args.concurrency,
+        with _traced_run(args):
+            report, stats, _server = asyncio.run(
+                run_service_loadgen(
+                    _service_config(args),
+                    behaviors,
+                    transport="tcp",
+                    engine=args.engine,
+                    workers=_engine_workers(args),
+                    engine_options=_engine_options(args, service_plane=True),
+                    security=_service_security(args),
+                    concurrency=args.concurrency,
+                )
             )
-        )
     row = report.summary() | stats.summary()
     del row["participants"]  # duplicated between the two summaries
     print(
@@ -456,6 +534,61 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Fetch a running supervisor's live metrics snapshot.
+
+    Speaks the authenticated service protocol (a ``stats`` frame), so
+    it works wherever a participant could connect — including supervisors
+    with no ``--metrics-port`` exposed.
+    """
+    host, _, port_s = args.connect.rpartition(":")
+    if not host or not port_s.isdigit():
+        print("stats: --connect must be HOST:PORT", file=sys.stderr)
+        return 2
+    security = SecurityConfig.from_options(
+        secret_file=args.secret_file, tls_cert=args.tls_cert
+    )
+
+    async def fetch() -> dict:
+        client = await ServiceClient.open_tcp(
+            host, int(port_s), security=security
+        )
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    snapshot = asyncio.run(fetch())
+    if args.json:
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    rows = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        for sample in metric["values"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(sample["labels"].items())
+            )
+            value = (
+                sample["count"] if metric["type"] == "histogram"
+                else sample["value"]
+            )
+            rows.append(
+                {
+                    "metric": name,
+                    "labels": labels or "-",
+                    "type": metric["type"],
+                    "value": value,
+                }
+            )
+    if rows:
+        print(format_table(rows, title=f"Supervisor metrics — {args.connect}"))
+    else:
+        print("no metrics recorded yet")
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     return run_worker_sync(
         args.host,
@@ -469,6 +602,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         connect_retry_s=args.connect_retry_s,
         secret_file=args.secret_file,
         tls_cert=args.tls_cert,
+        trace=args.trace,
+        metrics_port=args.metrics_port,
     )
 
 
@@ -477,6 +612,16 @@ def _positive_int(value: str) -> int:
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
     return n
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="structured JSON logs at DEBUG with a population-level "
+        "trace id propagated through service frames and cluster job "
+        "envelopes (README 'Observability')",
+    )
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -612,6 +757,13 @@ def _engine_options(
             options["tls_cert"] = args.tls_cert
         if args.tls_key is not None:
             options["tls_key"] = args.tls_key
+    if args.engine == "cluster":
+        # The cluster plane reports into the process-global registry
+        # (so --metrics-port exposes it) and forwards --trace to the
+        # coordinator and its spawn-local workers.
+        options["registry"] = default_registry()
+        if getattr(args, "trace", False):
+            options["trace"] = True
     return options
 
 
@@ -681,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, default=20)
     p.add_argument("--r", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_arg(p)
     _add_engine_args(p)
     p.set_defaults(fn=_cmd_population)
 
@@ -705,6 +858,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--session-ttl", type=float, default=300.0,
                    dest="session_ttl",
                    help="seconds before abandoned sessions are evicted")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   dest="metrics_port",
+                   help="serve /metrics (Prometheus text) and /stats "
+                   "(JSON) on this localhost port (0 picks a free one)")
+    p.add_argument("--stats-interval", type=float, default=None,
+                   dest="stats_interval",
+                   help="log a metrics snapshot line every N seconds")
+    _add_trace_arg(p)
     add_service_args(p)
     p.set_defaults(fn=_cmd_serve, engine="threads")
 
@@ -725,8 +886,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero unless the detection report is clean")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also save throughput/latency results as JSON")
+    _add_trace_arg(p)
     add_service_args(p)
     p.set_defaults(fn=_cmd_loadgen, engine="threads")
+
+    p = sub.add_parser(
+        "stats",
+        help="fetch a running supervisor's live metrics snapshot "
+        "over the authenticated service protocol",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="supervisor address to query")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw JSON snapshot")
+    p.add_argument("--secret-file", default=None, dest="secret_file",
+                   help="shared secret to authenticate with")
+    p.add_argument("--tls-cert", default=None, dest="tls_cert",
+                   help="supervisor TLS certificate to pin")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(
         "worker",
@@ -760,6 +937,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream of a pipe closed early (`repro.cli stats | head`):
+        # point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time, and exit like a well-behaved
+        # filter instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,6 +63,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import logging
 import math
 import os
 import subprocess
@@ -72,9 +73,12 @@ import time
 from collections import deque
 from typing import Any, Callable, Sequence
 
-from repro.engine.executor import Executor, default_workers
+from repro.engine.executor import Executor, _metered_map, default_workers
 from repro.exceptions import CodecError, EngineError, ReproError
 from repro.net.transport import SecurityConfig
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, log_buckets
+from repro.obs.trace import bind_trace, current_trace, new_span_id
 from repro.service.codec import (
     DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
@@ -127,22 +131,33 @@ EWMA_ALPHA = 0.4
 #: headroom under the hard payload cap so regrouped jobs always frame.
 _CHUNK_BYTE_BUDGET = MAX_CLUSTER_PAYLOAD_BYTES // 2
 
+#: Chunk-size histogram buckets: chunk job counts are small powers-ish.
+_CHUNK_JOBS_BUCKETS = tuple(float(1 << i) for i in range(11))
+
+_log = get_logger("cluster.coordinator")
+
 
 class _Job:
-    """One submitted call: payload, caller future, retry accounting."""
+    """One submitted call: payload, caller future, retry accounting.
 
-    __slots__ = ("job_id", "payload", "future", "attempts")
+    ``trace_id`` is the population-level trace the submitting caller
+    had bound (if any); chunks built from this job inherit it.
+    """
+
+    __slots__ = ("job_id", "payload", "future", "attempts", "trace_id")
 
     def __init__(
         self,
         job_id: int,
         payload: bytes,
         future: concurrent.futures.Future,
+        trace_id: str | None = None,
     ) -> None:
         self.job_id = job_id
         self.payload = payload
         self.future = future
         self.attempts = 0
+        self.trace_id = trace_id
 
 
 class _Chunk:
@@ -163,7 +178,8 @@ class _Chunk:
     """
 
     __slots__ = ("chunk_id", "job_ids", "worker_id", "started_at",
-                 "entries", "parts_received", "requeued")
+                 "entries", "parts_received", "requeued",
+                 "trace_id", "span_id")
 
     def __init__(
         self,
@@ -171,6 +187,8 @@ class _Chunk:
         job_ids: tuple[int, ...],
         worker_id: str,
         started_at: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
     ) -> None:
         self.chunk_id = chunk_id
         self.job_ids = job_ids
@@ -179,6 +197,11 @@ class _Chunk:
         self.entries: list[tuple[bool, bytes]] = []  # streamed outcomes
         self.parts_received = 0
         self.requeued = False
+        # Trace of the population this chunk serves; span minted per
+        # chunk at dispatch.  Ride the JobFrame so the worker's records
+        # line up with the coordinator's.
+        self.trace_id = trace_id
+        self.span_id = span_id
 
 
 class _WorkerLink:
@@ -216,6 +239,8 @@ class _Coordinator:
         more_workers_expected: Callable[[], bool],
         security: SecurityConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
+        trace: bool = False,
     ) -> None:
         self.max_frame = max_frame
         self.security = security
@@ -233,19 +258,98 @@ class _Coordinator:
         self.jobs: dict[int, _Job] = {}
         self.chunks: dict[int, _Chunk] = {}
         self.pending: deque[int] = deque()
-        self.jobs_completed = 0
-        self.jobs_requeued = 0
-        self.chunks_completed = 0
-        self.chunks_requeued = 0
-        self.result_parts = 0
-        self.workers_lost = 0
-        self.auth_rejects = 0
+        # job_id -> park time: jobs at max_attempts whose only hope is
+        # a zombie chunk's late result (see _requeue_jobs).  Bounded by
+        # one extra job_timeout of grace in _scan_timeouts.
+        self.parked: dict[int, float] = {}
+        # All scheduling counters live in the registry (one per
+        # executor by default; the CLI injects the process-global one).
+        # The cached label children keep the hot paths to one inc().
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+        jobs = self.registry.counter(
+            "repro_cluster_jobs_total", "Cluster jobs, by event", ("event",)
+        )
+        chunks = self.registry.counter(
+            "repro_cluster_chunks_total", "Cluster chunks, by event", ("event",)
+        )
+        self._m_jobs_completed = jobs.labels(event="completed")
+        self._m_jobs_requeued = jobs.labels(event="requeued")
+        self._m_chunks_completed = chunks.labels(event="completed")
+        self._m_chunks_requeued = chunks.labels(event="requeued")
+        self._m_result_parts = self.registry.counter(
+            "repro_cluster_result_parts_total", "Streamed result sub-frames"
+        )
+        self._m_workers_lost = self.registry.counter(
+            "repro_cluster_workers_lost_total",
+            "Workers dropped (EOF, heartbeat timeout, protocol violation)",
+        )
+        self._m_auth_rejects = self.registry.counter(
+            "repro_auth_failures_total",
+            "Rejected authentication handshakes, by plane",
+            ("plane",),
+        ).labels(plane="cluster")
+        self._m_errors = self.registry.counter(
+            "repro_errors_total",
+            "Errors that dropped a connection or request, by site",
+            ("site",),
+        )
+        self._m_workers_live = self.registry.gauge(
+            "repro_cluster_workers_live", "Workers currently registered"
+        )
+        self._m_chunk_jobs = self.registry.histogram(
+            "repro_cluster_chunk_jobs",
+            "Jobs per dispatched chunk (adaptive sizing)",
+            buckets=_CHUNK_JOBS_BUCKETS,
+        )
+        self._m_dispatch_latency = self.registry.histogram(
+            "repro_cluster_chunk_seconds",
+            "Wall-clock from chunk dispatch to accepted result",
+            buckets=log_buckets(1e-3, 100.0),
+        )
+        self._m_worker_rate = self.registry.gauge(
+            "repro_cluster_worker_rate_jobs_per_s",
+            "Per-worker EWMA throughput",
+            ("worker",),
+        )
         self._next_job_id = 0
         self._next_chunk_id = 0
         self._server: asyncio.base_events.Server | None = None
         self._monitor_task: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._send_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Counter views (the pre-registry int attributes, now read-only)
+    # ------------------------------------------------------------------
+
+    @property
+    def jobs_completed(self) -> int:
+        return int(self._m_jobs_completed.value)
+
+    @property
+    def jobs_requeued(self) -> int:
+        return int(self._m_jobs_requeued.value)
+
+    @property
+    def chunks_completed(self) -> int:
+        return int(self._m_chunks_completed.value)
+
+    @property
+    def chunks_requeued(self) -> int:
+        return int(self._m_chunks_requeued.value)
+
+    @property
+    def result_parts(self) -> int:
+        return int(self._m_result_parts.value)
+
+    @property
+    def workers_lost(self) -> int:
+        return int(self._m_workers_lost.value)
+
+    @property
+    def auth_rejects(self) -> int:
+        return int(self._m_auth_rejects.value)
 
     # ------------------------------------------------------------------
     # Lifecycle (awaited from the loop thread)
@@ -300,17 +404,21 @@ class _Coordinator:
         self.jobs.clear()
         self.chunks.clear()
         self.pending.clear()
+        self.parked.clear()
 
     # ------------------------------------------------------------------
     # Submission (scheduled onto the loop via call_soon_threadsafe)
     # ------------------------------------------------------------------
 
     def submit(
-        self, payload: bytes, future: concurrent.futures.Future
+        self,
+        payload: bytes,
+        future: concurrent.futures.Future,
+        trace_id: str | None = None,
     ) -> None:
         job_id = self._next_job_id
         self._next_job_id += 1
-        self.jobs[job_id] = _Job(job_id, payload, future)
+        self.jobs[job_id] = _Job(job_id, payload, future, trace_id=trace_id)
         self.pending.append(job_id)
         self._pump()
 
@@ -326,6 +434,7 @@ class _Coordinator:
             link.ewma_rate = (
                 EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * link.ewma_rate
             )
+        self._m_worker_rate.labels(worker=link.worker_id).set(link.ewma_rate)
 
     def _chunk_size(self, link: _WorkerLink) -> int:
         """How many jobs the next chunk for this worker should carry.
@@ -382,14 +491,35 @@ class _Coordinator:
                 self._next_chunk_id += 1
                 for job in chunk_jobs:
                     job.attempts += 1
+                trace_id = next(
+                    (j.trace_id for j in chunk_jobs if j.trace_id), None
+                )
+                span_id = (
+                    new_span_id()
+                    if (trace_id is not None or self.trace)
+                    else None
+                )
                 chunk = _Chunk(
                     chunk_id,
                     tuple(job.job_id for job in chunk_jobs),
                     link.worker_id,
                     now,
+                    trace_id=trace_id,
+                    span_id=span_id,
                 )
                 self.chunks[chunk_id] = chunk
                 link.inflight.add(chunk_id)
+                self._m_chunk_jobs.observe(len(chunk_jobs))
+                with bind_trace(chunk.trace_id, chunk.span_id):
+                    log_event(
+                        _log,
+                        "chunk_dispatched",
+                        level=logging.DEBUG,
+                        chunk=chunk_id,
+                        worker=link.worker_id,
+                        jobs=len(chunk_jobs),
+                        attempt=max(j.attempts for j in chunk_jobs),
+                    )
                 payloads = tuple(job.payload for job in chunk_jobs)
                 task = asyncio.ensure_future(
                     self._send_chunk(link, chunk, payloads)
@@ -403,7 +533,10 @@ class _Coordinator:
     ) -> None:
         try:
             frame = JobFrame(
-                job_id=chunk.chunk_id, payload=encode_cluster_chunk(payloads)
+                job_id=chunk.chunk_id,
+                payload=encode_cluster_chunk(payloads),
+                trace_id=chunk.trace_id,
+                span_id=chunk.span_id,
             )
         except CodecError as exc:
             # The byte budget makes this unreachable in practice; if a
@@ -437,8 +570,15 @@ class _Coordinator:
                 # before any envelope — JSON or pickle — is decoded.
                 try:
                     await self.security.authenticate_inbound(reader, writer)
-                except (ReproError, ConnectionError, OSError):
-                    self.auth_rejects += 1
+                except (ReproError, ConnectionError, OSError) as exc:
+                    self._m_auth_rejects.inc()
+                    log_event(
+                        _log,
+                        "auth_failure",
+                        level=logging.WARNING,
+                        plane="cluster",
+                        error=str(exc),
+                    )
                     return
             frame = await read_frame(reader, max_frame=self.max_frame)
             if not isinstance(frame, WorkerHello):
@@ -465,6 +605,13 @@ class _Coordinator:
                 now=self.clock(),
             )
             self.workers[link.worker_id] = link
+            self._m_workers_live.set(len(self.workers))
+            log_event(
+                _log,
+                "worker_registered",
+                worker=link.worker_id,
+                capacity=link.capacity,
+            )
             self._pump()
             while True:
                 frame = await read_frame(reader, max_frame=self.max_frame)
@@ -482,8 +629,17 @@ class _Coordinator:
                 # Anything else from a registered worker is ignored.
                 if self.workers.get(link.worker_id) is not link:
                     return  # dropped for a protocol violation mid-loop
-        except (ReproError, ConnectionError, OSError):
-            pass  # a misbehaving/dying worker never takes the pool down
+        except (ReproError, ConnectionError, OSError) as exc:
+            # A misbehaving/dying worker never takes the pool down —
+            # but the drop is counted and logged, never silent.
+            self._m_errors.labels(site="cluster.worker_conn").inc()
+            log_event(
+                _log,
+                "worker_connection_error",
+                level=logging.WARNING,
+                worker=link.worker_id if link is not None else None,
+                error=str(exc),
+            )
         finally:
             if link is not None:
                 self._drop_worker(link)
@@ -560,7 +716,7 @@ class _Coordinator:
             self._drop_worker(link)  # more outcomes than jobs: nonsense
             return
         chunk.parts_received += 1
-        self.result_parts += 1
+        self._m_result_parts.inc()
         chunk.entries.extend(entries)
 
     def _on_result_end(
@@ -579,7 +735,16 @@ class _Coordinator:
             # the whole chunk (attempts bound a deterministic repeat).
             # A zombie's jobs are already back in the queue.
             if not chunk.requeued:
-                self.chunks_requeued += 1
+                self._m_chunks_requeued.inc()
+                with bind_trace(chunk.trace_id, chunk.span_id):
+                    log_event(
+                        _log,
+                        "chunk_requeued",
+                        level=logging.WARNING,
+                        chunk=chunk.chunk_id,
+                        worker=link.worker_id,
+                        reason="incomplete_stream",
+                    )
                 self._requeue_jobs(chunk.job_ids)
             self._pump()
             return
@@ -606,7 +771,18 @@ class _Coordinator:
             return
         elapsed = max(self.clock() - chunk.started_at, 1e-9)
         self._observe_rate(link, len(chunk.job_ids) / elapsed)
-        self.chunks_completed += 1
+        self._m_chunks_completed.inc()
+        self._m_dispatch_latency.observe(elapsed)
+        with bind_trace(chunk.trace_id, chunk.span_id):
+            log_event(
+                _log,
+                "chunk_completed",
+                level=logging.DEBUG,
+                chunk=chunk.chunk_id,
+                worker=link.worker_id,
+                jobs=len(chunk.job_ids),
+                elapsed_s=round(elapsed, 6),
+            )
         for job_id, (ok, payload) in zip(chunk.job_ids, entries):
             job = self.jobs.pop(job_id, None)
             if job is None or job.future.done():
@@ -614,7 +790,7 @@ class _Coordinator:
                 # drop the bookkeeping so a long-lived pool cannot
                 # accumulate it.
                 continue
-            self.jobs_completed += 1
+            self._m_jobs_completed.inc()
             if ok:
                 try:
                     result = decode_cluster_payload(payload)
@@ -655,7 +831,15 @@ class _Coordinator:
     def _drop_worker(self, link: _WorkerLink) -> None:
         if self.workers.get(link.worker_id) is link:
             del self.workers[link.worker_id]
-            self.workers_lost += 1
+            self._m_workers_lost.inc()
+            self._m_workers_live.set(len(self.workers))
+            log_event(
+                _log,
+                "worker_lost",
+                level=logging.WARNING,
+                worker=link.worker_id,
+                inflight_chunks=len(link.inflight),
+            )
         with contextlib.suppress(Exception):
             link.writer.close()
         # Sorted so jobs re-enter the queue in submission order — the
@@ -680,7 +864,16 @@ class _Coordinator:
             return
         if chunk.requeued:
             return  # zombie: its jobs were already requeued at timeout
-        self.chunks_requeued += 1
+        self._m_chunks_requeued.inc()
+        with bind_trace(chunk.trace_id, chunk.span_id):
+            log_event(
+                _log,
+                "chunk_requeued",
+                level=logging.WARNING,
+                chunk=chunk.chunk_id,
+                worker=chunk.worker_id,
+                reason="worker_lost",
+            )
         self._requeue_jobs(chunk.job_ids)
 
     def _requeue_jobs(self, job_ids: Sequence[int]) -> None:
@@ -694,6 +887,14 @@ class _Coordinator:
                 del self.jobs[job_id]
                 continue
             if job.attempts >= self.max_attempts:
+                if self._zombie_holds(job_id):
+                    # Every assignment is spent, but a timed-out copy
+                    # is still running on a live worker and first
+                    # result wins: park the job for one more grace
+                    # window (_scan_timeouts) rather than failing it
+                    # while an answer may be seconds away.
+                    self.parked.setdefault(job_id, self.clock())
+                    continue
                 del self.jobs[job_id]
                 job.future.set_exception(
                     EngineError(
@@ -702,8 +903,21 @@ class _Coordinator:
                     )
                 )
                 continue
-            self.jobs_requeued += 1
+            self._m_jobs_requeued.inc()
             self.pending.appendleft(job_id)
+
+    def _zombie_holds(self, job_id: int) -> bool:
+        """True if a live worker's zombie chunk still carries this job.
+
+        Such a chunk timed out but its link is up, so its late result
+        can still resolve the job (first result wins).
+        """
+        return any(
+            chunk.requeued
+            and chunk.worker_id in self.workers
+            and job_id in chunk.job_ids
+            for chunk in self.chunks.values()
+        )
 
     def _scan_timeouts(self, now: float) -> None:
         """Requeue chunks stuck past their (size-scaled) job timeout.
@@ -714,6 +928,12 @@ class _Coordinator:
         worker that eventually answers is progress, not garbage.
         Zombies whose jobs have all been resolved elsewhere are GC'd
         here, so a long-lived pool cannot accumulate them.
+
+        Parked jobs (out of assignments, waiting only on a zombie's
+        late result) are swept last: they fail once their grace window
+        expires or the last zombie holding them dies, so a hung worker
+        still bounds every job at roughly
+        ``(max_attempts + 1) * job_timeout``.
         """
         if self.job_timeout is None:
             return
@@ -728,11 +948,38 @@ class _Coordinator:
             budget = self.job_timeout * max(1, len(chunk.job_ids))
             if now - chunk.started_at > budget:
                 chunk.requeued = True
-                self.chunks_requeued += 1
+                self._m_chunks_requeued.inc()
+                with bind_trace(chunk.trace_id, chunk.span_id):
+                    log_event(
+                        _log,
+                        "chunk_requeued",
+                        level=logging.WARNING,
+                        chunk=chunk.chunk_id,
+                        worker=chunk.worker_id,
+                        reason="timeout",
+                    )
                 link = self.workers.get(chunk.worker_id)
                 if link is not None:
                     link.inflight.discard(chunk.chunk_id)
                 self._requeue_jobs(chunk.job_ids)
+        for job_id, since in list(self.parked.items()):
+            if job_id not in self.jobs:
+                del self.parked[job_id]  # a zombie's copy won the race
+                continue
+            if (
+                now - since <= self.job_timeout
+                and self._zombie_holds(job_id)
+            ):
+                continue
+            del self.parked[job_id]
+            job = self.jobs.pop(job_id)
+            if not job.future.done():
+                job.future.set_exception(
+                    EngineError(
+                        f"cluster job {job_id} failed after "
+                        f"{job.attempts} assignments"
+                    )
+                )
 
     async def _monitor(self) -> None:
         interval = min(self.heartbeat_timeout / 4.0, 0.25)
@@ -831,6 +1078,8 @@ class ClusterExecutor(Executor):
         tls_key: str | None = None,
         startup_timeout: float = 60.0,
         max_frame: int = MAX_CLUSTER_FRAME_BYTES,
+        registry: MetricsRegistry | None = None,
+        trace: bool = False,
     ) -> None:
         if workers is not None and workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
@@ -917,6 +1166,8 @@ class ClusterExecutor(Executor):
         self._stream_threshold = stream_threshold
         self._startup_timeout = startup_timeout
         self._max_frame = max_frame
+        self._registry = registry
+        self._trace = trace
 
         self._lock = threading.Lock()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -980,13 +1231,14 @@ class ClusterExecutor(Executor):
             if self._closed:
                 raise EngineError("cluster executor already closed")
             return []
-        futures = [self.submit(fn, item) for item in items]
-        try:
-            return [future.result() for future in futures]
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+        with _metered_map(self.name, len(items)):
+            futures = [self.submit(fn, item) for item in items]
+            try:
+                return [future.result() for future in futures]
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
 
     def submit(self, fn, /, *args, **kwargs) -> concurrent.futures.Future:
         """Ship one call to the cluster; returns a waitable future."""
@@ -994,7 +1246,12 @@ class ClusterExecutor(Executor):
         payload = encode_cluster_payload((fn, args, kwargs))
         future: concurrent.futures.Future = concurrent.futures.Future()
         assert self._loop is not None and self._co is not None
-        self._loop.call_soon_threadsafe(self._co.submit, payload, future)
+        # The caller's trace context lives in this thread's contextvars;
+        # the coordinator runs on its own loop thread, so the id is
+        # captured here and handed over explicitly.
+        self._loop.call_soon_threadsafe(
+            self._co.submit, payload, future, current_trace()
+        )
         return future
 
     @property
@@ -1065,6 +1322,8 @@ class ClusterExecutor(Executor):
                 chunk_target_s=self._chunk_target_s,
                 more_workers_expected=self._more_workers_expected,
                 security=self._security,
+                registry=self._registry,
+                trace=self._trace,
             )
             try:
                 self._address = asyncio.run_coroutine_threadsafe(
@@ -1111,6 +1370,8 @@ class ClusterExecutor(Executor):
                 cmd += ["--secret-file", self._secret_file]
             if self._tls_cert is not None:
                 cmd += ["--tls-cert", self._tls_cert]
+            if self._trace:
+                cmd += ["--trace"]
             self._procs.append(
                 subprocess.Popen(
                     cmd, env=env, stdout=subprocess.DEVNULL

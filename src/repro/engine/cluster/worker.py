@@ -36,6 +36,7 @@ import argparse
 import asyncio
 import contextlib
 import functools
+import logging
 import os
 import secrets
 import signal
@@ -50,6 +51,10 @@ from repro.net.transport import (
     heartbeat_loop,
     open_connection,
 )
+from repro.obs.http import MetricsServer
+from repro.obs.logging import configure_logging, get_logger, log_event
+from repro.obs.metrics import LATENCY_BUCKETS, default_registry
+from repro.obs.trace import bind_trace
 from repro.service.codec import (
     DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
@@ -70,6 +75,36 @@ from repro.service.codec import (
 
 #: Default seconds between liveness beacons.
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+_log = get_logger("cluster.worker")
+
+# Worker-side instruments live on the process-global registry: one
+# worker daemon is one process, so there is no instance to scope to,
+# and ``--metrics-port`` scrapes exactly this registry.
+_metrics_handles: tuple | None = None
+
+
+def _worker_metrics():
+    global _metrics_handles
+    if _metrics_handles is None:
+        reg = default_registry()
+        _metrics_handles = (
+            reg.counter(
+                "repro_worker_chunks_total",
+                "Chunks executed by this worker, by outcome",
+                ("outcome",),
+            ),
+            reg.counter(
+                "repro_worker_jobs_total",
+                "Jobs executed by this worker (chunk entries)",
+            ),
+            reg.histogram(
+                "repro_worker_dispatch_seconds",
+                "Seconds a chunk waits for a local pool slot",
+                buckets=LATENCY_BUCKETS,
+            ),
+        )
+    return _metrics_handles
 
 
 def default_worker_id() -> str:
@@ -243,8 +278,20 @@ async def run_worker(
 
         async def run_job(frame: JobFrame) -> None:
             nonlocal jobs_done
+            m_chunks, m_jobs, m_dispatch = _worker_metrics()
+            queued_at = time.perf_counter()
             try:
                 async with slots:
+                    m_dispatch.observe(time.perf_counter() - queued_at)
+                    with bind_trace(frame.trace_id, frame.span_id):
+                        log_event(
+                            _log,
+                            "chunk_executing",
+                            level=logging.DEBUG,
+                            chunk=frame.job_id,
+                            worker=worker_id,
+                        )
+                    started = time.perf_counter()
                     # futures_pool is None on the serial engine; the
                     # loop's default thread pool keeps heartbeats alive
                     # during compute either way.
@@ -257,6 +304,16 @@ async def run_worker(
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
+                m_chunks.labels(outcome="error").inc()
+                with bind_trace(frame.trace_id, frame.span_id):
+                    log_event(
+                        _log,
+                        "chunk_failed",
+                        level=logging.WARNING,
+                        chunk=frame.job_id,
+                        worker=worker_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 # The survival contract: a chunk envelope that does not
                 # decode (CodecError) — or any other chunk-level
                 # surprise — comes back as data, never a worker crash.
@@ -273,6 +330,18 @@ async def run_worker(
                 )
                 return
             jobs_done += len(entries)
+            m_chunks.labels(outcome="ok").inc()
+            m_jobs.inc(len(entries))
+            with bind_trace(frame.trace_id, frame.span_id):
+                log_event(
+                    _log,
+                    "chunk_executed",
+                    level=logging.DEBUG,
+                    chunk=frame.job_id,
+                    worker=worker_id,
+                    jobs=len(entries),
+                    elapsed_s=round(time.perf_counter() - started, 6),
+                )
             try:
                 parts = pack_outcome_parts(entries, stream_threshold)
                 if len(parts) == 1:
@@ -419,6 +488,15 @@ def add_worker_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tls-cert", default=None, dest="tls_cert",
                         help="path to the coordinator's TLS certificate "
                         "(pinned as the trust anchor; enables TLS)")
+    parser.add_argument("--trace", action="store_true",
+                        help="emit structured JSON log records (DEBUG) "
+                        "carrying the trace/span ids each chunk arrived "
+                        "with — the worker half of a --trace run")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        dest="metrics_port",
+                        help="serve this worker's /metrics (Prometheus "
+                        "text) and /stats (JSON) on this localhost port "
+                        "(0 picks a free one)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -443,14 +521,21 @@ def run_worker_sync(
     connect_retry_s: float = 0.0,
     secret_file: str | None = None,
     tls_cert: str | None = None,
+    trace: bool = False,
+    metrics_port: int | None = None,
 ) -> int:
     """Blocking daemon wrapper with graceful SIGINT/SIGTERM exit.
 
     The shared entry point behind ``python -m repro.cli worker`` and
     ``python -m repro.engine.cluster.worker``; returns a process exit
     code.  ``secret_file``/``tls_cert`` are the operator-distributed
-    security material (see README "Security model").
+    security material (see README "Security model").  ``trace`` turns
+    on JSON logging at DEBUG so chunk execution records (with the
+    coordinator's trace/span ids) reach stderr; ``metrics_port``
+    serves the worker's registry over localhost HTTP.
     """
+    if trace:
+        configure_logging(json=True, level=logging.DEBUG)
     try:
         security = SecurityConfig.from_options(
             secret_file=secret_file, tls_cert=tls_cert
@@ -487,11 +572,22 @@ def run_worker_sync(
             for sig in handled:
                 loop.remove_signal_handler(sig)
 
+    metrics_server: MetricsServer | None = None
+    if metrics_port is not None:
+        metrics_server = MetricsServer(default_registry(), port=metrics_port)
+        print(
+            f"cluster worker metrics on http://127.0.0.1:"
+            f"{metrics_server.port}/metrics",
+            flush=True,
+        )
     try:
         jobs_done = asyncio.run(runner())
     except (ReproError, ConnectionError, OSError) as exc:
         print(f"cluster worker failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     print(f"cluster worker done ({jobs_done} jobs)", flush=True)
     return 0
 
@@ -511,6 +607,8 @@ def main(argv: list[str] | None = None) -> int:
         connect_retry_s=args.connect_retry_s,
         secret_file=args.secret_file,
         tls_cert=args.tls_cert,
+        trace=args.trace,
+        metrics_port=args.metrics_port,
     )
 
 

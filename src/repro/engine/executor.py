@@ -29,9 +29,49 @@ from concurrent import futures as _futures
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.exceptions import EngineError
+from repro.obs.metrics import default_registry
 
 #: Registry names accepted by :func:`get_executor`.
 ENGINE_NAMES = ("serial", "threads", "processes", "cluster")
+
+# Engine instruments live on the process-global registry (an executor
+# has no natural owner to scope to) and are created on first map(),
+# not at import.  Metering is per-map, not per-item: one counter add
+# for a whole batch keeps the engine hot path unmetered.
+_metrics_handles: tuple | None = None
+
+
+def _engine_metrics():
+    global _metrics_handles
+    if _metrics_handles is None:
+        reg = default_registry()
+        _metrics_handles = (
+            reg.counter(
+                "repro_engine_tasks_total",
+                "Engine map items, by backend and event",
+                ("engine", "event"),
+            ),
+            reg.gauge(
+                "repro_engine_inflight_maps",
+                "map() calls currently executing, by backend "
+                "(saturation proxy)",
+                ("engine",),
+            ),
+        )
+    return _metrics_handles
+
+
+@contextlib.contextmanager
+def _metered_map(engine: str, n_items: int) -> Iterator[None]:
+    """Count one map() batch: items submitted/completed + inflight."""
+    tasks, inflight = _engine_metrics()
+    tasks.labels(engine=engine, event="submitted").inc(n_items)
+    inflight.labels(engine=engine).inc()
+    try:
+        yield
+        tasks.labels(engine=engine, event="completed").inc(n_items)
+    finally:
+        inflight.labels(engine=engine).dec()
 
 
 def default_workers() -> int:
@@ -107,7 +147,8 @@ class SerialExecutor(Executor):
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[Any]:
-        return [fn(item) for item in items]
+        with _metered_map(self.name, len(items)):
+            return [fn(item) for item in items]
 
 
 def _noop() -> None:
@@ -141,7 +182,8 @@ class _PooledExecutor(Executor):
             return []
         if self._pool is None:
             self._pool = self._make_pool()
-        return list(self._pool.map(fn, items))
+        with _metered_map(self.name, len(items)):
+            return list(self._pool.map(fn, items))
 
     @property
     def futures_pool(self) -> _futures.Executor:

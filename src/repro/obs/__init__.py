@@ -1,0 +1,83 @@
+"""Unified observability plane: metrics, traces, structured logs.
+
+Before this package each plane kept private ad-hoc counters
+(``ServiceStats``, ``SessionStore.stats``, the coordinator's stats
+dict) with no shared schema, no histograms, and no way to follow one
+population's chunk from coordinator dispatch through worker execution
+to result acceptance.  This is the one substrate they all use now:
+
+* :mod:`repro.obs.metrics` — thread-safe labelled counters, gauges and
+  log-bucket histograms in a :class:`MetricsRegistry`; per-instance
+  registries for tests/embedding, one process-global default registry
+  (:func:`default_registry`) for the CLI entry points.
+* :mod:`repro.obs.trace` — ``trace_id``/``span_id`` minting and
+  contextvars binding; the ids ride optional wire fields so old peers
+  ignore them.
+* :mod:`repro.obs.logging` — structured (optionally JSON) log records
+  under the ``repro`` logger hierarchy, NullHandler by default,
+  trace ids stamped automatically.
+* :mod:`repro.obs.http` — the ``--metrics-port`` scrape endpoint
+  (``/metrics`` Prometheus text, ``/stats`` JSON).
+
+Layering rule: :mod:`repro.obs` imports nothing from any other
+``repro`` subpackage except nothing at all — it sits below
+:mod:`repro.net` and everything else stands on it.
+"""
+
+from repro.obs.http import MetricsServer
+from repro.obs.logging import (
+    JsonFormatter,
+    TraceContextFilter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MAX_LABEL_SETS_PER_METRIC,
+    OVERFLOW_LABEL_VALUE,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    log_buckets,
+)
+from repro.obs.trace import (
+    MAX_TRACE_ID_LEN,
+    bind_trace,
+    current_span,
+    current_trace,
+    new_span_id,
+    new_trace_id,
+)
+
+__all__ = [
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "default_registry",
+    "log_buckets",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "MAX_LABEL_SETS_PER_METRIC",
+    "OVERFLOW_LABEL_VALUE",
+    # trace
+    "new_trace_id",
+    "new_span_id",
+    "bind_trace",
+    "current_trace",
+    "current_span",
+    "MAX_TRACE_ID_LEN",
+    # logging
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "TraceContextFilter",
+    "JsonFormatter",
+    # http
+    "MetricsServer",
+]

@@ -1,0 +1,85 @@
+"""Plaintext HTTP scrape endpoint for a metrics registry.
+
+``--metrics-port`` on ``serve`` and ``worker`` starts one of these: a
+stdlib :class:`ThreadingHTTPServer` on a daemon thread serving
+
+* ``GET /metrics`` — Prometheus text exposition
+  (:meth:`MetricsRegistry.render_prometheus`), and
+* ``GET /stats`` — the JSON snapshot (:meth:`MetricsRegistry.snapshot`).
+
+This endpoint is deliberately *read-only and unauthenticated* —
+standard Prometheus practice — so it must be bound to a trusted
+interface (default loopback).  Metrics expose operational counts, not
+task payloads or secrets.  The authenticated path to the same data is
+the service-protocol ``stats`` frame.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+
+class MetricsServer:
+    """A daemon-thread HTTP server exposing one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.registry = registry
+
+        server_ref = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = server_ref.registry.render_prometheus().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/stats":
+                    body = json.dumps(server_ref.registry.snapshot()).encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                # Scrapes are periodic; stderr chatter helps nobody.
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,161 @@
+"""Structured logging with trace ids, silent by default.
+
+Everything under the ``repro`` logger hierarchy follows the
+library-friendly contract: a :class:`logging.NullHandler` is installed
+at import so embedding applications hear nothing unless they opt in,
+and :func:`configure_logging` is the one opt-in switch the CLI flips —
+plain one-line text for humans, or one JSON object per line
+(``json=True``) for machines.
+
+Every record is stamped with the trace/span ids bound in the current
+context (see :mod:`repro.obs.trace`) by a logging filter, so the
+coordinator's dispatch record, the worker's execution record, and the
+coordinator's acceptance record for one chunk all carry the same
+``trace_id`` with zero plumbing at the call sites.
+
+Call sites use :func:`log_event`: an ``event`` name plus flat
+key=value fields, which lands as ``extra`` structured fields in JSON
+mode and as a readable suffix in text mode.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any
+
+from repro.obs.trace import current_span, current_trace
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "TraceContextFilter",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+# Attributes a vanilla LogRecord carries; anything beyond these came in
+# via ``extra`` and belongs in the structured payload.
+_STANDARD_RECORD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp the context-bound trace/span ids onto every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "trace_id"):
+            trace_id = current_trace()
+            if trace_id is not None:
+                record.trace_id = trace_id
+        if not hasattr(record, "span_id"):
+            span_id = current_span()
+            if span_id is not None:
+                record.span_id = span_id
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, event fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in vars(record).items():
+            if key in _STANDARD_RECORD_ATTRS or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable line with the structured fields as k=v suffix."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname:<7} {record.name}: {record.getMessage()}"
+        )
+        fields = [
+            f"{key}={value}"
+            for key, value in vars(record).items()
+            if key not in _STANDARD_RECORD_ATTRS and not key.startswith("_")
+        ]
+        if fields:
+            base += "  [" + " ".join(fields) + "]"
+        if record.exc_info and record.exc_info[0] is not None:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    *,
+    json: bool = False,
+    level: int | str = logging.INFO,
+    stream: Any = None,
+) -> logging.Handler:
+    """Attach one real handler to the ``repro`` hierarchy.
+
+    Idempotent in effect: previously configured handlers (from an
+    earlier call) are removed first, so reconfiguring never
+    double-emits.  Returns the installed handler so tests and the CLI
+    can detach or flush it.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.addFilter(TraceContextFilter())
+    handler.setFormatter(JsonFormatter() if json else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit one structured record: ``event`` name + flat fields."""
+    if not logger.isEnabledFor(level):
+        return
+    extra: dict[str, Any] = {"event": event}
+    # Stamp trace ids at the call site too (not only in the handler
+    # filter) so records keep their ids through any foreign handler a
+    # test or embedding application attaches.
+    trace_id = current_trace()
+    if trace_id is not None:
+        extra["trace_id"] = trace_id
+    span_id = current_span()
+    if span_id is not None:
+        extra["span_id"] = span_id
+    extra.update(fields)
+    logger.log(level, event, extra=extra)
+
+
+# Library contract: silent unless the application opts in.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

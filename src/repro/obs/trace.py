@@ -1,0 +1,83 @@
+"""Trace contexts: follow one population's chunk across three processes.
+
+A ``trace_id`` is minted once per population (or per loadgen
+participant session) and a ``span_id`` per unit of work — one cluster
+chunk, one service submission round.  Both ride as *optional* fields
+in the existing wire envelopes (service JSON frames, cluster
+job/result envelopes), so old peers simply ignore them, and both are
+bound into :mod:`contextvars` so every structured log record emitted
+while a chunk executes — coordinator dispatch, worker execution,
+result acceptance — carries the same ids without any plumbing through
+intermediate call signatures.
+
+Ids are short hex tokens (not W3C traceparent): 16 hex chars for
+traces, 8 for spans, random via :mod:`secrets`.  Enough entropy to be
+unique within any realistic run, short enough to read in a log line.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import secrets
+from typing import Iterator
+
+__all__ = [
+    "MAX_TRACE_ID_LEN",
+    "new_trace_id",
+    "new_span_id",
+    "bind_trace",
+    "current_trace",
+    "current_span",
+]
+
+# Wire validation cap: anything longer than this in a tid/sid field is
+# a protocol violation, not a trace id.
+MAX_TRACE_ID_LEN = 64
+
+_trace_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+_span_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_span_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """Fresh 64-bit trace id, hex-encoded."""
+    return secrets.token_hex(8)
+
+
+def new_span_id() -> str:
+    """Fresh 32-bit span id, hex-encoded."""
+    return secrets.token_hex(4)
+
+
+def current_trace() -> str | None:
+    """The trace id bound to the current context, if any."""
+    return _trace_id.get()
+
+
+def current_span() -> str | None:
+    """The span id bound to the current context, if any."""
+    return _span_id.get()
+
+
+@contextlib.contextmanager
+def bind_trace(
+    trace_id: str | None, span_id: str | None = None
+) -> Iterator[None]:
+    """Bind trace/span ids for the dynamic extent of a block.
+
+    ``None`` for either id leaves that slot unbound (records emitted
+    inside simply omit the field).  Bindings nest and restore on exit,
+    so a worker thread serving chunks from different populations never
+    leaks one chunk's ids into the next.
+    """
+    trace_token = _trace_id.set(trace_id)
+    span_token = _span_id.set(span_id)
+    try:
+        yield
+    finally:
+        _span_id.reset(span_token)
+        _trace_id.reset(trace_token)

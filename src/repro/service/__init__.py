@@ -49,6 +49,8 @@ from repro.service.codec import (
     JobFrame,
     ProofsFrame,
     ResultFrame,
+    StatsReply,
+    StatsRequest,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
@@ -107,6 +109,8 @@ __all__ = [
     "HeartbeatFrame",
     "JobFrame",
     "ResultFrame",
+    "StatsRequest",
+    "StatsReply",
     "ByeFrame",
     "encode_frame",
     "decode_frame",

@@ -31,6 +31,13 @@ from repro.exceptions import ProtocolError
 from repro.merkle.hashing import get_hash
 from repro.merkle.tree import LeafEncoding
 from repro.net.transport import SecurityConfig, open_connection
+from repro.obs.logging import get_logger, log_event
+from repro.obs.trace import (
+    bind_trace,
+    current_span,
+    current_trace,
+    new_span_id,
+)
 from repro.service.codec import (
     MAX_FRAME_BYTES,
     ChallengeFrame,
@@ -38,6 +45,8 @@ from repro.service.codec import (
     ErrorFrame,
     Frame,
     ProofsFrame,
+    StatsReply,
+    StatsRequest,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
@@ -48,6 +57,8 @@ from repro.service.codec import (
 )
 from repro.tasks.domain import RangeDomain
 from repro.tasks.result import TaskAssignment
+
+_log = get_logger("client")
 
 
 @dataclass
@@ -150,9 +161,29 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
 
+    async def stats(self) -> dict:
+        """Fetch the supervisor's live metrics snapshot."""
+        await self._send(StatsRequest())
+        reply = await self._recv(StatsReply)
+        assert isinstance(reply, StatsReply)
+        return reply.stats
+
     async def request_task(self, participant: int | None = None) -> TaskAssign:
-        """Ask for a slot; returns the supervisor's assign frame."""
-        await self._send(TaskRequest(participant=participant))
+        """Ask for a slot; returns the supervisor's assign frame.
+
+        When a trace is bound in the calling context, its id plus a
+        fresh per-round span id ride the request, so supervisor-side
+        records for this task correlate with the client's.
+        """
+        trace_id = current_trace()
+        span_id = (
+            (current_span() or new_span_id()) if trace_id is not None else None
+        )
+        await self._send(
+            TaskRequest(
+                participant=participant, trace_id=trace_id, span_id=span_id
+            )
+        )
         assign = await self._recv(TaskAssign)
         n = assign.domain_stop - assign.domain_start
         if n != assign.assign.n_inputs:
@@ -183,7 +214,24 @@ class ServiceClient:
         for the CPU-heavy participant side (evaluating ``f``, building
         the Merkle tree) so a load generator's event loop stays
         responsive; ``None`` computes inline.
+
+        When the caller has a trace bound, the whole round runs under
+        a fresh span so client records and the supervisor's verdict
+        record share ids.
         """
+        trace_id = current_trace()
+        span_id = new_span_id() if trace_id is not None else None
+        with bind_trace(trace_id, span_id):
+            return await self._run_participant(
+                behavior, participant, compute_pool
+            )
+
+    async def _run_participant(
+        self,
+        behavior: Behavior,
+        participant: int | None = None,
+        compute_pool=None,
+    ) -> ParticipantRun:
         start = time.perf_counter()
         assign = await self.request_task(participant)
         assignment = self.build_assignment(assign)
@@ -235,6 +283,13 @@ class ServiceClient:
                 f"expected {assignment.task_id!r}"
             )
         assert session.work is not None
+        log_event(
+            _log,
+            "round_complete",
+            task_id=assignment.task_id,
+            participant=assign.participant,
+            accepted=verdict.msg.accepted,
+        )
         return ParticipantRun(
             participant=assign.participant,
             task_id=assignment.task_id,

@@ -79,6 +79,8 @@ from repro.core.protocol import (
     VerdictMsg,
 )
 from repro.exceptions import CodecError, ProtocolError
+from repro.obs.metrics import SIZE_BUCKETS, default_registry
+from repro.obs.trace import MAX_TRACE_ID_LEN
 from repro.net.framing import (
     DEFAULT_STREAM_THRESHOLD_BYTES as DEFAULT_STREAM_THRESHOLD_BYTES,
     FRAME_HEADER_BYTES as FRAME_HEADER_BYTES,
@@ -113,7 +115,10 @@ from repro.tasks.workloads import (
 #: format; bumping this number fences off incompatible deployments.
 #: v2: ``job`` payloads became multi-job chunks and results gained the
 #: ``result_part``/``result_end`` streaming frames.
-CLUSTER_WIRE_VERSION = 2
+#: v3: frames may carry optional ``tid``/``sid`` trace-context fields
+#: (absent unless tracing is on; decoders treat them as optional, so
+#: the payload format itself is unchanged).
+CLUSTER_WIRE_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -151,9 +156,14 @@ class TaskRequest:
 
     ``participant`` pins a specific slot (the load generator does this
     so runs are reproducible); ``None`` asks for the next free one.
+    ``trace_id``/``span_id`` are the optional trace context the client
+    minted for this session; the supervisor attaches them to every log
+    record and verdict for the task.  Old servers ignore the fields.
     """
 
     participant: int | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -226,11 +236,21 @@ class HeartbeatFrame:
 
 @dataclass(frozen=True)
 class JobFrame:
-    """Coordinator → worker: one chunk of work (pickled payload)."""
+    """Coordinator → worker: one chunk of work (pickled payload).
+
+    ``trace_id``/``span_id`` are the optional trace context of the
+    population this chunk belongs to (trace) and of the chunk itself
+    (span); the worker binds them around execution so its log records
+    line up with the coordinator's dispatch/acceptance records.
+    Results carry no trace fields — the coordinator correlates them by
+    ``job_id``.
+    """
 
     job_id: int
     payload: bytes
     version: int = CLUSTER_WIRE_VERSION
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -279,6 +299,28 @@ class ResultEndFrame:
 
 
 @dataclass(frozen=True)
+class StatsRequest:
+    """Client → supervisor/worker: send me your metrics snapshot.
+
+    Served only on authenticated connections (when the endpoint runs
+    with a shared secret, the auth handshake has already happened
+    before any frame is decoded); the reply is the registry snapshot.
+    """
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Supervisor/worker → client: one registry snapshot.
+
+    ``stats`` is the plain-dict form of
+    :meth:`repro.obs.MetricsRegistry.snapshot` — JSON all the way
+    down, so it rides the frame envelope without a binary encoding.
+    """
+
+    stats: dict
+
+
+@dataclass(frozen=True)
 class ByeFrame:
     """Either side announces an orderly departure."""
 
@@ -300,6 +342,8 @@ Frame = Union[
     ResultFrame,
     ResultPartFrame,
     ResultEndFrame,
+    StatsRequest,
+    StatsReply,
     ByeFrame,
 ]
 
@@ -343,6 +387,22 @@ def _str_field(obj: dict, key: str) -> str:
     value = obj.get(key)
     if not isinstance(value, str):
         raise ProtocolError(f"frame field {key!r} must be a string")
+    return value
+
+
+def _trace_field(obj: dict, key: str) -> str | None:
+    """Optional trace/span id: absent (or null) is fine, junk is not."""
+    value = obj.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            f"frame field {key!r} must be a non-empty string"
+        )
+    if len(value) > MAX_TRACE_ID_LEN:
+        raise ProtocolError(
+            f"frame field {key!r} exceeds {MAX_TRACE_ID_LEN} chars"
+        )
     return value
 
 
@@ -496,6 +556,10 @@ def _payload_dict(frame: Frame) -> dict:
         obj: dict = {"t": "task_request"}
         if frame.participant is not None:
             obj["participant"] = frame.participant
+        if frame.trace_id is not None:
+            obj["tid"] = frame.trace_id
+        if frame.span_id is not None:
+            obj["sid"] = frame.span_id
         return obj
     if isinstance(frame, TaskAssign):
         return {
@@ -525,12 +589,17 @@ def _payload_dict(frame: Frame) -> dict:
         check_payload_size(
             "job payload", len(frame.payload), MAX_CLUSTER_PAYLOAD_BYTES
         )
-        return {
+        obj = {
             "t": "job",
             "id": frame.job_id,
             "p": _b64(frame.payload),
             "v": frame.version,
         }
+        if frame.trace_id is not None:
+            obj["tid"] = frame.trace_id
+        if frame.span_id is not None:
+            obj["sid"] = frame.span_id
+        return obj
     if isinstance(frame, ResultFrame):
         check_payload_size(
             "result payload", len(frame.payload), MAX_CLUSTER_PAYLOAD_BYTES
@@ -562,6 +631,10 @@ def _payload_dict(frame: Frame) -> dict:
             "parts": frame.parts,
             "v": frame.version,
         }
+    if isinstance(frame, StatsRequest):
+        return {"t": "stats_request"}
+    if isinstance(frame, StatsReply):
+        return {"t": "stats", "stats": frame.stats}
     if isinstance(frame, ByeFrame):
         return {"t": "bye", "reason": frame.reason}
     tag = _FRAME_TAGS.get(type(frame))
@@ -607,7 +680,11 @@ def decode_frame_payload(payload: bytes) -> Frame:
             participant = _int_field(obj, "participant")
             if participant < 0:
                 raise ProtocolError("participant index must be >= 0")
-        return TaskRequest(participant=participant)
+        return TaskRequest(
+            participant=participant,
+            trace_id=_trace_field(obj, "tid"),
+            span_id=_trace_field(obj, "sid"),
+        )
 
     if tag == "assign":
         assign = AssignMsg.decode(_unb64(obj.get("m"), "assign message"))
@@ -680,6 +757,8 @@ def decode_frame_payload(payload: bytes) -> Frame:
             job_id=job_id,
             payload=_cluster_payload_field(obj, "job payload"),
             version=version,
+            trace_id=_trace_field(obj, "tid"),
+            span_id=_trace_field(obj, "sid"),
         )
 
     if tag == "result":
@@ -724,6 +803,15 @@ def decode_frame_payload(payload: bytes) -> Frame:
             )
         return ResultEndFrame(job_id=job_id, parts=parts, version=version)
 
+    if tag == "stats_request":
+        return StatsRequest()
+
+    if tag == "stats":
+        stats = obj.get("stats")
+        if not isinstance(stats, dict):
+            raise ProtocolError("stats frame field 'stats' must be an object")
+        return StatsReply(stats=stats)
+
     if tag == "bye":
         return ByeFrame(reason=_str_field(obj, "reason"))
 
@@ -743,6 +831,54 @@ def decode_frame(data: bytes, max_frame: int = MAX_FRAME_BYTES) -> Frame:
 # Async stream helpers (framing mechanics live in repro.net.framing)
 # ----------------------------------------------------------------------
 
+#: frame class → wire tag, for the per-type frame counter below.
+_WIRE_TAGS: dict[type, str] = {
+    TaskRequest: "task_request",
+    TaskAssign: "assign",
+    ErrorFrame: "error",
+    WorkerHello: "hello",
+    HeartbeatFrame: "heartbeat",
+    JobFrame: "job",
+    ResultFrame: "result",
+    ResultPartFrame: "result_part",
+    ResultEndFrame: "result_end",
+    StatsRequest: "stats_request",
+    StatsReply: "stats",
+    ByeFrame: "bye",
+    **{cls: tag for tag, (cls, _msg) in _MSG_FRAMES.items()},
+}
+
+# Net-plane instrumentation lives on the process-global registry (one
+# transport, one scrape), created lazily so importing the codec never
+# touches the registry.
+_net_frames = None
+_net_bytes = None
+
+
+def _net_metrics():
+    global _net_frames, _net_bytes
+    if _net_frames is None:
+        registry = default_registry()
+        _net_frames = registry.counter(
+            "repro_net_frames_total",
+            "Wire frames read/written, by frame type and direction",
+            ("type", "direction"),
+        )
+        _net_bytes = registry.histogram(
+            "repro_net_frame_payload_bytes",
+            "Frame payload sizes in bytes, by direction",
+            ("direction",),
+            buckets=SIZE_BUCKETS,
+        )
+    return _net_frames, _net_bytes
+
+
+def _record_frame(frame: Frame, payload_len: int, direction: str) -> None:
+    frames, sizes = _net_metrics()
+    tag = _WIRE_TAGS.get(type(frame), "unknown")
+    frames.labels(type=tag, direction=direction).inc()
+    sizes.labels(direction=direction).observe(payload_len)
+
 
 async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> Frame | None:
     """Read one frame from an asyncio stream reader.
@@ -753,11 +889,15 @@ async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES) -> Frame | None:
     payload = await read_frame_bytes(reader, max_frame=max_frame)
     if payload is None:
         return None
-    return decode_frame_payload(payload)
+    frame = decode_frame_payload(payload)
+    _record_frame(frame, len(payload), "in")
+    return frame
 
 
 async def write_frame(
     writer, frame: Frame, max_frame: int = MAX_FRAME_BYTES
 ) -> None:
     """Write one frame and drain — the backpressure point for senders."""
-    await write_frame_bytes(writer, _encode_payload(frame), max_frame=max_frame)
+    payload = _encode_payload(frame)
+    _record_frame(frame, len(payload), "out")
+    await write_frame_bytes(writer, payload, max_frame=max_frame)

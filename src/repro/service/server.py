@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import functools
+import logging
 import time
 from dataclasses import dataclass
 
@@ -50,10 +51,14 @@ from repro.core.protocol import (
 )
 from repro.core.scheme import VerificationOutcome
 from repro.engine import Executor, derive_seed, get_executor
+from repro.engine.executor import _metered_map
 from repro.exceptions import ProtocolError, ReproError
 from repro.merkle.hashing import get_hash
 from repro.net.transport import SecurityConfig
 from repro.merkle.tree import LeafEncoding
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import bind_trace
 from repro.service.codec import (
     MAX_FRAME_BYTES,
     ChallengeFrame,
@@ -61,6 +66,8 @@ from repro.service.codec import (
     ErrorFrame,
     Frame,
     ProofsFrame,
+    StatsReply,
+    StatsRequest,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
@@ -115,15 +122,47 @@ class ServiceConfig:
         resolve_workload(self.workload)  # fail fast on unknown kernels
 
 
-@dataclass
-class ServiceStats:
-    """Live counters exposed for smoke tests and ops curiosity."""
+_log = get_logger("service")
 
-    connections: int = 0
-    frames_in: int = 0
-    verifications: int = 0
-    errors: int = 0
-    auth_failures: int = 0
+
+class ServiceStats:
+    """Compatibility view over the server's metrics registry.
+
+    These used to be a private dataclass of ints; the counts now live
+    in the server's :class:`MetricsRegistry` (one labelled counter per
+    family), and this view keeps the established read API
+    (``server.stats.verifications`` etc.) working unchanged for smoke
+    tests and embedded uses.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    @property
+    def connections(self) -> int:
+        return int(self._registry.value("repro_connections_total"))
+
+    @property
+    def frames_in(self) -> int:
+        return int(
+            self._registry.value("repro_frames_total", direction="in")
+        )
+
+    @property
+    def verifications(self) -> int:
+        return int(self._registry.value("repro_verifications_total"))
+
+    @property
+    def errors(self) -> int:
+        return int(self._registry.sum_values("repro_errors_total"))
+
+    @property
+    def auth_failures(self) -> int:
+        return int(
+            self._registry.value(
+                "repro_auth_failures_total", plane="service"
+            )
+        )
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +292,7 @@ class SupervisorServer:
         max_pending_verifications: int = 128,
         max_frame: int = MAX_FRAME_BYTES,
         clock=time.monotonic,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if queue_size < 1:
             raise ProtocolError(f"queue_size must be >= 1, got {queue_size}")
@@ -273,8 +313,49 @@ class SupervisorServer:
         self._queue_size = queue_size
         self._max_frame = max_frame
         self._verify_slots = asyncio.Semaphore(max_pending_verifications)
-        self.sessions = SessionStore(ttl=session_ttl, clock=clock)
-        self.stats = ServiceStats()
+        # A fresh per-instance registry by default (exactly-counted,
+        # isolated — what tests and embedded servers want); the CLI
+        # injects the process-global default registry so one scrape
+        # covers every subsystem.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sessions = SessionStore(
+            ttl=session_ttl, clock=clock, registry=self.registry
+        )
+        self.stats = ServiceStats(self.registry)
+        self._m_connections = self.registry.counter(
+            "repro_connections_total", "Participant connections accepted"
+        )
+        self._m_frames = self.registry.counter(
+            "repro_frames_total",
+            "Service frames processed, by direction",
+            ("direction",),
+        )
+        self._m_verifications = self.registry.counter(
+            "repro_verifications_total", "Verifications completed"
+        )
+        self._m_verdicts = self.registry.counter(
+            "repro_verdicts_total",
+            "Verdicts recorded, by outcome (accepted or rejection reason)",
+            ("outcome",),
+        )
+        self._m_errors = self.registry.counter(
+            "repro_errors_total",
+            "Errors that dropped a connection or request, by site",
+            ("site",),
+        )
+        self._m_auth_failures = self.registry.counter(
+            "repro_auth_failures_total",
+            "Rejected authentication handshakes, by plane",
+            ("plane",),
+        )
+        self._m_latency = self.registry.histogram(
+            "repro_submission_latency_seconds",
+            "Wall-clock from submission/proofs arrival to verdict",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_active = self.registry.gauge(
+            "repro_sessions_active", "Sessions currently mid-protocol"
+        )
 
         function = resolve_workload(config.workload)
         subdomains = config.domain.partition(config.n_participants)
@@ -364,7 +445,14 @@ class SupervisorServer:
         interval = max(self.sessions.ttl / 4.0, 0.05)
         while True:
             await asyncio.sleep(interval)
-            self.sessions.evict_stale()
+            evicted = self.sessions.evict_stale()
+            if evicted:
+                log_event(
+                    _log,
+                    "sessions_evicted",
+                    count=len(evicted),
+                    task_ids=evicted[:8],
+                )
 
     # ------------------------------------------------------------------
     # Inspection
@@ -385,7 +473,7 @@ class SupervisorServer:
         task.add_done_callback(self._conn_tasks.discard)
 
     async def _serve_connection(self, reader, writer) -> None:
-        self.stats.connections += 1
+        self._m_connections.inc()
         try:
             if self._security is not None:
                 # The HMAC handshake runs underneath the codec: a peer
@@ -393,8 +481,15 @@ class SupervisorServer:
                 # application frame is decoded.
                 try:
                     await self._security.authenticate_inbound(reader, writer)
-                except (ReproError, ConnectionError, OSError):
-                    self.stats.auth_failures += 1
+                except (ReproError, ConnectionError, OSError) as exc:
+                    self._m_auth_failures.labels(plane="service").inc()
+                    log_event(
+                        _log,
+                        "auth_failure",
+                        level=logging.WARNING,
+                        plane="service",
+                        error=str(exc),
+                    )
                     return
             await self._handle_connection(reader, writer)
         finally:
@@ -420,6 +515,8 @@ class SupervisorServer:
                 await queue.put(exc)
 
         reader_task = asyncio.ensure_future(read_loop())
+        trace_id: str | None = None
+        span_id: str | None = None
         try:
             while True:
                 item = await queue.get()
@@ -427,19 +524,49 @@ class SupervisorServer:
                     return
                 if isinstance(item, Exception):
                     raise item
-                self.stats.frames_in += 1
-                for reply in await self._dispatch(item):
-                    await write_frame(writer, reply, max_frame=self._max_frame)
+                self._m_frames.labels(direction="in").inc()
+                trace_id, span_id = self._trace_for(item)
+                with bind_trace(trace_id, span_id):
+                    replies = await self._dispatch(item)
+                    for reply in replies:
+                        await write_frame(
+                            writer, reply, max_frame=self._max_frame
+                        )
+                        self._m_frames.labels(direction="out").inc()
         except ReproError as exc:
             # A misbehaving peer gets one terminal error frame, then
             # the connection closes; the server itself never crashes.
-            self.stats.errors += 1
+            self._m_errors.labels(site="connection").inc()
+            with bind_trace(trace_id, span_id):
+                log_event(
+                    _log,
+                    "connection_error",
+                    level=logging.WARNING,
+                    site="connection",
+                    error=str(exc),
+                )
             with contextlib.suppress(Exception):
                 await write_frame(writer, ErrorFrame(str(exc)))
         finally:
             reader_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await reader_task
+
+    def _trace_for(self, frame: Frame) -> tuple[str | None, str | None]:
+        """The trace context a frame belongs to.
+
+        A task request carries its own ids; protocol frames inherit
+        the ids their session was opened with (looked up without
+        touching the TTL clock — unknown tasks fail in the handler).
+        """
+        if isinstance(frame, TaskRequest):
+            return frame.trace_id, frame.span_id
+        task_id = getattr(getattr(frame, "msg", None), "task_id", None)
+        if task_id is not None:
+            session = self.sessions.peek(task_id)
+            if session is not None:
+                return session.trace_id, session.span_id
+        return None, None
 
     # ------------------------------------------------------------------
     # Frame dispatch
@@ -454,9 +581,16 @@ class SupervisorServer:
             return [await self._handle_proofs(frame.msg)]
         if isinstance(frame, SubmissionFrame):
             return [await self._handle_submission(frame.msg)]
+        if isinstance(frame, StatsRequest):
+            return [StatsReply(stats=self.stats_snapshot())]
         raise ProtocolError(
             f"unexpected frame {type(frame).__name__} at the supervisor"
         )
+
+    def stats_snapshot(self) -> dict:
+        """The registry snapshot, with liveness gauges refreshed."""
+        self._m_active.set(self.sessions.active)
+        return self.registry.snapshot()
 
     def _handle_task_request(self, request: TaskRequest) -> TaskAssign:
         config = self.config
@@ -496,6 +630,15 @@ class SupervisorServer:
             assignment=assignment,
             seed=seed,
             protocol=config.protocol,
+            trace_id=request.trace_id,
+            span_id=request.span_id,
+        )
+        log_event(
+            _log,
+            "task_assigned",
+            level=logging.DEBUG,
+            task_id=assignment.task_id,
+            participant=index,
         )
         domain: RangeDomain = session.assignment.domain  # type: ignore[assignment]
         return TaskAssign(
@@ -539,6 +682,7 @@ class SupervisorServer:
             msg.task_id, SessionState.COMMITTED
         )
         assert session.commitment is not None
+        started = time.perf_counter()
         outcome = await self._offload(
             functools.partial(
                 _verify_cbs_job,
@@ -551,6 +695,7 @@ class SupervisorServer:
                 msg,
             )
         )
+        self._m_latency.observe(time.perf_counter() - started)
         return self._record_verdict(session, outcome)
 
     async def _handle_submission(self, msg: NICBSSubmissionMsg) -> VerdictFrame:
@@ -561,6 +706,7 @@ class SupervisorServer:
         session = self.sessions.begin_verification(
             msg.task_id, SessionState.ASSIGNED
         )
+        started = time.perf_counter()
         outcome = await self._offload(
             functools.partial(
                 _verify_nicbs_job,
@@ -572,13 +718,23 @@ class SupervisorServer:
                 msg,
             )
         )
+        self._m_latency.observe(time.perf_counter() - started)
         return self._record_verdict(session, outcome)
 
     def _record_verdict(
         self, session: Session, outcome: VerificationOutcome
     ) -> VerdictFrame:
         self.sessions.record_outcome(session.task_id, outcome)
-        self.stats.verifications += 1
+        self._m_verifications.inc()
+        verdict = "accepted" if outcome.accepted else outcome.reason.value
+        self._m_verdicts.labels(outcome=verdict).inc()
+        log_event(
+            _log,
+            "verdict",
+            task_id=session.task_id,
+            participant=session.participant,
+            outcome=verdict,
+        )
         return VerdictFrame(
             msg=VerdictMsg(
                 task_id=session.task_id,
@@ -600,6 +756,12 @@ class SupervisorServer:
         """
         async with self._verify_slots:
             pool = self._executor.futures_pool
-            if pool is None:
-                return job()
-            return await asyncio.get_running_loop().run_in_executor(pool, job)
+            # Each verification job is a one-item engine map: offload
+            # bypasses Executor.map, so meter it here or the engine
+            # plane goes dark under a pure service workload.
+            with _metered_map(self._executor.name, 1):
+                if pool is None:
+                    return job()
+                return await asyncio.get_running_loop().run_in_executor(
+                    pool, job
+                )

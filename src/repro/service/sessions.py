@@ -24,6 +24,7 @@ from typing import Callable
 from repro.core.protocol import CommitmentMsg, SampleChallengeMsg
 from repro.core.scheme import VerificationOutcome
 from repro.exceptions import ProtocolError
+from repro.obs.metrics import MetricsRegistry
 from repro.tasks.result import TaskAssignment
 
 
@@ -51,16 +52,46 @@ class Session:
     commitment: CommitmentMsg | None = None
     challenge: SampleChallengeMsg | None = None
     outcome: VerificationOutcome | None = None
+    # Optional trace context the client sent with its task request;
+    # every log record and verdict for this task carries these ids.
+    trace_id: str | None = None
+    span_id: str | None = None
 
 
-@dataclass
 class StoreStats:
-    """Counters the server surfaces for observability."""
+    """Compatibility view over the ``repro_sessions_total`` counter.
 
-    created: int = 0
-    completed: int = 0
-    evicted: int = 0
-    rejected_duplicates: int = 0
+    Before the observability plane these were a private dataclass of
+    ints; they now live in the store's :class:`MetricsRegistry` as one
+    labelled counter, and this view keeps the established read API
+    (``store.stats.created`` etc.) working unchanged.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._counter = registry.counter(
+            "repro_sessions_total",
+            "Session lifecycle events, by event kind",
+            ("event",),
+        )
+
+    def _value(self, event: str) -> int:
+        return int(self._counter.labels(event=event).value)
+
+    @property
+    def created(self) -> int:
+        return self._value("created")
+
+    @property
+    def completed(self) -> int:
+        return self._value("completed")
+
+    @property
+    def evicted(self) -> int:
+        return self._value("evicted")
+
+    @property
+    def rejected_duplicates(self) -> int:
+        return self._value("rejected_duplicate")
 
 
 class SessionStore:
@@ -70,12 +101,22 @@ class SessionStore:
         self,
         ttl: float = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if ttl <= 0:
             raise ProtocolError(f"session ttl must be positive, got {ttl}")
         self.ttl = ttl
         self.clock = clock
-        self.stats = StoreStats()
+        # A store owned by a server shares the server's registry; a
+        # standalone store gets a private one so embedded/test uses
+        # stay exactly-counted and isolated.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = StoreStats(self.registry)
+        self._events = self.registry.counter(
+            "repro_sessions_total",
+            "Session lifecycle events, by event kind",
+            ("event",),
+        )
         self._sessions: dict[str, Session] = {}
 
     # ------------------------------------------------------------------
@@ -89,10 +130,12 @@ class SessionStore:
         assignment: TaskAssignment,
         seed: int,
         protocol: str,
+        trace_id: str | None = None,
+        span_id: str | None = None,
     ) -> Session:
         """Open a session; duplicate ``task_id``s are rejected."""
         if task_id in self._sessions:
-            self.stats.rejected_duplicates += 1
+            self._events.labels(event="rejected_duplicate").inc()
             raise ProtocolError(f"task {task_id!r} already assigned")
         now = self.clock()
         session = Session(
@@ -103,10 +146,16 @@ class SessionStore:
             protocol=protocol,
             created_at=now,
             touched_at=now,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         self._sessions[task_id] = session
-        self.stats.created += 1
+        self._events.labels(event="created").inc()
         return session
+
+    def peek(self, task_id: str) -> Session | None:
+        """Look up a session without touching its TTL clock."""
+        return self._sessions.get(task_id)
 
     def get(self, task_id: str) -> Session:
         """Look up a live session (evicted/unknown ids are equivalent)."""
@@ -167,7 +216,7 @@ class SessionStore:
             raise ProtocolError(f"task {task_id!r} already verified")
         session.outcome = outcome
         session.state = SessionState.DONE
-        self.stats.completed += 1
+        self._events.labels(event="completed").inc()
         return session
 
     # ------------------------------------------------------------------
@@ -197,7 +246,8 @@ class SessionStore:
         ]
         for task_id in stale:
             del self._sessions[task_id]
-        self.stats.evicted += len(stale)
+        if stale:
+            self._events.labels(event="evicted").inc(len(stale))
         return stale
 
     # ------------------------------------------------------------------

@@ -43,6 +43,8 @@ from repro.service.codec import (
     ResultEndFrame,
     ResultFrame,
     ResultPartFrame,
+    StatsReply,
+    StatsRequest,
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
@@ -141,9 +143,21 @@ def _sample_proofs(draw):
     )
 
 
+# Optional trace/span ids: absent (None) or 1..64 chars of printable
+# text — the codec's validity window for the tid/sid wire fields.
+_trace_ids = st.one_of(
+    st.none(),
+    st.text(
+        min_size=1,
+        max_size=64,
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    ),
+)
+
+
 @st.composite
 def _wire_frames(draw):
-    kind = draw(st.integers(min_value=0, max_value=14))
+    kind = draw(st.integers(min_value=0, max_value=16))
     task_id = draw(_task_ids)
     if kind == 13:
         return ResultPartFrame(
@@ -167,6 +181,23 @@ def _wire_frames(draw):
         return JobFrame(
             job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
             payload=draw(st.binary(max_size=64)),
+            trace_id=draw(_trace_ids),
+            span_id=draw(_trace_ids),
+        )
+    if kind == 15:
+        return StatsRequest()
+    if kind == 16:
+        return StatsReply(
+            stats=draw(
+                st.dictionaries(
+                    st.text(max_size=12),
+                    st.one_of(
+                        st.integers(min_value=-(1 << 30), max_value=1 << 30),
+                        st.text(max_size=12),
+                    ),
+                    max_size=4,
+                )
+            )
         )
     if kind == 11:
         return ResultFrame(
@@ -180,7 +211,9 @@ def _wire_frames(draw):
         return TaskRequest(
             participant=draw(
                 st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 20))
-            )
+            ),
+            trace_id=draw(_trace_ids),
+            span_id=draw(_trace_ids),
         )
     if kind == 1:
         start = draw(st.integers(min_value=0, max_value=1 << 16))
