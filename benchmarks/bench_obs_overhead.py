@@ -1,4 +1,4 @@
-"""Guard: the metrics registry must stay off the hot path.
+"""Guard: the metrics registry and span plane must stay off the hot path.
 
 The observability plane (README "Observability") meters *plane
 boundaries* — one counter add per engine map, per frame, per chunk —
@@ -8,6 +8,11 @@ a full population run with the process-global registry recording must
 cost within ``MAX_OVERHEAD`` of the same run with recording disabled.
 If someone later meters a per-item loop, this is the test that goes
 red before a deployment notices the throughput cliff.
+
+The span story (ISSUE 8) extends the same contract: spans record at
+boundary granularity (one per map/chunk) and *only when a trace is
+bound*, so a traced run with span recording must also stay within the
+gate relative to the unmetered baseline.
 
 Run via ``pytest benchmarks/bench_obs_overhead.py`` (``--quick``
 shrinks the domain; the assertion always applies — the whole point is
@@ -19,7 +24,9 @@ import time
 from repro.cheating import HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme
 from repro.grid.simulation import run_population
-from repro.obs.metrics import default_registry
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.spans import SpanBuffer, span
+from repro.obs.trace import new_trace_id
 from repro.tasks import PasswordSearch, RangeDomain
 
 #: Allowed slowdown of metered vs unmetered (ISSUE 7: < 2%).
@@ -82,4 +89,55 @@ def test_registry_overhead_under_two_percent(quick, save_table):
     assert overhead < MAX_OVERHEAD, (
         f"metrics recording costs {overhead:.1%} (> {MAX_OVERHEAD:.0%}): "
         "something is metering a per-item hot loop"
+    )
+
+
+def test_span_recording_overhead_under_two_percent(quick, save_table):
+    """Metered *and* traced (spans recording) vs fully unmetered.
+
+    Span recording is trace-gated and boundary-grained, so a traced
+    population — the most instrumented configuration a CLI run can
+    reach — must still clear the same <2% gate.  A per-item ``span()``
+    sneaking into the grid or engine loop fails here first.
+    """
+    n = 1 << (12 if quick else 14)
+    registry = default_registry()
+    was_enabled = registry.enabled
+    buffer = SpanBuffer(registry=MetricsRegistry())
+
+    def run_traced() -> None:
+        registry.enabled = True
+        # One boundary span wrapping the run, as _traced_run binds
+        # a trace id for the whole command; engine.map spans record
+        # underneath because the trace is now bound.
+        with span(f"bench.population.{new_trace_id()}", buffer=buffer):
+            _population(n)
+
+    def run_disabled() -> None:
+        registry.enabled = False
+        _population(n)
+
+    best = {"traced": float("inf"), "disabled": float("inf")}
+    try:
+        for _ in range(ROUNDS):
+            best["disabled"] = min(best["disabled"], _time(run_disabled))
+            best["traced"] = min(best["traced"], _time(run_traced))
+    finally:
+        registry.enabled = was_enabled
+
+    overhead = best["traced"] / best["disabled"] - 1.0
+    save_table(
+        "bench_obs_overhead_spans",
+        (
+            f"span+registry overhead on a D=2^{n.bit_length() - 1} "
+            f"traced population\n"
+            f"  unmetered: {best['disabled'] * 1e3:8.2f} ms\n"
+            f"  traced:    {best['traced'] * 1e3:8.2f} ms\n"
+            f"  overhead:  {overhead * 100:+.2f}%  (limit {MAX_OVERHEAD:.0%})"
+        ),
+    )
+    assert len(buffer) >= ROUNDS, "the traced leg recorded no spans"
+    assert overhead < MAX_OVERHEAD, (
+        f"span recording costs {overhead:.1%} (> {MAX_OVERHEAD:.0%}): "
+        "a span landed on a per-item hot path"
     )

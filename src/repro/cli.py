@@ -77,13 +77,21 @@ from repro.grid import run_population
 from repro.merkle import get_hash
 from repro.net.transport import SecurityConfig
 from repro.obs import (
+    EventLoopLagProbe,
+    FlightRecorder,
+    HealthState,
     MetricsServer,
+    Span,
     bind_trace,
     configure_logging,
     default_registry,
+    gauge_max_probe,
+    gauge_min_probe,
     get_logger,
+    install_flight_recorder,
     log_event,
     new_trace_id,
+    render_waterfall,
 )
 from repro.service import (
     ServiceClient,
@@ -112,6 +120,9 @@ def _traced_run(args: argparse.Namespace):
         return
     configure_logging(json=True, level=logging.DEBUG)
     trace_id = new_trace_id()
+    # Stderr so scripted pipelines that parse stdout stay clean; the
+    # id is what `repro.cli trace view --trace-id` asks for.
+    print(f"[trace {trace_id}]", file=sys.stderr, flush=True)
     with bind_trace(trace_id):
         log_event(_log, "trace_started", command=args.command)
         yield trace_id
@@ -356,7 +367,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # --trace; keep it human-readable at INFO.
         configure_logging(json=False, level=logging.INFO)
 
+    # The flight recorder rides the whole command: attach early so
+    # startup failures land in the crash dump too.
+    recorder = FlightRecorder(process="serve")
+    recorder.attach()
+    if args.flight_dir is not None:
+        install_flight_recorder(recorder, args.flight_dir)
+
     async def serve() -> None:
+        registry = default_registry()
         server = SupervisorServer(
             config,
             engine=args.engine,
@@ -364,8 +383,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine_options=_engine_options(args, service_plane=True),
             security=_service_security(args),
             session_ttl=args.session_ttl,
-            registry=default_registry(),
+            registry=registry,
         )
+        # Readiness plane: drain flag + per-plane probes.  The lag
+        # sampler runs as a loop task; cluster probes watch the
+        # scheduler gauges the coordinator keeps fresh.
+        health = HealthState()
+        lag_probe = EventLoopLagProbe()
+        health.add_probe("event_loop_lag", lag_probe)
+        health.add_probe(
+            "sessions",
+            lambda: (True, {"active": server.sessions.active}),
+        )
+        if args.engine == "cluster":
+            health.add_probe(
+                "cluster_workers",
+                gauge_min_probe(
+                    registry, "repro_cluster_workers_live", 1.0
+                ),
+            )
+            health.add_probe(
+                "cluster_stall",
+                gauge_max_probe(
+                    registry, "repro_cluster_stall_seconds", 60.0
+                ),
+            )
+        lag_task = asyncio.ensure_future(lag_probe.run())
         # Graceful shutdown: SIGINT/SIGTERM set an event instead of
         # tearing through the loop as KeyboardInterrupt; server.stop()
         # then closes the listener, drains in-flight rounds and the
@@ -391,10 +434,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_server: MetricsServer | None = None
         if args.metrics_port is not None:
             metrics_server = MetricsServer(
-                server.registry, port=args.metrics_port
+                server.registry, port=args.metrics_port, health=health
             )
             print(
-                f"metrics on http://127.0.0.1:{metrics_server.port}/metrics",
+                f"metrics on http://127.0.0.1:{metrics_server.port}/metrics "
+                f"(+ /stats /healthz /readyz)",
                 flush=True,
             )
 
@@ -419,16 +463,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         try:
             await stop.wait()
+            # Drain protocol: flip readiness *first* so a load
+            # balancer polling /readyz sees 503 and stops routing,
+            # hold the listener open for --drain-grace seconds, and
+            # only then stop accepting and tear down.
+            health.set_ready(False, "draining")
+            recorder.record("drain_started", grace_s=args.drain_grace)
+            if args.drain_grace > 0:
+                await asyncio.sleep(args.drain_grace)
         finally:
             for sig in handled:
                 loop.remove_signal_handler(sig)
+            lag_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await lag_task
             if snapshot_task is not None:
                 snapshot_task.cancel()
                 with contextlib.suppress(asyncio.CancelledError):
                     await snapshot_task
+            await server.stop()
+            # Probe endpoint closes after the drain so the final 503s
+            # were observable; the flight dump is the shutdown record.
             if metrics_server is not None:
                 metrics_server.close()
-            await server.stop()
+            if args.flight_dir is not None:
+                with contextlib.suppress(OSError):
+                    path = recorder.dump_to_dir(
+                        args.flight_dir, reason="shutdown"
+                    )
+                    print(f"flight recorder dumped to {path}", flush=True)
             print(
                 f"supervisor stopped — {server.stats.connections} "
                 f"connections, {server.stats.verifications} verifications, "
@@ -589,6 +652,74 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render one distributed trace as an ASCII waterfall.
+
+    Two sources: a live supervisor over the authenticated service
+    protocol (``--connect`` + ``--trace-id``), or a flight-recorder
+    dump file (``--dump``, trace id optional — defaults to the newest
+    trace in the artifact).
+    """
+    if args.dump is None and args.connect is None:
+        print("trace: need --connect HOST:PORT or --dump PATH",
+              file=sys.stderr)
+        return 2
+    if args.dump is not None:
+        try:
+            with open(args.dump, encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"trace: cannot read dump {args.dump}: {exc}",
+                  file=sys.stderr)
+            return 2
+        spans = []
+        for wire in artifact.get("spans", ()):
+            try:
+                spans.append(Span.from_wire(wire))
+            except (KeyError, TypeError, ValueError):
+                pass  # a hand-edited dump must not kill the viewer
+        trace_id = args.trace_id
+        if trace_id is None:
+            # Newest trace in the artifact (dump order is record order).
+            seen = {s.trace_id: None for s in spans}
+            trace_id = next(reversed(seen), None)
+        spans = [s for s in spans if s.trace_id == trace_id]
+    else:
+        if args.trace_id is None:
+            print("trace: --trace-id is required with --connect",
+                  file=sys.stderr)
+            return 2
+        host, _, port_s = args.connect.rpartition(":")
+        if not host or not port_s.isdigit():
+            print("trace: --connect must be HOST:PORT", file=sys.stderr)
+            return 2
+        security = SecurityConfig.from_options(
+            secret_file=args.secret_file, tls_cert=args.tls_cert
+        )
+        trace_id = args.trace_id
+
+        async def fetch() -> list[dict]:
+            client = await ServiceClient.open_tcp(
+                host, int(port_s), security=security
+            )
+            try:
+                return await client.trace(trace_id)
+            finally:
+                await client.close()
+
+        spans = [Span.from_wire(wire) for wire in asyncio.run(fetch())]
+    if not spans:
+        if trace_id is None:
+            print("no traced spans in this dump (run with --trace to "
+                  "record some)")
+        else:
+            print(f"no spans recorded for trace {trace_id}")
+        return 1
+    spans.sort(key=lambda s: s.start_wall)
+    print(render_waterfall(spans))
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     return run_worker_sync(
         args.host,
@@ -604,6 +735,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         tls_cert=args.tls_cert,
         trace=args.trace,
         metrics_port=args.metrics_port,
+        flight_dir=args.flight_dir,
     )
 
 
@@ -860,11 +992,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds before abandoned sessions are evicted")
     p.add_argument("--metrics-port", type=int, default=None,
                    dest="metrics_port",
-                   help="serve /metrics (Prometheus text) and /stats "
-                   "(JSON) on this localhost port (0 picks a free one)")
+                   help="serve /metrics (Prometheus text), /stats (JSON) "
+                   "and the /healthz + /readyz probes on this localhost "
+                   "port (0 picks a free one)")
     p.add_argument("--stats-interval", type=float, default=None,
                    dest="stats_interval",
                    help="log a metrics snapshot line every N seconds")
+    p.add_argument("--flight-dir", default=None, dest="flight_dir",
+                   help="write the flight-recorder JSON artifact here on "
+                   "crash, SIGUSR1, and clean shutdown")
+    p.add_argument("--drain-grace", type=float, default=0.0,
+                   dest="drain_grace",
+                   help="seconds to keep serving (with /readyz at 503) "
+                   "after SIGTERM before closing the listener")
     _add_trace_arg(p)
     add_service_args(p)
     p.set_defaults(fn=_cmd_serve, engine="threads")
@@ -904,6 +1044,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tls-cert", default=None, dest="tls_cert",
                    help="supervisor TLS certificate to pin")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a distributed span timeline (ASCII waterfall) "
+        "from a live supervisor or a flight-recorder dump",
+    )
+    p.add_argument("action", choices=("view",),
+                   help="what to do with the trace")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="fetch spans from this supervisor over the "
+                   "authenticated service protocol")
+    p.add_argument("--trace-id", default=None, dest="trace_id",
+                   help="trace id (printed as '[trace ID]' by --trace "
+                   "runs; required with --connect)")
+    p.add_argument("--dump", default=None, metavar="PATH",
+                   help="render from a flight-recorder JSON artifact "
+                   "instead of a live server")
+    p.add_argument("--secret-file", default=None, dest="secret_file",
+                   help="shared secret to authenticate with")
+    p.add_argument("--tls-cert", default=None, dest="tls_cert",
+                   help="supervisor TLS certificate to pin")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "worker",

@@ -78,6 +78,7 @@ from repro.exceptions import CodecError, EngineError, ReproError
 from repro.net.transport import SecurityConfig
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, log_buckets
+from repro.obs.spans import Span, SpanBuffer, default_span_buffer
 from repro.obs.trace import bind_trace, current_trace, new_span_id
 from repro.service.codec import (
     DEFAULT_STREAM_THRESHOLD_BYTES,
@@ -241,6 +242,7 @@ class _Coordinator:
         clock: Callable[[], float] = time.monotonic,
         registry: MetricsRegistry | None = None,
         trace: bool = False,
+        span_buffer: SpanBuffer | None = None,
     ) -> None:
         self.max_frame = max_frame
         self.security = security
@@ -267,6 +269,15 @@ class _Coordinator:
         # The cached label children keep the hot paths to one inc().
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace
+        # Distributed span assembly: root coordinator.chunk spans plus
+        # worker-exported spans land here for trace_get / trace view.
+        self.span_buffer = (
+            span_buffer if span_buffer is not None else default_span_buffer()
+        )
+        # Stall watchdog input: monotonic stamp of the last dispatch or
+        # accepted chunk; the monitor turns it into a gauge while jobs
+        # are pending so /readyz can flag a wedged cluster.
+        self._last_progress = self.clock()
         jobs = self.registry.counter(
             "repro_cluster_jobs_total", "Cluster jobs, by event", ("event",)
         )
@@ -311,6 +322,11 @@ class _Coordinator:
             "repro_cluster_worker_rate_jobs_per_s",
             "Per-worker EWMA throughput",
             ("worker",),
+        )
+        self._m_stall = self.registry.gauge(
+            "repro_cluster_stall_seconds",
+            "Seconds since the coordinator last dispatched or accepted "
+            "a chunk while jobs were pending (0 when idle or flowing)",
         )
         self._next_job_id = 0
         self._next_chunk_id = 0
@@ -509,6 +525,7 @@ class _Coordinator:
                 )
                 self.chunks[chunk_id] = chunk
                 link.inflight.add(chunk_id)
+                self._last_progress = now
                 self._m_chunk_jobs.observe(len(chunk_jobs))
                 with bind_trace(chunk.trace_id, chunk.span_id):
                     log_event(
@@ -693,7 +710,7 @@ class _Coordinator:
                 )
             self._pump()
             return
-        self._complete_chunk(link, chunk, entries)
+        self._complete_chunk(link, chunk, entries, frame.spans)
         self._pump()
 
     def _on_result_part(
@@ -748,7 +765,7 @@ class _Coordinator:
                 self._requeue_jobs(chunk.job_ids)
             self._pump()
             return
-        self._complete_chunk(link, chunk, chunk.entries)
+        self._complete_chunk(link, chunk, chunk.entries, frame.spans)
         self._pump()
 
     def _complete_chunk(
@@ -756,6 +773,7 @@ class _Coordinator:
         link: _WorkerLink,
         chunk: _Chunk,
         entries: list[tuple[bool, bytes]],
+        wire_spans: tuple = (),
     ) -> None:
         if len(entries) != len(chunk.job_ids):
             # A zombie's malformed answer changes nothing — its jobs
@@ -770,6 +788,7 @@ class _Coordinator:
                 )
             return
         elapsed = max(self.clock() - chunk.started_at, 1e-9)
+        self._last_progress = self.clock()
         self._observe_rate(link, len(chunk.job_ids) / elapsed)
         self._m_chunks_completed.inc()
         self._m_dispatch_latency.observe(elapsed)
@@ -782,6 +801,41 @@ class _Coordinator:
                 worker=link.worker_id,
                 jobs=len(chunk.job_ids),
                 elapsed_s=round(elapsed, 6),
+            )
+        accept_span: Span | None = None
+        if chunk.trace_id is not None and chunk.span_id is not None:
+            # Root of the distributed waterfall: wall-clock bracket of
+            # the whole dispatch→accept round trip, carrying the same
+            # span id the worker parented its spans under.
+            now_wall = time.time()
+            self.span_buffer.add(
+                Span(
+                    trace_id=chunk.trace_id,
+                    span_id=chunk.span_id,
+                    parent_id=None,
+                    name="coordinator.chunk",
+                    start_wall=now_wall - elapsed,
+                    start_mono=0.0,
+                    end_wall=now_wall,
+                    end_mono=elapsed,
+                    attributes={
+                        "worker": link.worker_id,
+                        "chunk": chunk.chunk_id,
+                        "jobs": len(chunk.job_ids),
+                    },
+                )
+            )
+            for wire in wire_spans:
+                # Codec validation already bounded these; a decode
+                # surprise must not fail the chunk's jobs.
+                try:
+                    self.span_buffer.add(Span.from_wire(wire))
+                except (KeyError, TypeError, ValueError):
+                    pass
+            accept_span = Span.begin(
+                "coordinator.accept",
+                trace_id=chunk.trace_id,
+                parent_id=chunk.span_id,
             )
         for job_id, (ok, payload) in zip(chunk.job_ids, entries):
             job = self.jobs.pop(job_id, None)
@@ -813,6 +867,8 @@ class _Coordinator:
                         f"{link.worker_id}: {message}"
                     )
                 )
+        if accept_span is not None:
+            self.span_buffer.add(accept_span.finish(jobs=len(chunk.job_ids)))
 
     def _fail_jobs(self, job_ids: Sequence[int], exc: Exception) -> None:
         for job_id in job_ids:
@@ -986,6 +1042,9 @@ class _Coordinator:
         while True:
             await asyncio.sleep(interval)
             now = self.clock()
+            self._m_stall.set(
+                max(now - self._last_progress, 0.0) if self.jobs else 0.0
+            )
             for link in list(self.workers.values()):
                 if now - link.last_seen > self.heartbeat_timeout:
                     self._drop_worker(link)
@@ -1080,6 +1139,7 @@ class ClusterExecutor(Executor):
         max_frame: int = MAX_CLUSTER_FRAME_BYTES,
         registry: MetricsRegistry | None = None,
         trace: bool = False,
+        span_buffer: SpanBuffer | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
@@ -1168,6 +1228,7 @@ class ClusterExecutor(Executor):
         self._max_frame = max_frame
         self._registry = registry
         self._trace = trace
+        self._span_buffer = span_buffer
 
         self._lock = threading.Lock()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -1324,6 +1385,7 @@ class ClusterExecutor(Executor):
                 security=self._security,
                 registry=self._registry,
                 trace=self._trace,
+                span_buffer=self._span_buffer,
             )
             try:
                 self._address = asyncio.run_coroutine_threadsafe(

@@ -51,7 +51,10 @@ from repro.net.transport import (
     heartbeat_loop,
     open_connection,
 )
+from repro.obs.health import HealthState
 from repro.obs.http import MetricsServer
+from repro.obs.recorder import FlightRecorder, install_flight_recorder
+from repro.obs.spans import Span, default_span_buffer
 from repro.obs.logging import configure_logging, get_logger, log_event
 from repro.obs.metrics import LATENCY_BUCKETS, default_registry
 from repro.obs.trace import bind_trace
@@ -202,6 +205,7 @@ async def run_worker(
     security: SecurityConfig | None = None,
     max_frame: int = MAX_CLUSTER_FRAME_BYTES,
     shutdown: asyncio.Event | None = None,
+    health: HealthState | None = None,
 ) -> int:
     """Serve one coordinator until bye/EOF/``shutdown``; return jobs done.
 
@@ -218,7 +222,10 @@ async def run_worker(
     ``security`` carries the coordinator's shared secret and TLS pin:
     when a secret is set the worker completes the repro.net HMAC
     handshake before its ``hello`` frame.  ``shutdown`` is the
-    graceful-exit hook the signal handlers set.
+    graceful-exit hook the signal handlers set.  ``health`` (optional)
+    tracks readiness: ready once the hello is sent, flipped to
+    draining the moment a shutdown begins — the ``/readyz`` half of a
+    worker's ``--metrics-port`` endpoint.
     """
     if engine == "cluster":
         raise EngineError("a cluster worker cannot use the cluster engine")
@@ -280,6 +287,12 @@ async def run_worker(
             nonlocal jobs_done
             m_chunks, m_jobs, m_dispatch = _worker_metrics()
             queued_at = time.perf_counter()
+            # Span export (wire v4): a traced chunk's execution is
+            # timed as a span parented under the coordinator's chunk
+            # span, recorded locally (flight recorder) and attached to
+            # the result envelope so the coordinator can assemble the
+            # full distributed waterfall.  Untraced chunks pay nothing.
+            exec_span: Span | None = None
             try:
                 async with slots:
                     m_dispatch.observe(time.perf_counter() - queued_at)
@@ -292,6 +305,15 @@ async def run_worker(
                             worker=worker_id,
                         )
                     started = time.perf_counter()
+                    if frame.trace_id is not None:
+                        exec_span = Span.begin(
+                            "worker.execute",
+                            trace_id=frame.trace_id,
+                            parent_id=frame.span_id,
+                        )
+                        exec_span.attributes.update(
+                            worker=worker_id, chunk=frame.job_id
+                        )
                     # futures_pool is None on the serial engine; the
                     # loop's default thread pool keeps heartbeats alive
                     # during compute either way.
@@ -319,6 +341,11 @@ async def run_worker(
                 # surprise — comes back as data, never a worker crash.
                 # Per-job failures were already folded into ``entries``
                 # by execute_chunk and do not land here.
+                error_spans: tuple = ()
+                if exec_span is not None:
+                    exec_span.finish(status=f"error:{type(exc).__name__}")
+                    default_span_buffer().add(exec_span)
+                    error_spans = (exec_span.to_wire(),)
                 await send(
                     ResultFrame(
                         job_id=frame.job_id,
@@ -326,6 +353,7 @@ async def run_worker(
                         payload=encode_cluster_payload(
                             f"{type(exc).__name__}: {exc}"
                         ),
+                        spans=error_spans,
                     )
                 )
                 return
@@ -342,6 +370,11 @@ async def run_worker(
                     jobs=len(entries),
                     elapsed_s=round(time.perf_counter() - started, 6),
                 )
+            wire_spans: tuple = ()
+            if exec_span is not None:
+                exec_span.finish(jobs=len(entries))
+                default_span_buffer().add(exec_span)
+                wire_spans = (exec_span.to_wire(),)
             try:
                 parts = pack_outcome_parts(entries, stream_threshold)
                 if len(parts) == 1:
@@ -350,6 +383,7 @@ async def run_worker(
                             job_id=frame.job_id,
                             ok=True,
                             payload=encode_cluster_outcomes(parts[0]),
+                            spans=wire_spans,
                         )
                     )
                     return
@@ -357,6 +391,16 @@ async def run_worker(
                 # drains the transport, so a slow coordinator applies
                 # backpressure here instead of ballooning this
                 # worker's write buffer.
+                stream_span: Span | None = None
+                if frame.trace_id is not None:
+                    stream_span = Span.begin(
+                        "worker.stream",
+                        trace_id=frame.trace_id,
+                        parent_id=frame.span_id,
+                    )
+                    stream_span.attributes.update(
+                        worker=worker_id, chunk=frame.job_id
+                    )
                 for seq, part in enumerate(parts):
                     await send(
                         ResultPartFrame(
@@ -365,8 +409,16 @@ async def run_worker(
                             payload=encode_cluster_outcomes(part),
                         )
                     )
+                if stream_span is not None:
+                    stream_span.finish(parts=len(parts))
+                    default_span_buffer().add(stream_span)
+                    wire_spans = wire_spans + (stream_span.to_wire(),)
                 await send(
-                    ResultEndFrame(job_id=frame.job_id, parts=len(parts))
+                    ResultEndFrame(
+                        job_id=frame.job_id,
+                        parts=len(parts),
+                        spans=wire_spans,
+                    )
                 )
             except ReproError as exc:
                 # The survival contract extends to the *answer* path: a
@@ -396,6 +448,10 @@ async def run_worker(
             await send(
                 WorkerHello(worker_id=worker_id, capacity=executor.workers)
             )
+            if health is not None:
+                # Registered with a coordinator and able to take work —
+                # the moment /readyz should start answering 200.
+                health.set_ready(True)
             while True:
                 frame_task = asyncio.ensure_future(
                     read_frame(reader, max_frame=max_frame)
@@ -407,6 +463,11 @@ async def run_worker(
                     waits, return_when=asyncio.FIRST_COMPLETED
                 )
                 if stop_task is not None and stop_task in done:
+                    if health is not None:
+                        # Drain: flip readiness *before* flushing
+                        # in-flight chunks so an LB stops routing
+                        # while the work completes.
+                        health.set_ready(False, "draining")
                     frame_task.cancel()
                     with contextlib.suppress(
                         asyncio.CancelledError, ReproError
@@ -427,6 +488,8 @@ async def run_worker(
                 # Anything else from a well-behaved coordinator is
                 # unexpected but harmless; ignore it.
         finally:
+            if health is not None:
+                health.set_ready(False, "stopped")
             hb_task.cancel()
             if stop_task is not None:
                 stop_task.cancel()
@@ -495,8 +558,14 @@ def add_worker_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-port", type=int, default=None,
                         dest="metrics_port",
                         help="serve this worker's /metrics (Prometheus "
-                        "text) and /stats (JSON) on this localhost port "
-                        "(0 picks a free one)")
+                        "text), /stats (JSON) and /healthz + /readyz "
+                        "probes on this localhost port (0 picks a free "
+                        "one)")
+    parser.add_argument("--flight-dir", default=None, dest="flight_dir",
+                        help="arm the flight recorder: dump a JSON "
+                        "artifact of recent events + spans into this "
+                        "directory on crash, SIGUSR1, and clean "
+                        "shutdown")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,6 +592,7 @@ def run_worker_sync(
     tls_cert: str | None = None,
     trace: bool = False,
     metrics_port: int | None = None,
+    flight_dir: str | None = None,
 ) -> int:
     """Blocking daemon wrapper with graceful SIGINT/SIGTERM exit.
 
@@ -532,10 +602,19 @@ def run_worker_sync(
     security material (see README "Security model").  ``trace`` turns
     on JSON logging at DEBUG so chunk execution records (with the
     coordinator's trace/span ids) reach stderr; ``metrics_port``
-    serves the worker's registry over localhost HTTP.
+    serves the worker's registry plus ``/healthz``/``/readyz`` over
+    localhost HTTP; ``flight_dir`` arms the flight recorder (dump on
+    crash, SIGUSR1, and clean shutdown).
     """
     if trace:
         configure_logging(json=True, level=logging.DEBUG)
+    recorder: FlightRecorder | None = None
+    if flight_dir is not None:
+        recorder = FlightRecorder(
+            process=f"worker-{worker_id or default_worker_id()}"
+        )
+        recorder.attach()
+        install_flight_recorder(recorder, flight_dir)
     try:
         security = SecurityConfig.from_options(
             secret_file=secret_file, tls_cert=tls_cert
@@ -567,20 +646,26 @@ def run_worker_sync(
                 connect_retry_s=connect_retry_s,
                 security=security,
                 shutdown=stop,
+                health=health,
             )
         finally:
             for sig in handled:
                 loop.remove_signal_handler(sig)
 
+    # Not ready until run_worker has registered with a coordinator.
+    health = HealthState()
+    health.set_ready(False, "not connected")
     metrics_server: MetricsServer | None = None
-    if metrics_port is not None:
-        metrics_server = MetricsServer(default_registry(), port=metrics_port)
-        print(
-            f"cluster worker metrics on http://127.0.0.1:"
-            f"{metrics_server.port}/metrics",
-            flush=True,
-        )
     try:
+        if metrics_port is not None:
+            metrics_server = MetricsServer(
+                default_registry(), port=metrics_port, health=health
+            )
+            print(
+                f"cluster worker metrics on http://127.0.0.1:"
+                f"{metrics_server.port}/metrics",
+                flush=True,
+            )
         jobs_done = asyncio.run(runner())
     except (ReproError, ConnectionError, OSError) as exc:
         print(f"cluster worker failed: {exc}", file=sys.stderr)
@@ -588,6 +673,10 @@ def run_worker_sync(
     finally:
         if metrics_server is not None:
             metrics_server.close()
+        if recorder is not None and flight_dir is not None:
+            with contextlib.suppress(OSError):
+                path = recorder.dump_to_dir(flight_dir, reason="shutdown")
+                print(f"flight recorder dump: {path}", flush=True)
     print(f"cluster worker done ({jobs_done} jobs)", flush=True)
     return 0
 
@@ -609,6 +698,7 @@ def main(argv: list[str] | None = None) -> int:
         tls_cert=args.tls_cert,
         trace=args.trace,
         metrics_port=args.metrics_port,
+        flight_dir=args.flight_dir,
     )
 
 

@@ -30,6 +30,8 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.exceptions import EngineError
 from repro.obs.metrics import default_registry
+from repro.obs.spans import span as _span
+from repro.obs.trace import current_trace
 
 #: Registry names accepted by :func:`get_executor`.
 ENGINE_NAMES = ("serial", "threads", "processes", "cluster")
@@ -63,12 +65,23 @@ def _engine_metrics():
 
 @contextlib.contextmanager
 def _metered_map(engine: str, n_items: int) -> Iterator[None]:
-    """Count one map() batch: items submitted/completed + inflight."""
+    """Count one map() batch: items submitted/completed + inflight.
+
+    When the caller has a trace bound, the whole batch is also
+    bracketed by an ``engine.map`` span; untraced maps pay zero span
+    cost (pinned by ``bench_obs_overhead``).
+    """
     tasks, inflight = _engine_metrics()
     tasks.labels(engine=engine, event="submitted").inc(n_items)
     inflight.labels(engine=engine).inc()
     try:
-        yield
+        if current_trace() is not None:
+            with _span(
+                "engine.map", attributes={"engine": engine, "items": n_items}
+            ):
+                yield
+        else:
+            yield
         tasks.labels(engine=engine, event="completed").inc(n_items)
     finally:
         inflight.labels(engine=engine).dec()

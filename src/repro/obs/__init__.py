@@ -16,14 +16,30 @@ to result acceptance.  This is the one substrate they all use now:
 * :mod:`repro.obs.logging` — structured (optionally JSON) log records
   under the ``repro`` logger hierarchy, NullHandler by default,
   trace ids stamped automatically.
+* :mod:`repro.obs.spans` — real timed spans (:class:`Span`,
+  :class:`SpanBuffer`, the :func:`span` context manager) that compose
+  with ``bind_trace`` and ride result envelopes cross-process, plus
+  the :func:`render_waterfall` ASCII timeline.
+* :mod:`repro.obs.recorder` — the per-process flight recorder: a
+  bounded ring of recent events + spans, dumped as one JSON artifact
+  on crash, SIGUSR1, or clean shutdown.
+* :mod:`repro.obs.health` — liveness/readiness aggregation
+  (:class:`HealthState` and per-plane probes).
 * :mod:`repro.obs.http` — the ``--metrics-port`` scrape endpoint
-  (``/metrics`` Prometheus text, ``/stats`` JSON).
+  (``/metrics`` Prometheus text, ``/stats`` JSON, ``/healthz`` and
+  ``/readyz`` probes).
 
 Layering rule: :mod:`repro.obs` imports nothing from any other
 ``repro`` subpackage except nothing at all — it sits below
 :mod:`repro.net` and everything else stands on it.
 """
 
+from repro.obs.health import (
+    EventLoopLagProbe,
+    HealthState,
+    gauge_max_probe,
+    gauge_min_probe,
+)
 from repro.obs.http import MetricsServer
 from repro.obs.logging import (
     JsonFormatter,
@@ -42,7 +58,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    install_process_metrics,
     log_buckets,
+)
+from repro.obs.recorder import FlightRecorder, install_flight_recorder
+from repro.obs.spans import (
+    MAX_WIRE_SPANS,
+    Span,
+    SpanBuffer,
+    default_span_buffer,
+    render_waterfall,
+    span,
+    validate_wire_span,
+    validate_wire_spans,
 )
 from repro.obs.trace import (
     MAX_TRACE_ID_LEN,
@@ -65,6 +93,24 @@ __all__ = [
     "SIZE_BUCKETS",
     "MAX_LABEL_SETS_PER_METRIC",
     "OVERFLOW_LABEL_VALUE",
+    "install_process_metrics",
+    # spans
+    "Span",
+    "SpanBuffer",
+    "span",
+    "default_span_buffer",
+    "render_waterfall",
+    "validate_wire_span",
+    "validate_wire_spans",
+    "MAX_WIRE_SPANS",
+    # recorder
+    "FlightRecorder",
+    "install_flight_recorder",
+    # health
+    "HealthState",
+    "EventLoopLagProbe",
+    "gauge_max_probe",
+    "gauge_min_probe",
     # trace
     "new_trace_id",
     "new_span_id",

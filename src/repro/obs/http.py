@@ -1,17 +1,26 @@
-"""Plaintext HTTP scrape endpoint for a metrics registry.
+"""Plaintext HTTP scrape + probe endpoint for one process.
 
 ``--metrics-port`` on ``serve`` and ``worker`` starts one of these: a
 stdlib :class:`ThreadingHTTPServer` on a daemon thread serving
 
 * ``GET /metrics`` — Prometheus text exposition
-  (:meth:`MetricsRegistry.render_prometheus`), and
-* ``GET /stats`` — the JSON snapshot (:meth:`MetricsRegistry.snapshot`).
+  (:meth:`MetricsRegistry.render_prometheus`),
+* ``GET /stats`` — the JSON snapshot (:meth:`MetricsRegistry.snapshot`),
+* ``GET /healthz`` — liveness (200 while the process can answer), and
+* ``GET /readyz`` — readiness (200, or 503 with a JSON body naming
+  the failing probe / the drain reason — see
+  :class:`repro.obs.health.HealthState`).
 
 This endpoint is deliberately *read-only and unauthenticated* —
-standard Prometheus practice — so it must be bound to a trusted
-interface (default loopback).  Metrics expose operational counts, not
-task payloads or secrets.  The authenticated path to the same data is
-the service-protocol ``stats`` frame.
+standard Prometheus/k8s-probe practice — so it must be bound to a
+trusted interface (default loopback).  Metrics expose operational
+counts, not task payloads or secrets.  The authenticated path to the
+same data is the service-protocol ``stats`` frame.
+
+Concurrency: ``ThreadingHTTPServer`` answers each scrape on its own
+thread, and both renderers snapshot under the registry lock, so
+parallel ``/metrics`` + ``/stats`` + probe requests never interleave
+into corrupt output (pinned by tests).
 """
 
 from __future__ import annotations
@@ -20,37 +29,49 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.health import HealthState
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MetricsServer"]
 
 
 class MetricsServer:
-    """A daemon-thread HTTP server exposing one registry."""
+    """A daemon-thread HTTP server exposing one registry + health."""
 
     def __init__(
         self,
         registry: MetricsRegistry,
         port: int = 0,
         host: str = "127.0.0.1",
+        health: HealthState | None = None,
     ) -> None:
         self.registry = registry
+        self.health = health if health is not None else HealthState()
 
         server_ref = self
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
                 path = self.path.split("?", 1)[0]
+                status = 200
                 if path in ("/metrics", "/"):
                     body = server_ref.registry.render_prometheus().encode()
                     ctype = "text/plain; version=0.0.4; charset=utf-8"
                 elif path == "/stats":
                     body = json.dumps(server_ref.registry.snapshot()).encode()
                     ctype = "application/json"
+                elif path == "/healthz":
+                    body = json.dumps(server_ref.health.liveness()).encode()
+                    ctype = "application/json"
+                elif path == "/readyz":
+                    ready, detail = server_ref.health.readiness()
+                    status = 200 if ready else 503
+                    body = json.dumps(detail).encode()
+                    ctype = "application/json"
                 else:
                     self.send_error(404)
                     return
-                self.send_response(200)
+                self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
@@ -60,7 +81,17 @@ class MetricsServer:
                 # Scrapes are periodic; stderr chatter helps nobody.
                 pass
 
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            # A raw EADDRINUSE traceback tells an operator nothing
+            # about *which* flag to change; name it.
+            raise OSError(
+                f"metrics endpoint cannot bind {host}:{port} "
+                f"({exc.strerror or exc}) — is another process already "
+                f"listening there?  Pass a different --metrics-port "
+                f"(0 picks a free port)"
+            ) from exc
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

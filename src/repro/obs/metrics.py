@@ -34,10 +34,12 @@ into one bounded series instead of an unbounded memory leak.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import re
 import threading
-from typing import Iterable, Mapping, Sequence
+import time
+from typing import Callable, Iterable, Mapping, Sequence
 
 __all__ = [
     "Counter",
@@ -50,6 +52,7 @@ __all__ = [
     "SIZE_BUCKETS",
     "log_buckets",
     "default_registry",
+    "install_process_metrics",
 ]
 
 # Past this many distinct label sets on one metric, new combinations
@@ -299,9 +302,18 @@ class Histogram(_Metric):
 
 
 def _escape_label_value(value: str) -> str:
+    # Exposition format 0.0.4: backslash FIRST (it is the escape
+    # character), then double-quote, then newline.
     return (
         value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     )
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (quotes are legal
+    # there) — an unescaped newline would split the line and corrupt
+    # the whole exposition.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value: float) -> str:
@@ -334,6 +346,25 @@ class MetricsRegistry:
         self.enabled = enabled
         self._lock = threading.Lock()
         self._metrics: dict[str, _Metric] = {}
+        self._collect_hooks: list[Callable[[], None]] = []
+
+    def add_collect_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` at the start of every snapshot/render.
+
+        The pull-model escape hatch for values that are only
+        meaningful at scrape time (uptime, queue depths computed from
+        another structure).  Hooks must be cheap and exception-safe;
+        a raising hook is suppressed rather than corrupting a scrape.
+        """
+        with self._lock:
+            self._collect_hooks.append(hook)
+
+    def _run_collect_hooks(self) -> None:
+        with self._lock:
+            hooks = list(self._collect_hooks)
+        for hook in hooks:
+            with contextlib.suppress(Exception):
+                hook()
 
     # ------------------------------------------------------------------
     # Instrument factories
@@ -392,6 +423,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Plain-dict view of every series, JSON-serializable as-is."""
+        self._run_collect_hooks()
         out: dict[str, dict] = {}
         with self._lock:
             metrics = list(self._metrics.values())
@@ -425,12 +457,15 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition format 0.0.4."""
+        self._run_collect_hooks()
         lines: list[str] = []
         with self._lock:
             metrics = sorted(self._metrics.values(), key=lambda m: m.name)
         for metric in metrics:
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for labels, child in metric.series():
                 if isinstance(child, _HistogramChild):
@@ -501,12 +536,54 @@ class MetricsRegistry:
 _default_registry: MetricsRegistry | None = None
 _default_lock = threading.Lock()
 
+# Uptime is measured from module import (= process start for every
+# CLI entry point; close enough for the embedded case).
+_PROCESS_START_MONOTONIC = time.monotonic()
+
+
+def install_process_metrics(registry: MetricsRegistry) -> None:
+    """Register process-identity metrics on ``registry``.
+
+    ``repro_build_info`` is the standard Prometheus identity idiom: a
+    constant-1 gauge whose labels carry the package version and the
+    Python runtime, so every scrape says *what* is answering.
+    ``repro_uptime_seconds`` is refreshed by a collect hook at scrape
+    time, and therefore also lands in ``/stats`` snapshots and
+    ``repro.cli stats --json``.
+    """
+    import platform
+
+    from repro._version import __version__
+
+    build = registry.gauge(
+        "repro_build_info",
+        "Build/runtime identity; the value is always 1",
+        ("version", "python"),
+    )
+    build.labels(version=__version__, python=platform.python_version()).set(
+        1.0
+    )
+    uptime = registry.gauge(
+        "repro_uptime_seconds",
+        "Seconds since this process imported repro.obs.metrics",
+    )
+    registry.add_collect_hook(
+        lambda: uptime.set(time.monotonic() - _PROCESS_START_MONOTONIC)
+    )
+
 
 def default_registry() -> MetricsRegistry:
-    """The process-global registry the CLI entry points inject."""
+    """The process-global registry the CLI entry points inject.
+
+    Created on first use with the process-identity metrics installed,
+    so any scrape of a CLI process carries ``repro_build_info`` and a
+    live ``repro_uptime_seconds`` without per-entry-point wiring.
+    """
     global _default_registry
     if _default_registry is None:
         with _default_lock:
             if _default_registry is None:
-                _default_registry = MetricsRegistry()
+                registry = MetricsRegistry()
+                install_process_metrics(registry)
+                _default_registry = registry
     return _default_registry

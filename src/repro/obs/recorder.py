@@ -1,0 +1,184 @@
+"""Flight recorder: a bounded ring of recent events + spans per process.
+
+When a worker dies mid-epoch or a supervisor is OOM-killed at 3am,
+the logs that explain it are usually on a box nobody can reach and at
+a DEBUG level nobody had enabled.  The flight recorder keeps the last
+``capacity`` structured events (captured off the ``repro`` logger
+hierarchy, so every existing ``log_event`` call feeds it for free)
+plus the completed spans of its :class:`~repro.obs.spans.SpanBuffer`,
+and dumps them as **one self-contained JSON artifact**:
+
+* on unhandled crash (a chained ``sys.excepthook``),
+* on ``SIGUSR1`` (post-mortem a live process without stopping it),
+* on clean shutdown when serve/worker got ``--flight-dir``.
+
+The dump is the offline input to ``repro.cli trace view --dump`` — a
+post-mortem carries its own timeline.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import logging
+import os
+import re
+import signal
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.obs.spans import SpanBuffer, default_span_buffer
+
+__all__ = ["FlightRecorder", "install_flight_recorder"]
+
+_SAFE_NAME_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Keys copied off captured log records when present (the structured
+#: fields ``log_event`` and ``TraceContextFilter`` stamp).
+_RECORD_FIELDS = ("event", "trace_id", "span_id")
+
+
+class _RingHandler(logging.Handler):
+    """Feeds every ``repro.*`` log record into the recorder ring."""
+
+    def __init__(self, recorder: "FlightRecorder") -> None:
+        super().__init__(level=logging.DEBUG)
+        self._recorder = recorder
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            entry: dict[str, Any] = {
+                "ts": record.created,
+                "level": record.levelname,
+                "logger": record.name,
+                "message": record.getMessage(),
+            }
+            for key in _RECORD_FIELDS:
+                value = getattr(record, key, None)
+                if value is not None:
+                    entry[key] = value
+            self._recorder._append(entry)
+        except Exception:  # a broken record must never kill the app
+            pass
+
+
+class FlightRecorder:
+    """Bounded event ring + span snapshot, dumped as one JSON file."""
+
+    def __init__(
+        self,
+        process: str = "",
+        capacity: int = 1024,
+        span_buffer: SpanBuffer | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.process = process or f"pid{os.getpid()}"
+        self.capacity = capacity
+        self.span_buffer = (
+            span_buffer if span_buffer is not None else default_span_buffer()
+        )
+        self._lock = threading.Lock()
+        self._events: collections.deque[dict] = collections.deque(
+            maxlen=capacity
+        )
+        self._handler: _RingHandler | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        with self._lock:
+            self._events.append(entry)
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Record one structured event directly (no logger involved)."""
+        self._append({"ts": time.time(), "event": event, **fields})
+
+    def attach(self, logger_name: str = "repro") -> None:
+        """Capture the structured log stream into the ring."""
+        if self._handler is None:
+            self._handler = _RingHandler(self)
+            logging.getLogger(logger_name).addHandler(self._handler)
+            self._logger_name = logger_name
+
+    def detach(self) -> None:
+        if self._handler is not None:
+            logging.getLogger(self._logger_name).removeHandler(self._handler)
+            self._handler = None
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+
+    def dump(self, reason: str = "manual") -> dict:
+        """The artifact as a dict: identity, recent events, spans."""
+        with self._lock:
+            events = list(self._events)
+        return {
+            "kind": "repro-flight-recorder",
+            "version": 1,
+            "process": self.process,
+            "pid": os.getpid(),
+            "reason": reason,
+            "dumped_at": time.time(),
+            "events": events,
+            "spans": [s.to_wire() for s in self.span_buffer.snapshot()],
+        }
+
+    def dump_to_dir(self, directory: str, reason: str = "manual") -> str:
+        """Write the artifact under ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        safe = _SAFE_NAME_RE.sub("-", self.process) or "proc"
+        name = f"flight-{safe}-{os.getpid()}-{int(time.time())}-{reason}.json"
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.dump(reason), fh, indent=2, default=str)
+            fh.write("\n")
+        return path
+
+
+def install_flight_recorder(
+    recorder: FlightRecorder,
+    flight_dir: str,
+    *,
+    on_signal: bool = True,
+) -> None:
+    """Arm crash and SIGUSR1 dumps for this process.
+
+    Chains ``sys.excepthook`` (the original still runs, so tracebacks
+    keep printing) and, when the platform has ``SIGUSR1`` and we are
+    on the main thread, installs a handler that snapshots the ring
+    without stopping the process.  Dump failures are swallowed — the
+    recorder must never turn a crash into a different crash.
+    """
+    previous_hook = sys.excepthook
+
+    def _crash_hook(exc_type, exc, tb) -> None:
+        try:
+            recorder.record(
+                "unhandled_crash",
+                exc_type=exc_type.__name__,
+                message=str(exc),
+            )
+            recorder.dump_to_dir(flight_dir, reason="crash")
+        except Exception:
+            pass
+        previous_hook(exc_type, exc, tb)
+
+    sys.excepthook = _crash_hook
+
+    if on_signal and hasattr(signal, "SIGUSR1"):
+        def _signal_dump(signum, frame) -> None:
+            try:
+                recorder.dump_to_dir(flight_dir, reason="sigusr1")
+            except Exception:
+                pass
+
+        try:
+            signal.signal(signal.SIGUSR1, _signal_dump)
+        except ValueError:
+            pass  # not the main thread; crash + shutdown dumps still work

@@ -50,6 +50,8 @@ from repro.service.codec import (
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
+    TraceGetRequest,
+    TraceReply,
     VerdictFrame,
     read_frame,
     resolve_workload,
@@ -167,6 +169,20 @@ class ServiceClient:
         reply = await self._recv(StatsReply)
         assert isinstance(reply, StatsReply)
         return reply.stats
+
+    async def trace(self, trace_id: str) -> list[dict]:
+        """Fetch one distributed trace's wire spans from the supervisor.
+
+        Returns the supervisor's assembled span list for ``trace_id``
+        (each a validated wire dict — feed them to
+        :meth:`repro.obs.Span.from_wire` / ``render_waterfall``).
+        Empty list when the id is unknown or its spans aged out of the
+        bounded buffer.
+        """
+        await self._send(TraceGetRequest(trace_id=trace_id))
+        reply = await self._recv(TraceReply)
+        assert isinstance(reply, TraceReply)
+        return list(reply.spans)
 
     async def request_task(self, participant: int | None = None) -> TaskAssign:
         """Ask for a slot; returns the supervisor's assign frame.

@@ -52,6 +52,9 @@ engine of :mod:`repro.engine.cluster`):
   stream with the expected part count so the coordinator can verify it
   reassembled the whole chunk — and requeue cleanly if the worker died
   mid-stream.
+* ``stats_request`` → ``stats`` — an authenticated client pulls the
+  registry snapshot; ``trace_get`` → ``trace`` — it pulls one
+  assembled trace (the spans of a distributed waterfall) by id.
 * ``bye`` — either side announces an orderly departure.
 
 Hostile bytes are a fact of life for a listening socket: every decode
@@ -80,6 +83,7 @@ from repro.core.protocol import (
 )
 from repro.exceptions import CodecError, ProtocolError
 from repro.obs.metrics import SIZE_BUCKETS, default_registry
+from repro.obs.spans import validate_wire_spans
 from repro.obs.trace import MAX_TRACE_ID_LEN
 from repro.net.framing import (
     DEFAULT_STREAM_THRESHOLD_BYTES as DEFAULT_STREAM_THRESHOLD_BYTES,
@@ -118,7 +122,19 @@ from repro.tasks.workloads import (
 #: v3: frames may carry optional ``tid``/``sid`` trace-context fields
 #: (absent unless tracing is on; decoders treat them as optional, so
 #: the payload format itself is unchanged).
-CLUSTER_WIRE_VERSION = 3
+#: v4: ``result``/``result_end`` frames may carry an optional ``sp``
+#: field — the worker's completed spans for the chunk, as a bounded
+#: list of validated span dicts (see :mod:`repro.obs.spans`).  The
+#: payload format is again unchanged, so v4 decoders accept v3 frames
+#: (they simply carry no spans) and v3-era optional-field decoders
+#: ignore ``sp``; :data:`COMPAT_CLUSTER_WIRE_VERSIONS` is the accept
+#: window.
+CLUSTER_WIRE_VERSION = 4
+
+#: Versions this codec decodes.  v3 differs from v4 only by optional
+#: fields, so accepting both keeps a rolling worker-fleet upgrade
+#: safe; anything older (or newer) still fences off hard.
+COMPAT_CLUSTER_WIRE_VERSIONS = frozenset({3, CLUSTER_WIRE_VERSION})
 
 
 # ----------------------------------------------------------------------
@@ -260,12 +276,19 @@ class ResultFrame:
     ``ok`` distinguishes a pickled result (``True``) from a pickled
     error description (``False``) — a job that raises must come back
     as data, never crash the worker.
+
+    ``spans`` (wire v4, optional) carries the worker's completed
+    spans for this chunk as validated wire dicts
+    (:func:`repro.obs.spans.validate_wire_spans`), so the coordinator
+    can assemble one distributed timeline.  Empty unless the chunk
+    was traced; v3 peers simply never send or read it.
     """
 
     job_id: int
     ok: bool
     payload: bytes
     version: int = CLUSTER_WIRE_VERSION
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -290,12 +313,15 @@ class ResultEndFrame:
 
     ``parts`` is the number of ``result_part`` frames the worker sent;
     a mismatch with what arrived means the stream is incomplete and
-    the chunk must be requeued, never partially accepted.
+    the chunk must be requeued, never partially accepted.  ``spans``
+    is the same optional wire-v4 span export as on ``result`` (the
+    streamed path closes with this frame, so the spans ride here).
     """
 
     job_id: int
     parts: int
     version: int = CLUSTER_WIRE_VERSION
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -318,6 +344,32 @@ class StatsReply:
     """
 
     stats: dict
+
+
+@dataclass(frozen=True)
+class TraceGetRequest:
+    """Client → supervisor: send me one assembled trace.
+
+    Served only on authenticated connections, like ``stats_request``.
+    ``trace_id`` names the trace (the id a ``--trace`` run printed or
+    logged); the reply holds every buffered span of that trace.
+    """
+
+    trace_id: str
+
+
+@dataclass(frozen=True)
+class TraceReply:
+    """Supervisor → client: one trace's spans, timeline-ordered.
+
+    ``spans`` is a tuple of wire span dicts (the same validated shape
+    that rides result envelopes) — ``repro.cli trace view`` renders
+    it directly.  Empty means the trace id is unknown or already
+    evicted from the bounded buffer.
+    """
+
+    trace_id: str
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -344,6 +396,8 @@ Frame = Union[
     ResultEndFrame,
     StatsRequest,
     StatsReply,
+    TraceGetRequest,
+    TraceReply,
     ByeFrame,
 ]
 
@@ -532,12 +586,29 @@ def decode_cluster_outcomes(
 
 def _cluster_version_field(obj: dict) -> int:
     version = _int_field(obj, "v")
-    if version != CLUSTER_WIRE_VERSION:
+    if version not in COMPAT_CLUSTER_WIRE_VERSIONS:
         raise CodecError(
             f"cluster wire version {version} incompatible with "
-            f"{CLUSTER_WIRE_VERSION}"
+            f"{sorted(COMPAT_CLUSTER_WIRE_VERSIONS)}"
         )
     return version
+
+
+def _spans_field(obj: dict) -> tuple:
+    """Optional ``sp`` span list: absent is fine, junk is rejected.
+
+    Same policy as ``tid``/``sid``: validation happens here at the
+    codec boundary so a hostile peer's frame dies with a
+    :class:`ProtocolError` (one clean rejection) instead of reaching
+    the trace store.
+    """
+    value = obj.get("sp")
+    if value is None:
+        return ()
+    try:
+        return validate_wire_spans(value)
+    except ValueError as exc:
+        raise ProtocolError(f"frame field 'sp': {exc}") from exc
 
 
 def _cluster_payload_field(obj: dict, what: str) -> bytes:
@@ -604,13 +675,16 @@ def _payload_dict(frame: Frame) -> dict:
         check_payload_size(
             "result payload", len(frame.payload), MAX_CLUSTER_PAYLOAD_BYTES
         )
-        return {
+        obj = {
             "t": "result",
             "id": frame.job_id,
             "ok": frame.ok,
             "p": _b64(frame.payload),
             "v": frame.version,
         }
+        if frame.spans:
+            obj["sp"] = list(frame.spans)
+        return obj
     if isinstance(frame, ResultPartFrame):
         check_payload_size(
             "result part payload",
@@ -625,16 +699,23 @@ def _payload_dict(frame: Frame) -> dict:
             "v": frame.version,
         }
     if isinstance(frame, ResultEndFrame):
-        return {
+        obj = {
             "t": "result_end",
             "id": frame.job_id,
             "parts": frame.parts,
             "v": frame.version,
         }
+        if frame.spans:
+            obj["sp"] = list(frame.spans)
+        return obj
     if isinstance(frame, StatsRequest):
         return {"t": "stats_request"}
     if isinstance(frame, StatsReply):
         return {"t": "stats", "stats": frame.stats}
+    if isinstance(frame, TraceGetRequest):
+        return {"t": "trace_get", "tid": frame.trace_id}
+    if isinstance(frame, TraceReply):
+        return {"t": "trace", "tid": frame.trace_id, "sp": list(frame.spans)}
     if isinstance(frame, ByeFrame):
         return {"t": "bye", "reason": frame.reason}
     tag = _FRAME_TAGS.get(type(frame))
@@ -774,6 +855,7 @@ def decode_frame_payload(payload: bytes) -> Frame:
             ok=ok,
             payload=_cluster_payload_field(obj, "result payload"),
             version=version,
+            spans=_spans_field(obj),
         )
 
     if tag == "result_part":
@@ -801,7 +883,12 @@ def decode_frame_payload(payload: bytes) -> Frame:
             raise ProtocolError(
                 f"result stream must have >= 1 parts, got {parts}"
             )
-        return ResultEndFrame(job_id=job_id, parts=parts, version=version)
+        return ResultEndFrame(
+            job_id=job_id,
+            parts=parts,
+            version=version,
+            spans=_spans_field(obj),
+        )
 
     if tag == "stats_request":
         return StatsRequest()
@@ -811,6 +898,18 @@ def decode_frame_payload(payload: bytes) -> Frame:
         if not isinstance(stats, dict):
             raise ProtocolError("stats frame field 'stats' must be an object")
         return StatsReply(stats=stats)
+
+    if tag == "trace_get":
+        trace_id = _trace_field(obj, "tid")
+        if trace_id is None:
+            raise ProtocolError("trace_get frame requires a 'tid' field")
+        return TraceGetRequest(trace_id=trace_id)
+
+    if tag == "trace":
+        trace_id = _trace_field(obj, "tid")
+        if trace_id is None:
+            raise ProtocolError("trace frame requires a 'tid' field")
+        return TraceReply(trace_id=trace_id, spans=_spans_field(obj))
 
     if tag == "bye":
         return ByeFrame(reason=_str_field(obj, "reason"))
@@ -844,6 +943,8 @@ _WIRE_TAGS: dict[type, str] = {
     ResultEndFrame: "result_end",
     StatsRequest: "stats_request",
     StatsReply: "stats",
+    TraceGetRequest: "trace_get",
+    TraceReply: "trace",
     ByeFrame: "bye",
     **{cls: tag for tag, (cls, _msg) in _MSG_FRAMES.items()},
 }

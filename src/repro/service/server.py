@@ -58,6 +58,7 @@ from repro.net.transport import SecurityConfig
 from repro.merkle.tree import LeafEncoding
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanBuffer, default_span_buffer
 from repro.obs.trace import bind_trace
 from repro.service.codec import (
     MAX_FRAME_BYTES,
@@ -71,6 +72,8 @@ from repro.service.codec import (
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
+    TraceGetRequest,
+    TraceReply,
     VerdictFrame,
     read_frame,
     resolve_workload,
@@ -293,6 +296,7 @@ class SupervisorServer:
         max_frame: int = MAX_FRAME_BYTES,
         clock=time.monotonic,
         registry: MetricsRegistry | None = None,
+        span_buffer: SpanBuffer | None = None,
     ) -> None:
         if queue_size < 1:
             raise ProtocolError(f"queue_size must be >= 1, got {queue_size}")
@@ -318,6 +322,12 @@ class SupervisorServer:
         # injects the process-global default registry so one scrape
         # covers every subsystem.
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Completed spans (local and cluster-assembled) served over the
+        # authenticated trace_get frame; the default is the process
+        # global so the coordinator's assembly is visible here.
+        self.span_buffer = (
+            span_buffer if span_buffer is not None else default_span_buffer()
+        )
         self.sessions = SessionStore(
             ttl=session_ttl, clock=clock, registry=self.registry
         )
@@ -583,6 +593,16 @@ class SupervisorServer:
             return [await self._handle_submission(frame.msg)]
         if isinstance(frame, StatsRequest):
             return [StatsReply(stats=self.stats_snapshot())]
+        if isinstance(frame, TraceGetRequest):
+            return [
+                TraceReply(
+                    trace_id=frame.trace_id,
+                    spans=tuple(
+                        s.to_wire()
+                        for s in self.span_buffer.trace(frame.trace_id)
+                    ),
+                )
+            ]
         raise ProtocolError(
             f"unexpected frame {type(frame).__name__} at the supervisor"
         )

@@ -33,6 +33,7 @@ from repro.merkle.tree import LeafEncoding
 from repro.exceptions import CodecError
 from repro.service.codec import (
     CLUSTER_WIRE_VERSION,
+    COMPAT_CLUSTER_WIRE_VERSIONS,
     ByeFrame,
     ChallengeFrame,
     CommitmentFrame,
@@ -48,6 +49,8 @@ from repro.service.codec import (
     SubmissionFrame,
     TaskAssign,
     TaskRequest,
+    TraceGetRequest,
+    TraceReply,
     VerdictFrame,
     WorkerHello,
     decode_cluster_chunk,
@@ -145,19 +148,52 @@ def _sample_proofs(draw):
 
 # Optional trace/span ids: absent (None) or 1..64 chars of printable
 # text — the codec's validity window for the tid/sid wire fields.
-_trace_ids = st.one_of(
+_required_ids = st.text(
+    min_size=1,
+    max_size=64,
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+)
+_trace_ids = st.one_of(st.none(), _required_ids)
+
+# Scalar attribute values inside the wire-span validity window.
+_span_attr_values = st.one_of(
     st.none(),
-    st.text(
-        min_size=1,
-        max_size=64,
-        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
-    ),
+    st.booleans(),
+    st.integers(min_value=-(1 << 30), max_value=1 << 30),
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    st.text(max_size=32),
 )
 
 
 @st.composite
+def _wire_span_dicts(draw):
+    """One valid ``sp`` element (wire v4's optional span payload)."""
+    item = {
+        "tid": draw(_required_ids),
+        "sid": draw(_required_ids),
+        "name": draw(st.text(min_size=1, max_size=120)),
+        "ts": draw(st.floats(min_value=0, max_value=2e9, allow_nan=False)),
+        "dur": draw(st.floats(min_value=0, max_value=1e6, allow_nan=False)),
+    }
+    if draw(st.booleans()):
+        item["pid"] = draw(_required_ids)
+    if draw(st.booleans()):
+        item["st"] = draw(st.text(min_size=1, max_size=120))
+    if draw(st.booleans()):
+        item["attrs"] = draw(
+            st.dictionaries(
+                st.text(max_size=32), _span_attr_values, max_size=4
+            )
+        )
+    return item
+
+
+_wire_span_lists = st.lists(_wire_span_dicts(), max_size=3).map(tuple)
+
+
+@st.composite
 def _wire_frames(draw):
-    kind = draw(st.integers(min_value=0, max_value=16))
+    kind = draw(st.integers(min_value=0, max_value=18))
     task_id = draw(_task_ids)
     if kind == 13:
         return ResultPartFrame(
@@ -169,6 +205,7 @@ def _wire_frames(draw):
         return ResultEndFrame(
             job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
             parts=draw(st.integers(min_value=1, max_value=1 << 16)),
+            spans=draw(_wire_span_lists),
         )
     if kind == 8:
         return WorkerHello(
@@ -204,6 +241,14 @@ def _wire_frames(draw):
             job_id=draw(st.integers(min_value=0, max_value=1 << 32)),
             ok=draw(st.booleans()),
             payload=draw(st.binary(max_size=64)),
+            spans=draw(_wire_span_lists),
+        )
+    if kind == 17:
+        return TraceGetRequest(trace_id=draw(_required_ids))
+    if kind == 18:
+        return TraceReply(
+            trace_id=draw(_required_ids),
+            spans=draw(_wire_span_lists),
         )
     if kind == 12:
         return ByeFrame(reason=draw(st.text(max_size=30)))
@@ -438,6 +483,87 @@ class TestClusterEnvelope:
         ):
             with pytest.raises(ReproError):
                 decode_frame_payload(payload)
+
+    def test_older_v3_result_frames_still_accepted(self):
+        """Wire v4 only *adds* the optional ``sp`` field: a v3 peer's
+        result/result_end frames (no spans, version tag 3) must decode
+        — rolling upgrades depend on it."""
+        import base64
+        import json
+
+        assert 3 in COMPAT_CLUSTER_WIRE_VERSIONS
+        payload = base64.b64encode(b"x").decode("ascii")
+        result = decode_frame_payload(json.dumps(
+            {"t": "result", "id": 7, "ok": True, "p": payload, "v": 3}
+        ).encode())
+        assert isinstance(result, ResultFrame) and result.spans == ()
+        end = decode_frame_payload(json.dumps(
+            {"t": "result_end", "id": 7, "parts": 2, "v": 3}
+        ).encode())
+        assert isinstance(end, ResultEndFrame) and end.spans == ()
+
+    def test_result_spans_round_trip(self):
+        spans = (
+            {"tid": "t1", "sid": "s1", "name": "worker.execute",
+             "ts": 1.5, "dur": 0.25, "pid": "p1",
+             "attrs": {"worker": "w-0", "jobs": 3}},
+        )
+        for frame in (
+            ResultFrame(job_id=1, ok=True, payload=b"x", spans=spans),
+            ResultEndFrame(job_id=1, parts=2, spans=spans),
+        ):
+            assert decode_frame(encode_frame(frame)) == frame
+
+    @pytest.mark.parametrize(
+        "sp",
+        [
+            "not-a-list",
+            {"tid": "t"},
+            [{"tid": "t1", "sid": "s1", "name": "n", "ts": 0, "dur": 0,
+              "evil": 1}],
+            [{"tid": "t1", "sid": "s1", "name": "", "ts": 0, "dur": 0}],
+            [{"tid": "t1", "sid": "s1", "name": "n", "ts": "x", "dur": 0}],
+            [{"tid": "t1", "sid": "s1", "name": "n", "ts": 0, "dur": -1}],
+            [{"tid": "t" * 200, "sid": "s1", "name": "n", "ts": 0, "dur": 0}],
+            [{"tid": "t1", "sid": "s1", "name": "n", "ts": 0, "dur": 0,
+              "attrs": {"k": {"nested": 1}}}],
+            [{"tid": "t1", "sid": "s1", "name": "n", "ts": 0, "dur": 0}] * 64,
+        ],
+    )
+    def test_junk_span_payloads_rejected(self, sp):
+        """Hostile ``sp`` values are ProtocolErrors — same policy as
+        junk ``tid``/``sid``: reject the frame, never crash."""
+        import base64
+        import json
+
+        obj = {
+            "t": "result", "id": 0, "ok": True,
+            "p": base64.b64encode(b"x").decode("ascii"),
+            "v": CLUSTER_WIRE_VERSION, "sp": sp,
+        }
+        with pytest.raises(ProtocolError):
+            decode_frame_payload(json.dumps(obj).encode("utf-8"))
+
+    def test_trace_frames_round_trip_and_reject_junk(self):
+        import json
+
+        frame = TraceReply(
+            trace_id="t1",
+            spans=({"tid": "t1", "sid": "s1", "name": "n",
+                    "ts": 0.0, "dur": 0.0},),
+        )
+        assert decode_frame(encode_frame(frame)) == frame
+        request = TraceGetRequest(trace_id="t1")
+        assert decode_frame(encode_frame(request)) == request
+        for payload in (
+            {"t": "trace_get"},                      # tid required
+            {"t": "trace_get", "tid": ""},
+            {"t": "trace_get", "tid": "t" * 200},
+            {"t": "trace", "sp": []},                # tid required
+            {"t": "trace", "tid": "t1", "sp": "x"},  # junk span list
+        ):
+            with pytest.raises(ProtocolError):
+                decode_frame_payload(json.dumps(payload).encode("utf-8"))
 
     def test_oversized_result_part_rejected_at_encode(self):
         from repro.service.codec import MAX_CLUSTER_PAYLOAD_BYTES

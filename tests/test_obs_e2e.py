@@ -26,6 +26,8 @@ from repro.engine import ClusterExecutor
 from repro.engine.cluster.worker import run_worker
 from repro.exceptions import ProtocolError, ReproError
 from repro.net.transport import SecurityConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanBuffer, render_waterfall
 from repro.obs.trace import bind_trace, new_trace_id
 from repro.service.client import ServiceClient
 from repro.service.codec import (
@@ -238,3 +240,108 @@ class TestTraceFieldCodec:
             raw = json.dumps({"t": "stats", "stats": bad}).encode()
             with pytest.raises(ProtocolError):
                 decode_frame_payload(raw)
+
+
+# ----------------------------------------------------------------------
+# Distributed span timelines over the trace_get frame
+# ----------------------------------------------------------------------
+
+
+class TestDistributedTraceFrame:
+    def test_cluster_waterfall_served_over_one_authenticated_frame(
+        self, secret_file
+    ):
+        """The PR's acceptance path end to end: a traced cluster map
+        records coordinator dispatch, worker execution, and result
+        acceptance as real spans; a single authenticated ``trace_get``
+        frame returns the assembled timeline; ``render_waterfall``
+        draws it."""
+        buffer = SpanBuffer(registry=MetricsRegistry())
+        port = _free_port()
+        executor = ClusterExecutor(
+            workers=1, port=port, spawn_local=False,
+            startup_timeout=30.0, span_buffer=buffer,
+        )
+
+        def worker_thread() -> None:
+            async def dial() -> None:
+                for _ in range(200):
+                    try:
+                        await run_worker("127.0.0.1", port, engine="serial")
+                        return
+                    except (ConnectionError, OSError):
+                        await asyncio.sleep(0.05)
+
+            asyncio.run(dial())
+
+        thread = threading.Thread(target=worker_thread, daemon=True)
+        thread.start()
+        trace_id = new_trace_id()
+        try:
+            with bind_trace(trace_id):
+                assert executor.map(_square, range(8)) == [
+                    i * i for i in range(8)
+                ]
+        finally:
+            executor.close()
+        thread.join(timeout=10)
+
+        # The worker's spans crossed the wire and the coordinator
+        # assembled them under the chunk's span id.
+        spans = buffer.trace(trace_id)
+        by_name = {s.name: s for s in spans}
+        assert {"coordinator.chunk", "worker.execute",
+                "coordinator.accept"} <= set(by_name)
+        chunk = by_name["coordinator.chunk"]
+        assert by_name["worker.execute"].parent_id == chunk.span_id
+        assert by_name["coordinator.accept"].parent_id == chunk.span_id
+        assert chunk.parent_id is None
+
+        async def scenario() -> list:
+            security = SecurityConfig.from_options(secret_file=secret_file)
+            server = SupervisorServer(
+                _service_config(), engine="serial", security=security,
+                span_buffer=buffer,
+            )
+            host, sport = await server.start()
+            try:
+                client = await ServiceClient.open_tcp(
+                    host, sport, security=security
+                )
+                try:
+                    return await client.trace(trace_id)
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        wire = asyncio.run(asyncio.wait_for(scenario(), timeout=60))
+        json.dumps(wire)  # the reply is JSON-clean wire dicts
+        fetched = [Span.from_wire(w) for w in wire]
+        assert {s.name for s in fetched} >= {
+            "coordinator.chunk", "worker.execute", "coordinator.accept"
+        }
+        text = render_waterfall(fetched)
+        assert trace_id in text.splitlines()[0]
+        assert any(
+            line.lstrip().startswith("worker.execute") and "#" in line
+            for line in text.splitlines()
+        )
+
+    def test_unknown_trace_id_returns_empty_reply(self):
+        async def scenario():
+            server = SupervisorServer(
+                _service_config(), engine="serial",
+                span_buffer=SpanBuffer(registry=MetricsRegistry()),
+            )
+            try:
+                reader, writer = server.connect_memory()
+                client = ServiceClient(reader, writer)
+                try:
+                    return await client.trace("no-such-trace")
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        assert asyncio.run(asyncio.wait_for(scenario(), timeout=60)) == []
