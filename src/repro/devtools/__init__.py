@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repo but outside the runtime.
+
+Nothing under :mod:`repro.devtools` is imported by the protocol,
+engine, service, or observability planes — these are tools *about*
+the codebase (static analysis, invariants, CI gates), not part of it.
+"""

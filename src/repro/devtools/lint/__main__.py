@@ -1,0 +1,7 @@
+"""``python -m repro.devtools.lint`` entry point."""
+
+import sys
+
+from repro.devtools.lint.runner import main
+
+sys.exit(main())

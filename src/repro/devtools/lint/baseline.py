@@ -1,0 +1,92 @@
+"""Baseline files: grandfathered findings that don't fail the run.
+
+A baseline is a committed JSON artifact mapping finding fingerprints
+(content-based: rule + file + flagged-line text, see
+:class:`~repro.devtools.lint.framework.Finding`) to occurrence counts.
+New code must come in clean; old findings can be paid down
+incrementally without blocking unrelated PRs.  Editing a baselined
+line invalidates its fingerprint, so touched debt must be fixed —
+the baseline only protects code nobody is changing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.lint.framework import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline, looked up relative to the lint root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Read a baseline file into a fingerprint → count multiset.
+
+    Raises ``ValueError`` on a malformed file — a corrupt baseline
+    silently admitting findings would defeat the gate.
+    """
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    entries = data.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} missing 'findings' list")
+    counts: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"baseline {path} has a malformed entry")
+        counts[str(entry["fingerprint"])] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Write the given findings as a fresh baseline.
+
+    Entries keep human-readable context (rule, path, message) so the
+    committed file reviews like a TODO list, but only the fingerprint
+    and count are semantically load-bearing.
+    """
+    counts: Counter = Counter(f.fingerprint for f in findings)
+    described: dict[str, Finding] = {}
+    for finding in findings:
+        described.setdefault(finding.fingerprint, finding)
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "count": count,
+            "rule": described[fingerprint].rule,
+            "path": described[fingerprint].path,
+            "message": described[fingerprint].message,
+        }
+        for fingerprint, count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, baselined_count).
+
+    Matching is multiset-style: a fingerprint baselined N times admits
+    at most N current occurrences; the N+1th is new.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            baselined += 1
+        else:
+            fresh.append(finding)
+    return fresh, baselined

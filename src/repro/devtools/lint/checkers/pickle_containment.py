@@ -1,0 +1,89 @@
+"""RL001: pickle stays inside the sanctioned codec module.
+
+``repro.service.codec`` is the single place allowed to touch pickle —
+it wraps every load in the versioned, size-capped, authenticated
+envelope (``CLUSTER_WIRE_VERSION``), which is the only thing standing
+between a hostile peer and arbitrary code execution.  Any other
+import of a pickle-shaped serializer reopens that surface, silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    dotted_name,
+)
+
+#: Modules that deserialize arbitrary Python objects.
+FORBIDDEN_MODULES = frozenset(
+    {"pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve"}
+)
+
+#: Files allowed to use pickle (repo-relative posix suffixes).
+SANCTIONED_SUFFIXES = ("repro/service/codec.py",)
+
+
+class PickleContainment(Checker):
+    rule = "RL001"
+    name = "pickle-containment"
+    description = (
+        "pickle (and pickle-shaped serializers) may only be used inside "
+        "repro/service/codec.py; everywhere else must go through the "
+        "versioned envelope API"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel_path.endswith(SANCTIONED_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in FORBIDDEN_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} outside the "
+                            "sanctioned codec module — use the envelope "
+                            "API in repro.service.codec",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in FORBIDDEN_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from {node.module!r} outside the "
+                        "sanctioned codec module — use the envelope API "
+                        "in repro.service.codec",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in ("__import__", "importlib.import_module"):
+                    if (
+                        node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)
+                        and node.args[0].value.split(".")[0]
+                        in FORBIDDEN_MODULES
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"dynamic import of {node.args[0].value!r} "
+                            "outside the sanctioned codec module",
+                        )
+            elif isinstance(node, ast.Attribute):
+                base = dotted_name(node.value)
+                if base in FORBIDDEN_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"use of {base}.{node.attr} outside the "
+                        "sanctioned codec module",
+                    )

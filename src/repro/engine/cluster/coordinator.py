@@ -566,7 +566,19 @@ class _Coordinator:
             return
         try:
             await write_frame(link.writer, frame, max_frame=self.max_frame)
-        except Exception:
+        except Exception as exc:
+            # The link is dead mid-write; _drop_worker requeues the
+            # chunk.  Counted and logged — a worker vanishing on the
+            # send path must be distinguishable from a scheduler bug.
+            self._m_errors.labels(site="cluster.chunk_send").inc()
+            log_event(
+                _log,
+                "chunk_send_failed",
+                level=logging.WARNING,
+                worker=link.worker_id,
+                chunk=chunk.chunk_id,
+                error=str(exc),
+            )
             self._drop_worker(link)
 
     # ------------------------------------------------------------------
@@ -1236,7 +1248,10 @@ class ClusterExecutor(Executor):
         self._co: _Coordinator | None = None
         self._procs: list[subprocess.Popen] = []
         self._address: tuple[str, int] | None = None
-        self._pool_facade: _ClusterFuturesPool | None = None
+        # Built eagerly: the facade is a stateless handle on `self`, and
+        # creating it lazily in the property was an unlocked check-then-
+        # set race (two threads could each build one).
+        self._pool_facade = _ClusterFuturesPool(self)
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -1318,8 +1333,6 @@ class ClusterExecutor(Executor):
     @property
     def futures_pool(self) -> concurrent.futures.Executor:
         self._ensure_started()
-        if self._pool_facade is None:
-            self._pool_facade = _ClusterFuturesPool(self)
         return self._pool_facade
 
     def close(self) -> None:
@@ -1338,17 +1351,21 @@ class ClusterExecutor(Executor):
             if thread is not None:
                 thread.join(timeout=10.0)
             loop.close()
-        for proc in self._procs:
+        # Detach the daemon list under the lock, then tear the
+        # processes down unlocked — terminate/wait can block for
+        # seconds and must not hold up concurrent callers.
+        with self._lock:
+            procs, self._procs = self._procs, []
+        for proc in procs:
             with contextlib.suppress(Exception):
                 proc.terminate()
-        for proc in self._procs:
+        for proc in procs:
             with contextlib.suppress(Exception):
                 try:
                     proc.wait(timeout=5.0)
                 except subprocess.TimeoutExpired:
                     proc.kill()
                     proc.wait(timeout=5.0)
-        self._procs.clear()
 
     # ------------------------------------------------------------------
     # Startup
@@ -1416,6 +1433,7 @@ class ClusterExecutor(Executor):
             "import sys; from repro.engine.cluster.worker import main; "
             "sys.exit(main(sys.argv[1:]))"
         )
+        spawned: list[subprocess.Popen] = []
         for i in range(self._n_local):
             cmd = [
                 sys.executable, "-c", entry,
@@ -1434,11 +1452,16 @@ class ClusterExecutor(Executor):
                 cmd += ["--tls-cert", self._tls_cert]
             if self._trace:
                 cmd += ["--trace"]
-            self._procs.append(
+            spawned.append(
                 subprocess.Popen(
                     cmd, env=env, stdout=subprocess.DEVNULL
                 )
             )
+        # Publish in one locked step: close() snapshots _procs under
+        # the same lock, so a concurrent teardown either sees all these
+        # daemons or none — never a half-appended list.
+        with self._lock:
+            self._procs.extend(spawned)
 
     def _await_workers(self, target: int) -> None:
         """Block until ``target`` workers registered (or fail loudly)."""

@@ -35,6 +35,24 @@ __all__ = ["FlightRecorder", "install_flight_recorder"]
 
 _SAFE_NAME_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
+# Lazy errors counter (PR 7 rule: swallowed exceptions are counted).
+# Incrementing a counter emits no log records, so this is safe to call
+# from inside a logging handler without recursion.
+_errors = None
+
+
+def _errors_counter():
+    global _errors
+    if _errors is None:
+        from repro.obs.metrics import default_registry
+
+        _errors = default_registry().counter(
+            "repro_errors_total",
+            "Errors that dropped a connection or request, by site",
+            ("site",),
+        )
+    return _errors
+
 #: Keys copied off captured log records when present (the structured
 #: fields ``log_event`` and ``TraceContextFilter`` stamp).
 _RECORD_FIELDS = ("event", "trace_id", "span_id")
@@ -60,8 +78,11 @@ class _RingHandler(logging.Handler):
                 if value is not None:
                     entry[key] = value
             self._recorder._append(entry)
-        except Exception:  # a broken record must never kill the app
-            pass
+        except Exception:
+            # A broken record must never kill the app — but the drop is
+            # counted (logging it from inside a log handler would risk
+            # recursion; a counter inc cannot).
+            _errors_counter().labels(site="flight.ring_append").inc()
 
 
 class FlightRecorder:
@@ -85,6 +106,7 @@ class FlightRecorder:
             maxlen=capacity
         )
         self._handler: _RingHandler | None = None
+        self._logger_name = "repro"
 
     # ------------------------------------------------------------------
     # Recording
@@ -100,15 +122,24 @@ class FlightRecorder:
 
     def attach(self, logger_name: str = "repro") -> None:
         """Capture the structured log stream into the ring."""
-        if self._handler is None:
-            self._handler = _RingHandler(self)
-            logging.getLogger(logger_name).addHandler(self._handler)
+        # Under the lock: two threads racing attach() would otherwise
+        # both pass the None check and leave an orphaned handler on the
+        # logger forever.  addHandler takes logging's module lock, a
+        # different lock — no ordering cycle with _append.
+        with self._lock:
+            if self._handler is not None:
+                return
+            handler = _RingHandler(self)
+            self._handler = handler
             self._logger_name = logger_name
+        logging.getLogger(logger_name).addHandler(handler)
 
     def detach(self) -> None:
-        if self._handler is not None:
-            logging.getLogger(self._logger_name).removeHandler(self._handler)
-            self._handler = None
+        with self._lock:
+            handler, self._handler = self._handler, None
+            logger_name = self._logger_name
+        if handler is not None:
+            logging.getLogger(logger_name).removeHandler(handler)
 
     # ------------------------------------------------------------------
     # Dumping
@@ -165,8 +196,14 @@ def install_flight_recorder(
                 message=str(exc),
             )
             recorder.dump_to_dir(flight_dir, reason="crash")
-        except Exception:
-            pass
+        except Exception as dump_exc:
+            # The recorder must never turn a crash into a different
+            # crash: note the failure on stderr (we are already past
+            # logging) and let the original traceback print.
+            print(
+                f"flight recorder crash dump failed: {dump_exc}",
+                file=sys.stderr,
+            )
         previous_hook(exc_type, exc, tb)
 
     sys.excepthook = _crash_hook
@@ -176,7 +213,9 @@ def install_flight_recorder(
             try:
                 recorder.dump_to_dir(flight_dir, reason="sigusr1")
             except Exception:
-                pass
+                # Signal context: no logging, no allocation-heavy work
+                # — count the failed dump and return.
+                _errors_counter().labels(site="flight.sigusr1_dump").inc()
 
         try:
             signal.signal(signal.SIGUSR1, _signal_dump)

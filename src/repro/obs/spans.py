@@ -282,14 +282,22 @@ class SpanBuffer:
         self._dropped = None  # lazy counter; registry may not exist yet
 
     def _dropped_counter(self):
-        if self._dropped is None:
+        counter = self._dropped
+        if counter is None:
             registry = self._registry or default_registry()
-            self._dropped = registry.counter(
+            counter = registry.counter(
                 "repro_spans_dropped_total",
                 "Completed spans evicted from a full SpanBuffer "
                 "(oldest-first)",
             )
-        return self._dropped
+            # Publish under the lock: two racing callers both resolve
+            # the same registry counter (get-or-create), but the cached
+            # attribute must be written exactly once.
+            with self._lock:
+                if self._dropped is None:
+                    self._dropped = counter
+                counter = self._dropped
+        return counter
 
     def add(self, span: Span) -> None:
         dropped = 0
