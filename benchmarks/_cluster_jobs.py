@@ -1,0 +1,27 @@
+"""Registered cluster job functions shared by the benchmarks.
+
+The typed job codec only ships *registered* callables across the
+cluster wire (jobs are data, never code), so bench work items live in
+this importable module instead of inline in the bench files.  External
+worker daemons load the registrations with ``--preload _cluster_jobs``
+(the benchmarks directory rides the coordinator's ``PYTHONPATH``
+propagation) — exactly the hook a deployment uses for its own job
+modules.
+"""
+
+import hashlib
+
+from repro.service.jobcodec import register_callable
+
+SKEW_WORK_REPS = 30_000  # ~15-25 ms of sha256 per item
+
+
+def bench_item(x: int) -> str:
+    """One deterministic CPU-bound work item (~tens of ms of hashing)."""
+    digest = hashlib.sha256(str(x).encode("ascii")).digest()
+    for _ in range(SKEW_WORK_REPS):
+        digest = hashlib.sha256(digest).digest()
+    return digest.hex()
+
+
+register_callable("bench.item", bench_item)

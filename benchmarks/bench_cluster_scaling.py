@@ -4,10 +4,10 @@ Three claims are pinned here:
 
 1. **Scaling** — a coordinator sharding a population across local
    worker daemons (one process each, dialled in over real loopback TCP
-   with pickled chunks, heartbeats and bounded in-flight windows)
-   beats the single-host serial loop once the domain is large enough
-   to amortize spawn and framing: >= 1.5x serial with 4 workers at
-   ``D = 2^16`` on a >= 4-core host.
+   with typed job-spec chunks, heartbeats and bounded in-flight
+   windows) beats the single-host serial loop once the domain is large
+   enough to amortize spawn and framing: >= 1.5x serial with 4 workers
+   at ``D = 2^16`` on a >= 4-core host.
 2. **Adaptivity** — with one worker artificially slowed (the
    ``--throttle`` straggler hook), throughput-aware chunk sizing must
    beat fixed-size chunking by >= 10%: the EWMA scheduler learns the
@@ -19,6 +19,12 @@ Three claims are pinned here:
    CI smoke size versus plaintext: authentication happens once per
    connection and TLS bulk crypto is cheap next to scheme compute, so
    a securely-deployed cluster stays on the perf trajectory.
+4. **Wire economy** — the typed job codec (``repro.service.jobcodec``)
+   must keep a population job spec >= 3x smaller on the wire than the
+   retired pickle envelope at ``D = 2^16``: schemes travel as name +
+   canonical params and tasks as registered structs, not as
+   class-by-class pickle machinery, and the per-job encode+decode cost
+   is reported alongside so the byte win is never bought blind.
 
 Results are byte-identical to serial on every worker count and chunk
 policy — pinned by tests/test_engine_cluster.py — so only wall-clock
@@ -36,7 +42,6 @@ Emits ``benchmarks/results/cluster_scaling.json`` and
 rendered tables.
 """
 
-import hashlib
 import os
 import socket
 import subprocess
@@ -44,6 +49,7 @@ import sys
 import time
 
 import _perf
+from _cluster_jobs import bench_item
 from repro.analysis import format_table
 from repro.cheating import HonestBehavior, SemiHonestCheater
 from repro.core import CBSScheme
@@ -70,18 +76,13 @@ SKEW_WORKERS = 4
 SKEW_THROTTLE_S = 0.08
 SKEW_ITEMS = 96
 SKEW_ITEMS_QUICK = 24
-SKEW_WORK_REPS = 30_000  # ~15-25 ms of sha256 per item
 FIXED_CHUNK = 4  # min == max: the static baseline
 ADAPTIVE_MIN, ADAPTIVE_MAX = 1, 8
 TARGET_SKEW_GAIN = 1.10
 
-
-def _bench_item(x: int) -> str:
-    """One deterministic CPU-bound work item (~tens of ms of hashing)."""
-    digest = hashlib.sha256(str(x).encode("ascii")).digest()
-    for _ in range(SKEW_WORK_REPS):
-        digest = hashlib.sha256(digest).digest()
-    return digest.hex()
+# Typed-codec wire economy: job bytes vs the retired pickle envelope.
+TARGET_BYTES_RATIO = 3.0
+CODEC_TIMING_ROUNDS = 5
 
 
 def _run_once(executor, d_exp: int, participants: int) -> float:
@@ -336,6 +337,7 @@ def _spawn_worker(port: int, worker_id: str, throttle: float) -> subprocess.Pope
         "--id", worker_id,
         "--heartbeat", "0.5",
         "--connect-retry", "30",
+        "--preload", "_cluster_jobs",
     ]
     if throttle > 0:
         cmd += ["--throttle", str(throttle)]
@@ -362,11 +364,11 @@ def _run_skewed(n_items: int, chunk_min: int, chunk_max: int) -> tuple[float, di
             startup_timeout=60.0,
         ) as executor:
             start = time.perf_counter()
-            results = executor.map(_bench_item, range(n_items))
+            results = executor.map(bench_item, range(n_items))
             elapsed = time.perf_counter() - start
             stats = executor.stats
         assert len(results) == n_items
-        assert results[1] == _bench_item(1)  # remote work is honest
+        assert results[1] == bench_item(1)  # remote work is honest
         return elapsed, stats
     finally:
         for proc in procs:
@@ -454,3 +456,183 @@ def test_adaptive_beats_fixed_chunking_with_straggler(
             f"(measured {gain:.2f}x: fixed {fixed_t:.3f}s, "
             f"adaptive {adaptive_t:.3f}s)"
         )
+
+
+# ----------------------------------------------------------------------
+# Wire economy: typed job codec vs the retired pickle envelope
+# ----------------------------------------------------------------------
+
+
+def _population_batches(d_exp: int, participants: int) -> list:
+    """The exact job specs a cluster population run puts on the wire.
+
+    Mirrors :meth:`repro.grid.simulation.GridSimulation.jobs` at
+    batch_size=1 — one ``SchemeBatch`` per participant, same scheme,
+    task workload and behaviour mix as :func:`_run_once`.
+    """
+    from repro.engine.jobs import SchemeBatch, SchemeJob
+    from repro.engine.seeding import derive_seed
+    from repro.tasks.result import TaskAssignment
+
+    behaviors = [HonestBehavior(), SemiHonestCheater(0.5)]
+    scheme = CBSScheme(n_samples=N_SAMPLES)
+    function = PasswordSearch()
+    return [
+        SchemeBatch(
+            scheme=scheme,
+            jobs=(
+                SchemeJob(
+                    assignment=TaskAssignment(
+                        task_id=f"task-{i}",
+                        domain=subdomain,
+                        function=function,
+                    ),
+                    behavior=behaviors[i % len(behaviors)],
+                    seed=derive_seed(1, i),
+                ),
+            ),
+        )
+        for i, subdomain in enumerate(
+            RangeDomain(0, 1 << d_exp).partition(participants)
+        )
+    ]
+
+
+def _best_loop_seconds(fn, rounds: int) -> float:
+    """Best-of-N wall clock of ``fn`` (one full pass over the jobs)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_job_codec_bytes_vs_pickle(save_json, save_table, trajectory, quick):
+    """Typed job specs must be >= 3x smaller than the pickle envelope.
+
+    Measures the exact coordinator submit path (``encode_job`` around
+    ``execute_batch``) against what the retired wire did (stdlib pickle
+    of the same ``(fn, args, kwargs)`` triple), on the same population
+    job list the scaling scenario runs.  Decode runs through a worker's
+    scheme cache — that is the production path, and it is exactly where
+    the per-chunk scheme rebuild cost went.
+    """
+    import pickle  # the retired wire, kept only as the yardstick
+
+    from repro.engine.jobs import execute_batch
+    from repro.service.jobcodec import SchemeCache, decode_job, encode_job
+
+    d_exp = D_EXP_QUICK if quick else D_EXP
+    participants = N_PARTICIPANTS_QUICK if quick else N_PARTICIPANTS
+    batches = _population_batches(d_exp, participants)
+    n_jobs = len(batches)
+
+    typed = [encode_job(execute_batch, (batch,), {}) for batch in batches]
+    pickled = [
+        pickle.dumps(
+            (execute_batch, (batch,), {}),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        for batch in batches
+    ]
+    typed_bytes = sum(len(raw) for raw in typed) / n_jobs
+    pickle_bytes = sum(len(raw) for raw in pickled) / n_jobs
+    ratio = pickle_bytes / typed_bytes
+
+    cache = SchemeCache()
+    timings_s = {
+        "typed_encode": _best_loop_seconds(
+            lambda: [encode_job(execute_batch, (b,), {}) for b in batches],
+            CODEC_TIMING_ROUNDS,
+        ),
+        "typed_decode": _best_loop_seconds(
+            lambda: [decode_job(raw, cache=cache) for raw in typed],
+            CODEC_TIMING_ROUNDS,
+        ),
+        "pickle_encode": _best_loop_seconds(
+            lambda: [
+                pickle.dumps((execute_batch, (b,), {}),
+                             protocol=pickle.HIGHEST_PROTOCOL)
+                for b in batches
+            ],
+            CODEC_TIMING_ROUNDS,
+        ),
+        "pickle_decode": _best_loop_seconds(
+            lambda: [pickle.loads(raw) for raw in pickled],
+            CODEC_TIMING_ROUNDS,
+        ),
+    }
+    us_per_job = {
+        key: round(seconds / n_jobs * 1e6, 1)
+        for key, seconds in timings_s.items()
+    }
+
+    rows = [
+        {
+            "codec": "typed (wire v5)",
+            "bytes_per_job": round(typed_bytes, 1),
+            "encode_us_per_job": us_per_job["typed_encode"],
+            "decode_us_per_job": us_per_job["typed_decode"],
+            "size_vs_pickle": round(typed_bytes / pickle_bytes, 3),
+        },
+        {
+            "codec": "pickle (retired v4)",
+            "bytes_per_job": round(pickle_bytes, 1),
+            "encode_us_per_job": us_per_job["pickle_encode"],
+            "decode_us_per_job": us_per_job["pickle_decode"],
+            "size_vs_pickle": 1.0,
+        },
+    ]
+    save_json(
+        "cluster_jobcodec",
+        {
+            "schema": _perf.BENCH_SCHEMA_VERSION,
+            "bench": "cluster_jobcodec",
+            "quick": quick,
+            "domain_size": 1 << d_exp,
+            "n_jobs": n_jobs,
+            "n_samples": N_SAMPLES,
+            "target_bytes_ratio": TARGET_BYTES_RATIO,
+            "bytes_ratio": round(ratio, 3),
+            "scheme_cache": cache.stats(),
+            "fingerprint": trajectory.fingerprint,
+            "rows": rows,
+        },
+    )
+    save_table(
+        "cluster_jobcodec",
+        format_table(
+            rows,
+            title=(
+                f"Job codec economy — D = 2^{d_exp}, {n_jobs} jobs, "
+                f"m = {N_SAMPLES}, typed {ratio:.2f}x smaller"
+                f"{' [quick]' if quick else ''}"
+            ),
+        ),
+    )
+
+    # The scheme travelled once per population, not once per job.
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["hits"] >= n_jobs - 1
+
+    if not quick:
+        assert ratio >= TARGET_BYTES_RATIO, (
+            f"typed job specs must be >= {TARGET_BYTES_RATIO:.0f}x smaller "
+            f"than the pickle envelope at D = 2^{d_exp} (measured "
+            f"{ratio:.2f}x: typed {typed_bytes:.1f} B/job, pickle "
+            f"{pickle_bytes:.1f} B/job)"
+        )
+
+    # Append only after the gate passes — same policy as the wall-clock
+    # trajectories above.
+    trajectory.append(
+        "cluster_jobcodec",
+        quick=quick,
+        domain_size=1 << d_exp,
+        typed_bytes_per_job=round(typed_bytes, 1),
+        pickle_bytes_per_job=round(pickle_bytes, 1),
+        bytes_ratio=round(ratio, 3),
+        typed_encode_us_per_job=us_per_job["typed_encode"],
+        typed_decode_us_per_job=us_per_job["typed_decode"],
+    )

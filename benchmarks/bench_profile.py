@@ -25,6 +25,7 @@ record, trajectory gate — live on every PR.
 """
 
 import hashlib
+import pickle  # retired from the cluster wire; kept as the yardstick
 import time
 
 import _perf
@@ -147,6 +148,11 @@ def _phase_breakdown(n: int, payloads: list, raw_payload: bytes) -> dict:
     phases["serialize"] = _time(
         lambda: decode_cluster_payload(encode_cluster_payload(payloads))
     )
+    phases["serialize_pickle"] = _time(
+        lambda: pickle.loads(
+            pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    )
     phases["framing"] = _time(
         lambda: [split_frame_buffer(frame_buffer(raw_payload)) for _ in range(64)]
     )
@@ -187,6 +193,19 @@ def test_profile_worker_second(save_json, save_table, trajectory, quick):
 
     phases = _phase_breakdown(n, payloads, raw_payload)
 
+    # Wire economy of the serialize phase: the same payload list
+    # through the typed codec vs the retired pickle envelope, as
+    # bytes/item and round-trip µs/item.
+    typed_raw = encode_cluster_payload(payloads)
+    pickle_raw = pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL)
+    serialize_wire = {
+        "items": n,
+        "typed_bytes_per_item": round(len(typed_raw) / n, 2),
+        "pickle_bytes_per_item": round(len(pickle_raw) / n, 2),
+        "typed_us_per_item": round(phases["serialize"] / n * 1e6, 3),
+        "pickle_us_per_item": round(phases["serialize_pickle"] / n * 1e6, 3),
+    }
+
     rows = [
         {"phase": name, "seconds": round(seconds, 5)}
         for name, seconds in phases.items()
@@ -216,6 +235,7 @@ def test_profile_worker_second(save_json, save_table, trajectory, quick):
             "domain_size": n,
             "rounds": rounds,
             "phases_s": {k: round(v, 6) for k, v in phases.items()},
+            "serialize_wire": serialize_wire,
             "merkle_legacy_s": round(best["legacy"], 6),
             "merkle_current_s": round(best["current"], 6),
             "speedup_vs_legacy": round(speedup, 3),

@@ -761,6 +761,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         trace=args.trace,
         metrics_port=args.metrics_port,
         flight_dir=args.flight_dir,
+        preload=tuple(args.preload or ()),
     )
 
 

@@ -1,10 +1,13 @@
-"""RL001: pickle stays inside the sanctioned codec module.
+"""RL001: no pickle anywhere in the library — the allowlist is empty.
 
-``repro.service.codec`` is the single place allowed to touch pickle —
-it wraps every load in the versioned, size-capped, authenticated
-envelope (``CLUSTER_WIRE_VERSION``), which is the only thing standing
-between a hostile peer and arbitrary code execution.  Any other
-import of a pickle-shaped serializer reopens that surface, silently.
+Cluster wire v5 replaced the pickle envelope with the typed job codec
+(:mod:`repro.service.jobcodec`): jobs are registered callable names
+plus schema-checked arguments — data, never code — so nothing in
+``src`` has any business importing a pickle-shaped serializer.  Any
+such import reopens the deserialize-to-RCE surface this repo spent a
+wire version retiring, silently.  ``SANCTIONED_SUFFIXES`` is kept (and
+kept empty) so a future exemption is one reviewed diff line, not a new
+mechanism.
 """
 
 from __future__ import annotations
@@ -24,21 +27,23 @@ FORBIDDEN_MODULES = frozenset(
     {"pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve"}
 )
 
-#: Files allowed to use pickle (repo-relative posix suffixes).
-SANCTIONED_SUFFIXES = ("repro/service/codec.py",)
+#: Files allowed to use pickle (repo-relative posix suffixes).  Empty
+#: since wire v5: the typed jobcodec carries every cluster payload.
+SANCTIONED_SUFFIXES: tuple[str, ...] = ()
 
 
 class PickleContainment(Checker):
     rule = "RL001"
     name = "pickle-containment"
     description = (
-        "pickle (and pickle-shaped serializers) may only be used inside "
-        "repro/service/codec.py; everywhere else must go through the "
-        "versioned envelope API"
+        "pickle (and pickle-shaped serializers) are banned from the "
+        "library: cluster payloads go through the typed job codec in "
+        "repro.service.jobcodec (registered names + schema-checked "
+        "arguments, never code)"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if ctx.rel_path.endswith(SANCTIONED_SUFFIXES):
+        if SANCTIONED_SUFFIXES and ctx.rel_path.endswith(SANCTIONED_SUFFIXES):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
@@ -48,9 +53,10 @@ class PickleContainment(Checker):
                         yield self.finding(
                             ctx,
                             node,
-                            f"import of {alias.name!r} outside the "
-                            "sanctioned codec module — use the envelope "
-                            "API in repro.service.codec",
+                            f"import of {alias.name!r} — pickle is "
+                            "banned from the library; ship values "
+                            "through the typed job codec in "
+                            "repro.service.jobcodec",
                         )
             elif isinstance(node, ast.ImportFrom):
                 root = (node.module or "").split(".")[0]
@@ -58,9 +64,9 @@ class PickleContainment(Checker):
                     yield self.finding(
                         ctx,
                         node,
-                        f"import from {node.module!r} outside the "
-                        "sanctioned codec module — use the envelope API "
-                        "in repro.service.codec",
+                        f"import from {node.module!r} — pickle is "
+                        "banned from the library; ship values through "
+                        "the typed job codec in repro.service.jobcodec",
                     )
             elif isinstance(node, ast.Call):
                 name = dotted_name(node.func)
@@ -76,7 +82,7 @@ class PickleContainment(Checker):
                             ctx,
                             node,
                             f"dynamic import of {node.args[0].value!r} "
-                            "outside the sanctioned codec module",
+                            "— pickle is banned from the library",
                         )
             elif isinstance(node, ast.Attribute):
                 base = dotted_name(node.value)
@@ -84,6 +90,6 @@ class PickleContainment(Checker):
                     yield self.finding(
                         ctx,
                         node,
-                        f"use of {base}.{node.attr} outside the "
-                        "sanctioned codec module",
+                        f"use of {base}.{node.attr} — pickle is banned "
+                        "from the library",
                     )

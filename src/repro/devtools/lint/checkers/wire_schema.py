@@ -18,6 +18,20 @@ Inside the codec:
   the size-capped ``_cluster_payload_field`` helper (which itself must
   call ``check_payload_size``).
 
+Inside the job codec (``repro/service/jobcodec.py``, the typed value
+layer the frame codec carries):
+
+* the ``Tag`` byte table, the ``_DECODERS`` dispatch table and the
+  ``_TAG_NAMES`` name table must agree member-for-member — a tag with
+  no decoder is a frame the peer cannot read, a decoder with no tag is
+  dead code wearing a wire byte;
+* every envelope entry point (``encode_cluster_*``/``decode_cluster_*``)
+  calls ``check_payload_size`` — no envelope leaves or enters unbounded;
+* outside the ``_Decoder`` class, nothing subscripts a ``.data``
+  buffer directly — all byte reads go through the bounds-checked
+  ``take``/``uint``/``name`` accessors, so a lying length field cannot
+  turn into an silent short read.
+
 Outside the codec:
 
 * no dict literal with a ``"t"`` key naming a known wire tag — frames
@@ -33,6 +47,7 @@ from typing import Iterator, Sequence
 from repro.devtools.lint.framework import Checker, FileContext, Finding
 
 CODEC_SUFFIX = "service/codec.py"
+JOBCODEC_SUFFIX = "service/jobcodec.py"
 
 
 def _const_str(node: ast.expr) -> str | None:
@@ -58,8 +73,10 @@ class WireSchemaCoverage(Checker):
     name = "wire-schema-coverage"
     description = (
         "codec tag tables (encode/decode/_WIRE_TAGS) must agree, "
-        "payload branches must call check_payload_size, and no raw "
-        "dict-literal frames outside the codec"
+        "jobcodec Tag/_DECODERS/_TAG_NAMES must agree, payload "
+        "branches and envelope entry points must call "
+        "check_payload_size, byte reads go through bounds-checked "
+        "accessors, and no raw dict-literal frames outside the codec"
     )
 
     def __init__(self) -> None:
@@ -142,6 +159,8 @@ class WireSchemaCoverage(Checker):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.rel_path.endswith(CODEC_SUFFIX):
             yield from self._check_codec(ctx)
+        elif ctx.rel_path.endswith(JOBCODEC_SUFFIX):
+            yield from self._check_jobcodec(ctx)
         elif self._known_tags:
             yield from self._check_outside(ctx)
 
@@ -238,6 +257,91 @@ class WireSchemaCoverage(Checker):
                     "_cluster_payload_field does not call "
                     "check_payload_size — decoded payloads are "
                     "unbounded",
+                )
+
+    # -- the typed job codec ----------------------------------------
+
+    def _check_jobcodec(self, ctx: FileContext) -> Iterator[Finding]:
+        tag_members: set[str] = set()
+        decoder_keys: set[str] = set()
+        name_keys: set[str] = set()
+        decoder_nodes: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                if node.name == "Tag":
+                    for stmt in node.body:
+                        if isinstance(stmt, ast.Assign):
+                            tag_members.update(
+                                t.id
+                                for t in stmt.targets
+                                if isinstance(t, ast.Name)
+                            )
+                elif node.name == "_Decoder":
+                    decoder_nodes.update(id(sub) for sub in ast.walk(node))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name) or not isinstance(
+                        node.value, ast.Dict
+                    ):
+                        continue
+                    members = {
+                        key.attr
+                        for key in node.value.keys
+                        if isinstance(key, ast.Attribute)
+                        and isinstance(key.value, ast.Name)
+                        and key.value.id == "Tag"
+                    }
+                    if target.id == "_DECODERS":
+                        decoder_keys = members
+                    elif target.id == "_TAG_NAMES":
+                        name_keys = members
+        for member in sorted(tag_members - decoder_keys):
+            yield self.finding(
+                ctx, ctx.tree,
+                f"Tag.{member} has no _DECODERS entry — an encodable "
+                "value the peer cannot read", line=1,
+            )
+        for member in sorted(decoder_keys - tag_members):
+            yield self.finding(
+                ctx, ctx.tree,
+                f"_DECODERS keys unknown Tag member {member!r} — dead "
+                "decode branch wearing a wire byte", line=1,
+            )
+        for member in sorted(tag_members ^ name_keys):
+            yield self.finding(
+                ctx, ctx.tree,
+                f"Tag table and _TAG_NAMES disagree on {member!r} — "
+                "docs/errors would name tags the wire does not carry",
+                line=1,
+            )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and node.name.startswith(
+                ("encode_cluster_", "decode_cluster_")
+            ):
+                capped = any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "check_payload_size"
+                    for sub in ast.walk(node)
+                )
+                if not capped:
+                    yield self.finding(
+                        ctx, node,
+                        f"envelope entry point {node.name!r} does not "
+                        "call check_payload_size — unbounded payloads "
+                        "cross the wire",
+                    )
+            elif (
+                isinstance(node, ast.Subscript)
+                and id(node) not in decoder_nodes
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "data"
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "direct subscript of a decoder's .data buffer "
+                    "outside _Decoder — byte reads must go through the "
+                    "bounds-checked take/uint/name accessors",
                 )
 
     def _check_outside(self, ctx: FileContext) -> Iterator[Finding]:

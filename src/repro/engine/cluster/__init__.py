@@ -2,8 +2,10 @@
 
 The fourth engine backend.  ``map(fn, items)`` with ordered results is
 the whole protocol a backend must honour, so a coordinator that ships
-pickled chunks to worker daemons over TCP (the service layer's frame
-codec, extended with ``hello``/``heartbeat``/``job``/``result``/``bye``
+typed job-spec chunks (:mod:`repro.service.jobcodec` — registered
+callable names plus schema-checked arguments, data not code) to
+worker daemons over TCP (the service layer's frame codec, extended
+with ``hello``/``heartbeat``/``job``/``result``/``bye``
 frames) slots in behind :func:`repro.engine.executor.get_executor`
 with zero call-site changes — ``GridSimulation``, the Monte-Carlo
 estimators, sweeps, the supervisor service and every ``--engine`` CLI
@@ -18,6 +20,8 @@ flag gain multi-host dispatch by naming ``"cluster"``.
   are single-use, so a straggler's late result is dropped exactly
   once), ordered reassembly — including of ``result_part`` streams.
 * :mod:`repro.engine.cluster.worker` — the worker daemon: registers,
+  decodes job specs through a bounded LRU scheme cache (one scheme
+  construction per population per worker process, not per chunk),
   executes chunks on a local engine, answers with per-job outcomes
   (streamed as bounded sub-frames above ``stream_threshold`` bytes),
   and never dies because of a job.
@@ -28,11 +32,14 @@ including under worker kills mid-population or mid-stream — because
 every job is a pure function of its payload and results are accepted
 at most once.
 
-Security: the plane moves pickles, so it rides the shared
-:mod:`repro.net` transport layer — ``secret_file`` enables the mutual
-HMAC handshake on every connection (an unauthenticated peer never
-reaches the pickle decoder), ``tls_cert``/``tls_key`` put the
-coordinator behind pinned-certificate TLS (README "Security model").
+Security: jobs are data, never code — the typed codec only resolves
+registered callable names and schema-checked arguments, so the
+coordinator port is not a remote-code-execution surface.  The plane
+still rides the shared :mod:`repro.net` transport layer —
+``secret_file`` enables the mutual HMAC handshake on every connection
+(an unauthenticated peer never reaches the job decoder),
+``tls_cert``/``tls_key`` put the coordinator behind
+pinned-certificate TLS (README "Security model").
 """
 
 from repro.engine.cluster.coordinator import (
@@ -46,10 +53,12 @@ from repro.engine.cluster.coordinator import (
 from repro.engine.cluster.worker import (
     default_worker_id,
     execute_chunk,
+    execute_chunk_report,
     execute_payload,
     pack_outcome_parts,
     run_worker,
     run_worker_sync,
+    scheme_cache,
 )
 
 __all__ = [
@@ -61,8 +70,10 @@ __all__ = [
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "default_worker_id",
     "execute_chunk",
+    "execute_chunk_report",
     "execute_payload",
     "pack_outcome_parts",
     "run_worker",
     "run_worker_sync",
+    "scheme_cache",
 ]

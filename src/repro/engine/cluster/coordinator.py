@@ -1,8 +1,10 @@
 """Cluster coordinator: the distributed :class:`Executor` backend.
 
 :class:`ClusterExecutor` satisfies the engine protocol — ``map(fn,
-items)`` with results in submission order — by sharding pickled
-``(fn, args, kwargs)`` jobs across remote worker daemons
+items)`` with results in submission order — by sharding typed
+``(fn, args, kwargs)`` job specs (:mod:`repro.service.jobcodec`:
+registered callable names plus schema-checked arguments — data, never
+code) across remote worker daemons
 (:mod:`repro.engine.cluster.worker`) over the service layer's
 length-prefixed frame protocol.  Call sites do not change: anything
 that dispatches through :func:`repro.engine.executor.get_executor`
@@ -77,10 +79,12 @@ from repro.engine.executor import Executor, _metered_map, default_workers
 from repro.exceptions import CodecError, EngineError, ReproError
 from repro.net.transport import SecurityConfig
 from repro.obs.logging import get_logger, log_event
-from repro.obs.metrics import MetricsRegistry, log_buckets
+from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry, log_buckets
 from repro.obs.spans import Span, SpanBuffer, default_span_buffer
 from repro.obs.trace import bind_trace, current_trace, new_span_id
 from repro.service.codec import (
+    COMPAT_CLUSTER_WIRE_VERSIONS,
+    CLUSTER_WIRE_VERSION,
     DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
     MAX_CLUSTER_PAYLOAD_BYTES,
@@ -94,10 +98,10 @@ from repro.service.codec import (
     decode_cluster_outcomes,
     decode_cluster_payload,
     encode_cluster_chunk,
-    encode_cluster_payload,
     read_frame,
     write_frame,
 )
+from repro.service.jobcodec import encode_job
 
 #: Seconds between liveness beacons requested from spawned workers.
 DEFAULT_HEARTBEAT_INTERVAL = 0.5
@@ -128,7 +132,7 @@ DEFAULT_CHUNK_TARGET_S = 0.25
 #: without letting one noisy sample whipsaw the chunk size.
 EWMA_ALPHA = 0.4
 
-#: Byte budget for one outgoing chunk payload: leave pickle-envelope
+#: Byte budget for one outgoing chunk payload: leave chunk-envelope
 #: headroom under the hard payload cap so regrouped jobs always frame.
 _CHUNK_BYTE_BUDGET = MAX_CLUSTER_PAYLOAD_BYTES // 2
 
@@ -328,6 +332,28 @@ class _Coordinator:
             "Seconds since the coordinator last dispatched or accepted "
             "a chunk while jobs were pending (0 when idle or flowing)",
         )
+        # The coordinator's view of the typed job plane: spec bytes at
+        # submission, plus the cluster-wide scheme-cache totals summed
+        # from the ``ch``/``cm`` deltas workers ship on result frames
+        # (workers count their own activity under plane="worker" on
+        # their own registries — distinct labels, no double counting
+        # when both ends share a process).
+        self._m_job_bytes = self.registry.histogram(
+            "repro_job_bytes",
+            "Encoded job-spec payload bytes, by plane",
+            ("plane",),
+            buckets=SIZE_BUCKETS,
+        ).labels(plane="coordinator")
+        self._m_cache_hits = self.registry.counter(
+            "repro_scheme_cache_hits_total",
+            "Scheme-cache hits (schemes reused across chunks), by plane",
+            ("plane",),
+        ).labels(plane="coordinator")
+        self._m_cache_misses = self.registry.counter(
+            "repro_scheme_cache_misses_total",
+            "Scheme-cache misses (schemes constructed), by plane",
+            ("plane",),
+        ).labels(plane="coordinator")
         self._next_job_id = 0
         self._next_chunk_id = 0
         self._server: asyncio.base_events.Server | None = None
@@ -366,6 +392,14 @@ class _Coordinator:
     @property
     def auth_rejects(self) -> int:
         return int(self._m_auth_rejects.value)
+
+    @property
+    def scheme_cache_hits(self) -> int:
+        return int(self._m_cache_hits.value)
+
+    @property
+    def scheme_cache_misses(self) -> int:
+        return int(self._m_cache_misses.value)
 
     # ------------------------------------------------------------------
     # Lifecycle (awaited from the loop thread)
@@ -594,9 +628,10 @@ class _Coordinator:
         link: _WorkerLink | None = None
         try:
             if self.security is not None:
-                # The repro.net HMAC handshake gates the pickle plane:
-                # a peer without the shared secret is rejected here,
-                # before any envelope — JSON or pickle — is decoded.
+                # The repro.net HMAC handshake gates the job plane: a
+                # peer without the shared secret is rejected here,
+                # before any envelope — frame JSON or typed payload —
+                # is decoded.
                 try:
                     await self.security.authenticate_inbound(reader, writer)
                 except (ReproError, ConnectionError, OSError) as exc:
@@ -615,6 +650,32 @@ class _Coordinator:
                     await write_frame(
                         writer,
                         ByeFrame(reason="expected hello"),
+                        max_frame=self.max_frame,
+                    )
+                return
+            if frame.version not in COMPAT_CLUSTER_WIRE_VERSIONS:
+                # Version skew (e.g. a v4 pickle-era worker): refuse
+                # loudly with the required version so the operator
+                # knows exactly what to upgrade, then hang up before
+                # any job bytes flow.
+                log_event(
+                    _log,
+                    "worker_version_rejected",
+                    level=logging.WARNING,
+                    worker=frame.worker_id,
+                    version=frame.version,
+                )
+                with contextlib.suppress(Exception):
+                    await write_frame(
+                        writer,
+                        ByeFrame(
+                            reason=(
+                                f"incompatible cluster wire version "
+                                f"{frame.version}: this coordinator "
+                                f"speaks v{CLUSTER_WIRE_VERSION} (typed "
+                                f"job codec); upgrade the worker"
+                            )
+                        ),
                         max_frame=self.max_frame,
                     )
                 return
@@ -681,8 +742,20 @@ class _Coordinator:
     # Results (single-frame and streamed)
     # ------------------------------------------------------------------
 
+    def _observe_cache(self, hits: int, misses: int) -> None:
+        """Fold one result frame's worker cache deltas into the totals.
+
+        Counted even for zombie/duplicate chunks — the construction
+        (or reuse) really happened on the worker either way.
+        """
+        if hits:
+            self._m_cache_hits.inc(hits)
+        if misses:
+            self._m_cache_misses.inc(misses)
+
     def _on_result(self, link: _WorkerLink, frame: ResultFrame) -> None:
         link.inflight.discard(frame.job_id)
+        self._observe_cache(frame.cache_hits, frame.cache_misses)
         chunk = self.chunks.pop(frame.job_id, None)
         if chunk is None:
             # The chunk id was retired (its worker was declared dead
@@ -752,6 +825,7 @@ class _Coordinator:
         self, link: _WorkerLink, frame: ResultEndFrame
     ) -> None:
         link.inflight.discard(frame.job_id)
+        self._observe_cache(frame.cache_hits, frame.cache_misses)
         chunk = self.chunks.pop(frame.job_id, None)
         if chunk is None:
             self._pump()
@@ -1117,10 +1191,17 @@ class ClusterExecutor(Executor):
 
     Security surface (see README "Security model"): ``secret_file``
     enables the mutual repro.net HMAC handshake — every worker must
-    prove the shared secret *before* any pickle envelope is decoded —
-    and ``tls_cert``/``tls_key`` put the listener behind TLS (external
+    prove the shared secret *before* any envelope is decoded — and
+    ``tls_cert``/``tls_key`` put the listener behind TLS (external
     workers pin the cert with ``repro.cli worker --tls-cert``;
-    spawn-local daemons inherit both flags automatically).
+    spawn-local daemons inherit both flags automatically).  Jobs
+    themselves are data, never code: :func:`repro.service.jobcodec.encode_job`
+    only ships registered callable names with schema-checked
+    arguments, so the port is not a code-execution surface even to an
+    authenticated peer.  ``worker_preload`` names modules each
+    spawn-local worker imports at startup — the registration hook for
+    jobs defined outside the built-in registry (external workers use
+    ``repro.cli worker --preload``).
     """
 
     name = "cluster"
@@ -1152,6 +1233,7 @@ class ClusterExecutor(Executor):
         registry: MetricsRegistry | None = None,
         trace: bool = False,
         span_buffer: SpanBuffer | None = None,
+        worker_preload: Sequence[str] = (),
     ) -> None:
         if workers is not None and workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
@@ -1241,6 +1323,13 @@ class ClusterExecutor(Executor):
         self._registry = registry
         self._trace = trace
         self._span_buffer = span_buffer
+        self._worker_preload = tuple(worker_preload)
+        for module_name in self._worker_preload:
+            if not isinstance(module_name, str) or not module_name:
+                raise EngineError(
+                    "worker_preload entries must be non-empty module "
+                    f"names, got {module_name!r}"
+                )
 
         self._lock = threading.Lock()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -1281,6 +1370,7 @@ class ClusterExecutor(Executor):
                     "chunks_completed": 0, "chunks_requeued": 0,
                     "result_parts": 0, "workers_lost": 0,
                     "auth_rejects": 0,
+                    "scheme_cache_hits": 0, "scheme_cache_misses": 0,
                     "workers_live": 0, "worker_rates": {}}
         return {
             "jobs_completed": co.jobs_completed,
@@ -1290,6 +1380,8 @@ class ClusterExecutor(Executor):
             "result_parts": co.result_parts,
             "workers_lost": co.workers_lost,
             "auth_rejects": co.auth_rejects,
+            "scheme_cache_hits": co.scheme_cache_hits,
+            "scheme_cache_misses": co.scheme_cache_misses,
             "workers_live": len(co.workers),
             "worker_rates": {
                 link.worker_id: round(link.ewma_rate, 3)
@@ -1317,11 +1409,19 @@ class ClusterExecutor(Executor):
                 raise
 
     def submit(self, fn, /, *args, **kwargs) -> concurrent.futures.Future:
-        """Ship one call to the cluster; returns a waitable future."""
+        """Ship one call to the cluster; returns a waitable future.
+
+        ``fn`` must be jobcodec-registered (and its arguments
+        encodable): the job travels as a typed spec, not code, so an
+        unregistered callable raises
+        :class:`~repro.exceptions.CodecError` here — before anything
+        touches the wire.
+        """
         self._ensure_started()
-        payload = encode_cluster_payload((fn, args, kwargs))
+        payload = encode_job(fn, args, kwargs)
         future: concurrent.futures.Future = concurrent.futures.Future()
         assert self._loop is not None and self._co is not None
+        self._co._m_job_bytes.observe(len(payload))
         # The caller's trace context lives in this thread's contextvars;
         # the coordinator runs on its own loop thread, so the id is
         # captured here and handed over explicitly.
@@ -1446,6 +1546,8 @@ class ClusterExecutor(Executor):
             ]
             if self._worker_processes is not None:
                 cmd += ["--workers", str(self._worker_processes)]
+            for module_name in self._worker_preload:
+                cmd += ["--preload", module_name]
             if self._secret_file is not None:
                 cmd += ["--secret-file", self._secret_file]
             if self._tls_cert is not None:

@@ -1,29 +1,38 @@
-"""Cluster worker daemon: execute pickled engine chunks for a coordinator.
+"""Cluster worker daemon: execute typed job chunks for a coordinator.
 
 One worker is one long-lived process on one host.  It dials the
 coordinator, registers with a ``hello`` frame (id, capacity, wire
 version), then serves ``job`` frames until a ``bye``, an EOF or a
-shutdown signal: each payload is a *chunk* — an ordered tuple of
-pickled ``(fn, args, kwargs)`` jobs, sized per worker by the
-coordinator's throughput tracker — executed on the worker's *local*
-execution engine (serial, threads or processes — a cluster worker is
-itself a single-host engine user) and answered with the chunk's
-ordered per-job ``(ok, payload)`` outcomes.
+shutdown signal: each payload is a *chunk* — an ordered sequence of
+typed ``(fn, args, kwargs)`` job specs (:mod:`repro.service.jobcodec`
+— data, never code: functions arrive as registered names, arguments as
+schema-checked values), sized per worker by the coordinator's
+throughput tracker — executed on the worker's *local* execution engine
+(serial, threads or processes — a cluster worker is itself a
+single-host engine user) and answered with the chunk's ordered
+per-job ``(ok, payload)`` outcomes in the same typed encoding.
+
+Scheme memory: cacheable structs (the verification schemes) decode
+through a bounded process-wide LRU keyed by (scheme name, canonical
+param bytes), so one population constructs its scheme once per worker
+process, not once per chunk.  Hit/miss deltas ride back on each
+result frame (``ch``/``cm``) and feed this worker's own
+``repro_scheme_cache_*_total`` counters.
 
 Small outcome lists travel as one ``result`` frame; once the encoded
 outcomes exceed ``stream_threshold`` bytes the worker streams them as
 bounded ``result_part`` sub-frames closed by a ``result_end`` — so a
-giant chunk never materialises as one giant pickle envelope on either
-side of the wire.
+giant chunk never materialises as one giant envelope on either side
+of the wire.
 
 Survival contract: a worker never dies because of a job.  A corrupted
 or oversized chunk payload comes back as a chunk-level ``ok=False``
-result; a single job whose function raises (or whose result will not
-pickle) comes back as that job's ``ok=False`` outcome while its chunk
-siblings succeed — and the worker keeps serving.  Jobs run off the
-event loop (on the engine's pool, or a thread for the serial engine)
-so heartbeats keep flowing while a chunk computes — that is what lets
-the coordinator tell *busy* from *dead*.
+result; a single job whose function raises (or whose result the typed
+codec cannot encode) comes back as that job's ``ok=False`` outcome
+while its chunk siblings succeed — and the worker keeps serving.
+Jobs run off the event loop (on the engine's pool, or a thread for
+the serial engine) so heartbeats keep flowing while a chunk computes
+— that is what lets the coordinator tell *busy* from *dead*.
 
 Run it standalone (``python -m repro.engine.cluster.worker``) or via
 the CLI (``python -m repro.cli worker``); the coordinator's spawn-local
@@ -36,6 +45,7 @@ import argparse
 import asyncio
 import contextlib
 import functools
+import importlib
 import logging
 import os
 import secrets
@@ -44,7 +54,7 @@ import sys
 import time
 
 from repro.engine.executor import get_executor
-from repro.exceptions import CodecError, EngineError, ReproError
+from repro.exceptions import EngineError, ReproError
 from repro.net.transport import (
     SecurityConfig,
     close_writer,
@@ -56,8 +66,13 @@ from repro.obs.http import MetricsServer
 from repro.obs.recorder import FlightRecorder, install_flight_recorder
 from repro.obs.spans import Span, default_span_buffer
 from repro.obs.logging import configure_logging, get_logger, log_event
-from repro.obs.metrics import LATENCY_BUCKETS, default_registry
+from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS, default_registry
 from repro.obs.trace import bind_trace
+from repro.service.jobcodec import (
+    SchemeCache,
+    decode_job,
+    ensure_default_registry,
+)
 from repro.service.codec import (
     DEFAULT_STREAM_THRESHOLD_BYTES,
     MAX_CLUSTER_FRAME_BYTES,
@@ -69,7 +84,6 @@ from repro.service.codec import (
     ResultPartFrame,
     WorkerHello,
     decode_cluster_chunk,
-    decode_cluster_payload,
     encode_cluster_outcomes,
     encode_cluster_payload,
     read_frame,
@@ -106,8 +120,48 @@ def _worker_metrics():
                 "Seconds a chunk waits for a local pool slot",
                 buckets=LATENCY_BUCKETS,
             ),
+            reg.histogram(
+                "repro_job_bytes",
+                "Encoded job-spec payload bytes, by plane",
+                ("plane",),
+                buckets=SIZE_BUCKETS,
+            ),
+            reg.counter(
+                "repro_scheme_cache_hits_total",
+                "Scheme-cache hits (schemes reused across chunks), by plane",
+                ("plane",),
+            ),
+            reg.counter(
+                "repro_scheme_cache_misses_total",
+                "Scheme-cache misses (schemes constructed), by plane",
+                ("plane",),
+            ),
         )
     return _metrics_handles
+
+
+# One scheme cache per worker *process*: the daemon shares it across
+# chunks on the serial/threads engines, and each process-pool child
+# grows its own copy — either way a population's scheme is built once
+# per process, not once per chunk.
+_scheme_cache = SchemeCache()
+
+
+def scheme_cache() -> SchemeCache:
+    """This process's job-decode scheme cache (tests and stats)."""
+    return _scheme_cache
+
+
+def _import_preload(preload: tuple[str, ...]) -> None:
+    """Import codec-registration modules by name (idempotent).
+
+    ``sys.modules`` makes repeat calls free, so this can run inside
+    every chunk execution — which is exactly what gets third-party
+    struct/callable registrations into process-pool children that
+    never ran the daemon's startup path.
+    """
+    for name in preload:
+        importlib.import_module(name)
 
 
 def default_worker_id() -> str:
@@ -116,42 +170,49 @@ def default_worker_id() -> str:
 
 
 def execute_payload(raw: bytes) -> object:
-    """Unpickle one job payload and run it (the worker-side hot path).
+    """Decode one typed job spec and run it (the worker-side hot path).
 
-    The payload must be a ``(fn, args, kwargs)`` triple; anything else
-    — including bytes that do not unpickle — raises
-    :class:`~repro.exceptions.CodecError`.  Module-level so the
-    process-engine pool can pickle it.
+    The payload must decode to a ``(fn, args, kwargs)`` job spec whose
+    ``fn`` is a registered callable; anything else — junk bytes, an
+    unregistered name, the wrong shape — raises
+    :class:`~repro.exceptions.CodecError`.  Cacheable schemes decode
+    through this process's :func:`scheme_cache`.  Module-level so the
+    process-engine pool can ship it by reference.
     """
-    obj = decode_cluster_payload(raw)
-    if (
-        not isinstance(obj, tuple)
-        or len(obj) != 3
-        or not callable(obj[0])
-        or not isinstance(obj[1], tuple)
-        or not isinstance(obj[2], dict)
-    ):
-        raise CodecError("job payload must be a (fn, args, kwargs) triple")
-    fn, args, kwargs = obj
+    fn, args, kwargs = decode_job(raw, cache=_scheme_cache)
     return fn(*args, **kwargs)
 
 
-def execute_chunk(raw: bytes, throttle: float = 0.0) -> list[tuple[bool, bytes]]:
-    """Run one chunk payload; return ordered per-job ``(ok, payload)``.
+def execute_chunk_report(
+    raw: bytes,
+    throttle: float = 0.0,
+    preload: tuple[str, ...] = (),
+) -> tuple[list[tuple[bool, bytes]], dict]:
+    """Run one chunk payload; return outcomes plus an execution report.
 
     The chunk envelope itself must decode (a corrupted chunk raises
     :class:`~repro.exceptions.CodecError` — the chunk-level failure
     path); inside it, every job is isolated: a job that raises, or
-    whose result does not pickle, becomes its own ``ok=False`` outcome
-    carrying the error text while its siblings still succeed.
-    Module-level so the process-engine pool can pickle it.
+    whose result the typed codec cannot encode, becomes its own
+    ``ok=False`` outcome carrying the error text while its siblings
+    still succeed.  Module-level so the process-engine pool can ship
+    it by reference — the report travels back with the outcomes, which
+    is how scheme-cache activity inside pool children reaches the
+    daemon.
 
-    ``throttle`` sleeps that many seconds after each job — an
-    artificial straggler for benchmarks and scheduler tests, never set
-    in production.
+    The report dict carries ``cache_hits``/``cache_misses`` (this
+    chunk's scheme-cache deltas) and ``job_bytes`` (per-job encoded
+    spec sizes).  ``throttle`` sleeps that many seconds after each job
+    — an artificial straggler for benchmarks and scheduler tests,
+    never set in production.
     """
+    ensure_default_registry()
+    _import_preload(preload)
+    before = _scheme_cache.stats()
     out: list[tuple[bool, bytes]] = []
+    job_bytes: list[int] = []
     for job_raw in decode_cluster_chunk(raw):
+        job_bytes.append(len(job_raw))
         try:
             result = execute_payload(job_raw)
             out.append((True, encode_cluster_payload(result)))
@@ -161,7 +222,19 @@ def execute_chunk(raw: bytes, throttle: float = 0.0) -> list[tuple[bool, bytes]]
             )
         if throttle > 0.0:
             time.sleep(throttle)
-    return out
+    after = _scheme_cache.stats()
+    report = {
+        "cache_hits": after["hits"] - before["hits"],
+        "cache_misses": after["misses"] - before["misses"],
+        "job_bytes": job_bytes,
+    }
+    return out, report
+
+
+def execute_chunk(raw: bytes, throttle: float = 0.0) -> list[tuple[bool, bytes]]:
+    """:func:`execute_chunk_report` without the report (compat shim)."""
+    entries, _report = execute_chunk_report(raw, throttle)
+    return entries
 
 
 def pack_outcome_parts(
@@ -206,6 +279,7 @@ async def run_worker(
     max_frame: int = MAX_CLUSTER_FRAME_BYTES,
     shutdown: asyncio.Event | None = None,
     health: HealthState | None = None,
+    preload: tuple[str, ...] = (),
 ) -> int:
     """Serve one coordinator until bye/EOF/``shutdown``; return jobs done.
 
@@ -225,7 +299,10 @@ async def run_worker(
     graceful-exit hook the signal handlers set.  ``health`` (optional)
     tracks readiness: ready once the hello is sent, flipped to
     draining the moment a shutdown begins — the ``/readyz`` half of a
-    worker's ``--metrics-port`` endpoint.
+    worker's ``--metrics-port`` endpoint.  ``preload`` names modules
+    imported before serving (and again inside every chunk, where
+    ``sys.modules`` makes it free) so third-party jobcodec
+    registrations exist in the daemon *and* in process-pool children.
     """
     if engine == "cluster":
         raise EngineError("a cluster worker cannot use the cluster engine")
@@ -245,6 +322,11 @@ async def run_worker(
         )
     worker_id = worker_id or default_worker_id()
     jobs_done = 0
+    preload = tuple(preload)
+    # Registry + preloads resolve before dialling: a misspelled
+    # --preload module is a startup error, not a per-chunk surprise.
+    ensure_default_registry()
+    _import_preload(preload)
 
     with get_executor(engine, workers) as executor:
         loop = asyncio.get_running_loop()
@@ -285,7 +367,14 @@ async def run_worker(
 
         async def run_job(frame: JobFrame) -> None:
             nonlocal jobs_done
-            m_chunks, m_jobs, m_dispatch = _worker_metrics()
+            (
+                m_chunks,
+                m_jobs,
+                m_dispatch,
+                m_job_bytes,
+                m_cache_hits,
+                m_cache_misses,
+            ) = _worker_metrics()
             queued_at = time.perf_counter()
             # Span export (wire v4): a traced chunk's execution is
             # timed as a span parented under the coordinator's chunk
@@ -317,10 +406,13 @@ async def run_worker(
                     # futures_pool is None on the serial engine; the
                     # loop's default thread pool keeps heartbeats alive
                     # during compute either way.
-                    entries = await loop.run_in_executor(
+                    entries, report = await loop.run_in_executor(
                         executor.futures_pool,
                         functools.partial(
-                            execute_chunk, frame.payload, throttle
+                            execute_chunk_report,
+                            frame.payload,
+                            throttle,
+                            preload,
                         ),
                     )
             except asyncio.CancelledError:
@@ -360,6 +452,14 @@ async def run_worker(
             jobs_done += len(entries)
             m_chunks.labels(outcome="ok").inc()
             m_jobs.inc(len(entries))
+            cache_hits = report["cache_hits"]
+            cache_misses = report["cache_misses"]
+            for size in report["job_bytes"]:
+                m_job_bytes.labels(plane="worker").observe(size)
+            if cache_hits:
+                m_cache_hits.labels(plane="worker").inc(cache_hits)
+            if cache_misses:
+                m_cache_misses.labels(plane="worker").inc(cache_misses)
             with bind_trace(frame.trace_id, frame.span_id):
                 log_event(
                     _log,
@@ -384,6 +484,8 @@ async def run_worker(
                             ok=True,
                             payload=encode_cluster_outcomes(parts[0]),
                             spans=wire_spans,
+                            cache_hits=cache_hits,
+                            cache_misses=cache_misses,
                         )
                     )
                     return
@@ -418,6 +520,8 @@ async def run_worker(
                         job_id=frame.job_id,
                         parts=len(parts),
                         spans=wire_spans,
+                        cache_hits=cache_hits,
+                        cache_misses=cache_misses,
                     )
                 )
             except ReproError as exc:
@@ -479,7 +583,16 @@ async def run_worker(
                         await send(ByeFrame(reason="worker shutdown"))
                     break
                 frame = frame_task.result()  # ProtocolError/CodecError here
-                if frame is None or isinstance(frame, ByeFrame):
+                if frame is None:
+                    break
+                if isinstance(frame, ByeFrame):
+                    # A refusal (version skew, bad hello) is an
+                    # operator problem — exit loudly, not a quiet
+                    # zero-job success.
+                    if frame.reason.startswith("incompatible"):
+                        raise EngineError(
+                            f"coordinator refused worker: {frame.reason}"
+                        )
                     break
                 if isinstance(frame, JobFrame):
                     task = asyncio.ensure_future(run_job(frame))
@@ -540,6 +653,14 @@ def add_worker_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--throttle", type=float, default=0.0,
                         help="artificial per-job delay in seconds "
                         "(straggler injection for benches/tests)")
+    parser.add_argument("--preload", action="append", default=None,
+                        metavar="MODULE", dest="preload",
+                        help="import this module before serving (repeat "
+                        "for more) — the hook for registering extra "
+                        "jobcodec structs/callables on the worker; "
+                        "imported again inside each chunk so "
+                        "process-pool children get the registrations "
+                        "too")
     parser.add_argument("--connect-retry", type=float, default=0.0,
                         dest="connect_retry_s",
                         help="seconds to keep re-dialling a coordinator "
@@ -593,6 +714,7 @@ def run_worker_sync(
     trace: bool = False,
     metrics_port: int | None = None,
     flight_dir: str | None = None,
+    preload: tuple[str, ...] = (),
 ) -> int:
     """Blocking daemon wrapper with graceful SIGINT/SIGTERM exit.
 
@@ -647,6 +769,7 @@ def run_worker_sync(
                 security=security,
                 shutdown=stop,
                 health=health,
+                preload=preload,
             )
         finally:
             for sig in handled:
@@ -699,6 +822,7 @@ def main(argv: list[str] | None = None) -> int:
         trace=args.trace,
         metrics_port=args.metrics_port,
         flight_dir=args.flight_dir,
+        preload=tuple(args.preload or ()),
     )
 
 

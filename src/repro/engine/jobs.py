@@ -1,17 +1,29 @@
-"""Picklable batch jobs: how scheme runs travel to pooled workers.
+"""Batch jobs as data: how scheme runs travel to pooled workers.
 
 A :class:`SchemeJob` is one protocol run — ``(assignment, behavior,
 seed)`` — and a :class:`SchemeBatch` bundles a scheme with a contiguous
-chunk of jobs.  :func:`execute_batch` is the module-level entry point a
-:class:`~repro.engine.executor.ProcessPoolExecutor` worker unpickles
-and calls; it defers to :meth:`VerificationScheme.run_batch`, so
-schemes may override batching (e.g. to share precomputed state across
-a chunk) without the engine knowing.
+chunk of jobs.  :func:`execute_batch` is the module-level entry point
+every pooled backend dispatches; it defers to
+:meth:`VerificationScheme.run_batch`, so schemes may override batching
+(e.g. to share precomputed state across a chunk) without the engine
+knowing.
+
+This module is the spec-building seam between the engine and the
+wire: ``execute_batch`` is a registered jobcodec callable
+(``"engine.execute_batch"``) and :class:`SchemeJob`/:class:`SchemeBatch`
+are registered structs (:mod:`repro.service.jobcodec`), so the exact
+``SchemeBatch`` objects the serial/threads/processes backends call
+directly are what the cluster backend encodes as typed job specs —
+one unit of work, every backend, byte-identical results.  On the
+cluster path the scheme inside a batch is *cacheable*: a worker
+decodes it once per (scheme name, canonical params) and reuses it
+across all chunks of a population.
 
 :func:`run_scheme_jobs` is the one dispatch path every layer uses:
 chunk the jobs, map the batches over an executor, flatten in order.
 Chunking never affects results — only how work is distributed — so the
-serial, thread and process backends return identical result lists.
+serial, thread, process and cluster backends return identical result
+lists.
 """
 
 from __future__ import annotations
@@ -40,7 +52,12 @@ class SchemeJob:
 
 @dataclass(frozen=True)
 class SchemeBatch:
-    """A picklable unit of work: one scheme, one chunk of jobs."""
+    """A serializable unit of work: one scheme, one chunk of jobs.
+
+    Registered with the jobcodec (struct ``"scheme_batch"``), so a
+    batch crosses the cluster wire as typed data — the scheme travels
+    as name + canonical params, never as code.
+    """
 
     scheme: "VerificationScheme"
     jobs: tuple[SchemeJob, ...]

@@ -32,19 +32,19 @@ engine of :mod:`repro.engine.cluster`):
   id, execution capacity and wire version;
 * ``heartbeat`` — periodic worker liveness beacon;
 * ``job`` / ``result`` — one engine chunk out, one chunk's results
-  back.  A job payload is a *chunk*: an ordered tuple of pickled
-  ``(fn, args, kwargs)`` jobs (:func:`encode_cluster_chunk`), which is
-  what lets the coordinator resize chunks per worker without a new
-  frame type.  A result payload is the matching ordered list of
-  per-job ``(ok, payload)`` outcomes
-  (:func:`encode_cluster_outcomes`).  Payloads are *pickled* (the
-  cluster moves arbitrary engine batches, not protocol messages) and
-  ride base64 inside the envelope with an explicit version tag and a
-  hard size cap — corrupted, truncated, oversized or wrong-version
-  payloads raise :class:`~repro.exceptions.CodecError`, never crash a
-  worker.  Pickle implies mutual trust between coordinator and
-  workers; the cluster plane is operator-deployed infrastructure, not
-  the participant-facing socket.
+  back.  A job payload is a *chunk*: an ordered tuple of typed job
+  specs (:func:`encode_cluster_chunk`), which is what lets the
+  coordinator resize chunks per worker without a new frame type.  A
+  result payload is the matching ordered list of per-job
+  ``(ok, payload)`` outcomes (:func:`encode_cluster_outcomes`).
+  Payloads are *data, never code*: the typed binary job codec
+  (:mod:`repro.service.jobcodec`, wire v5) encodes a job as a
+  registered callable name plus tagged, size-capped values — no
+  pickle anywhere on the wire — and rides base64 inside the envelope
+  with an explicit version tag and a hard size cap.  Corrupted,
+  truncated, oversized, wrong-version or out-of-vocabulary payloads
+  raise :class:`~repro.exceptions.CodecError`, never crash a worker,
+  and can never execute attacker-chosen code.
 * ``result_part`` / ``result_end`` — a worker streaming one giant
   chunk's outcomes in bounded sub-frames instead of a single huge
   ``result`` envelope: ``result_part`` carries a contiguous slice of
@@ -59,9 +59,9 @@ engine of :mod:`repro.engine.cluster`):
 
 Hostile bytes are a fact of life for a listening socket: every decode
 path raises :class:`~repro.exceptions.ProtocolError` (frame layer) or
-:class:`~repro.exceptions.CodecError` (inner binary message / pickle
-envelope) — both :class:`~repro.exceptions.ReproError` — and never an
-uncaught ``KeyError``/``UnicodeDecodeError``/``binascii.Error``.
+:class:`~repro.exceptions.CodecError` (inner binary message / typed
+job envelope) — both :class:`~repro.exceptions.ReproError` — and never
+an uncaught ``KeyError``/``UnicodeDecodeError``/``binascii.Error``.
 """
 
 from __future__ import annotations
@@ -69,9 +69,8 @@ from __future__ import annotations
 import base64
 import binascii
 import json
-import pickle
 from dataclasses import dataclass
-from typing import Callable, Sequence, Union
+from typing import Callable, Union
 
 from repro.core.protocol import (
     AssignMsg,
@@ -97,6 +96,18 @@ from repro.net.framing import (
     split_frame_buffer,
     write_frame_bytes,
 )
+# The cluster job envelope is the typed binary codec of
+# repro.service.jobcodec (value vocabulary, registries, size caps, the
+# worker scheme cache); re-exported here because this module is the
+# wire-level import home for both planes.
+from repro.service.jobcodec import (
+    decode_cluster_chunk as decode_cluster_chunk,
+    decode_cluster_outcomes as decode_cluster_outcomes,
+    decode_cluster_payload as decode_cluster_payload,
+    encode_cluster_chunk as encode_cluster_chunk,
+    encode_cluster_outcomes as encode_cluster_outcomes,
+    encode_cluster_payload as encode_cluster_payload,
+)
 from repro.tasks.function import TaskFunction
 from repro.tasks.workloads import (
     FactoringTask,
@@ -114,7 +125,7 @@ from repro.tasks.workloads import (
 # MAX_CLUSTER_PAYLOAD_BYTES / MAX_CLUSTER_FRAME_BYTES /
 # DEFAULT_STREAM_THRESHOLD_BYTES: see that module.
 
-#: Version tag every pickled cluster payload carries on the wire.  A
+#: Version tag every cluster payload carries on the wire.  A
 #: coordinator and its workers must agree byte-for-byte on the job
 #: format; bumping this number fences off incompatible deployments.
 #: v2: ``job`` payloads became multi-job chunks and results gained the
@@ -124,17 +135,22 @@ from repro.tasks.workloads import (
 #: the payload format itself is unchanged).
 #: v4: ``result``/``result_end`` frames may carry an optional ``sp``
 #: field — the worker's completed spans for the chunk, as a bounded
-#: list of validated span dicts (see :mod:`repro.obs.spans`).  The
-#: payload format is again unchanged, so v4 decoders accept v3 frames
-#: (they simply carry no spans) and v3-era optional-field decoders
-#: ignore ``sp``; :data:`COMPAT_CLUSTER_WIRE_VERSIONS` is the accept
-#: window.
-CLUSTER_WIRE_VERSION = 4
+#: list of validated span dicts (see :mod:`repro.obs.spans`).
+#: v5: the payload format itself changed — job and result payloads are
+#: the typed binary encoding of :mod:`repro.service.jobcodec` (tagged
+#: terms, registered structs/callables, per-field size caps), not
+#: pickle.  ``result``/``result_end`` frames may carry optional
+#: ``ch``/``cm`` scheme-cache hit/miss counts.  v5 bytes are
+#: meaningless to a v4 unpickler and vice versa, so there is no compat
+#: window: a v4 peer is rejected at ``hello`` with a clear upgrade
+#: message (see :meth:`coordinator._serve_worker`), never half-spoken
+#: to.
+CLUSTER_WIRE_VERSION = 5
 
-#: Versions this codec decodes.  v3 differs from v4 only by optional
-#: fields, so accepting both keeps a rolling worker-fleet upgrade
-#: safe; anything older (or newer) still fences off hard.
-COMPAT_CLUSTER_WIRE_VERSIONS = frozenset({3, CLUSTER_WIRE_VERSION})
+#: Versions this codec decodes.  The typed-codec cutover is a hard
+#: fence: v4 and earlier moved pickles, which v5 will not even
+#: attempt to parse.
+COMPAT_CLUSTER_WIRE_VERSIONS = frozenset({CLUSTER_WIRE_VERSION})
 
 
 # ----------------------------------------------------------------------
@@ -236,7 +252,14 @@ class ErrorFrame:
 
 @dataclass(frozen=True)
 class WorkerHello:
-    """Worker → coordinator: register with id, capacity and version."""
+    """Worker → coordinator: register with id, capacity and version.
+
+    ``version`` is decoded *leniently* (any non-negative int), unlike
+    every payload-bearing cluster frame: the coordinator must be able
+    to read an incompatible peer's hello so it can answer with a clear
+    ``bye`` naming the required version, instead of dying in the
+    decoder where the peer learns nothing.
+    """
 
     worker_id: str
     capacity: int
@@ -252,7 +275,7 @@ class HeartbeatFrame:
 
 @dataclass(frozen=True)
 class JobFrame:
-    """Coordinator → worker: one chunk of work (pickled payload).
+    """Coordinator → worker: one chunk of work (typed job payloads).
 
     ``trace_id``/``span_id`` are the optional trace context of the
     population this chunk belongs to (trace) and of the chunk itself
@@ -273,7 +296,7 @@ class JobFrame:
 class ResultFrame:
     """Worker → coordinator: one chunk's outcome.
 
-    ``ok`` distinguishes a pickled result (``True``) from a pickled
+    ``ok`` distinguishes an encoded result (``True``) from an encoded
     error description (``False``) — a job that raises must come back
     as data, never crash the worker.
 
@@ -281,7 +304,12 @@ class ResultFrame:
     spans for this chunk as validated wire dicts
     (:func:`repro.obs.spans.validate_wire_spans`), so the coordinator
     can assemble one distributed timeline.  Empty unless the chunk
-    was traced; v3 peers simply never send or read it.
+    was traced.
+
+    ``cache_hits``/``cache_misses`` (wire v5, optional) report the
+    worker's scheme-cache traffic while executing this chunk, so the
+    coordinator can aggregate fleet-wide cache effectiveness into its
+    own registry without scraping every worker.
     """
 
     job_id: int
@@ -289,6 +317,8 @@ class ResultFrame:
     payload: bytes
     version: int = CLUSTER_WIRE_VERSION
     spans: tuple = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -314,14 +344,18 @@ class ResultEndFrame:
     ``parts`` is the number of ``result_part`` frames the worker sent;
     a mismatch with what arrived means the stream is incomplete and
     the chunk must be requeued, never partially accepted.  ``spans``
-    is the same optional wire-v4 span export as on ``result`` (the
-    streamed path closes with this frame, so the spans ride here).
+    is the same optional wire-v4 span export as on ``result``, and
+    ``cache_hits``/``cache_misses`` the same optional wire-v5
+    scheme-cache counts (the streamed path closes with this frame, so
+    both ride here).
     """
 
     job_id: int
     parts: int
     version: int = CLUSTER_WIRE_VERSION
     spans: tuple = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -461,127 +495,8 @@ def _trace_field(obj: dict, key: str) -> str | None:
 
 
 # ----------------------------------------------------------------------
-# Cluster pickle envelope
+# Cluster frame field helpers
 # ----------------------------------------------------------------------
-
-
-def encode_cluster_payload(
-    obj: object, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
-) -> bytes:
-    """Pickle one job/result payload, enforcing the size cap.
-
-    Raises :class:`~repro.exceptions.CodecError` for unpicklable
-    objects and for payloads over ``max_bytes`` — an oversized chunk is
-    a batching bug the sender must see, not a worker crash.
-    """
-    try:
-        raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raise CodecError(f"cluster payload does not pickle: {exc}") from exc
-    check_payload_size("cluster payload", len(raw), max_bytes)
-    return raw
-
-
-def decode_cluster_payload(
-    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
-) -> object:
-    """Unpickle one job/result payload.
-
-    Corrupted, truncated or oversized bytes raise
-    :class:`~repro.exceptions.CodecError` — the worker-survival
-    contract of the cluster plane.  (Unpickling trusts the peer; the
-    cluster plane is operator infrastructure, never participant-facing.)
-    """
-    check_payload_size("cluster payload", len(raw), max_bytes)
-    try:
-        return pickle.loads(raw)
-    except Exception as exc:
-        raise CodecError(f"malformed cluster payload: {exc}") from exc
-
-
-def encode_cluster_chunk(
-    job_payloads: Sequence[bytes],
-    max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES,
-) -> bytes:
-    """Bundle already-encoded job payloads into one chunk payload.
-
-    A chunk is the unit the coordinator resizes per worker: an ordered
-    tuple of :func:`encode_cluster_payload` job envelopes.  The jobs
-    stay as opaque bytes, so regrouping jobs into differently-sized
-    chunks never re-pickles the work itself.
-    """
-    if not job_payloads:
-        raise CodecError("cluster chunk must contain at least one job")
-    for raw in job_payloads:
-        if not isinstance(raw, bytes):
-            raise CodecError("cluster chunk entries must be bytes")
-    return encode_cluster_payload(tuple(job_payloads), max_bytes=max_bytes)
-
-
-def decode_cluster_chunk(
-    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
-) -> tuple[bytes, ...]:
-    """Decode one chunk payload into its ordered job payloads.
-
-    Anything that is not a non-empty tuple/list of byte strings —
-    including bytes that do not unpickle — raises
-    :class:`~repro.exceptions.CodecError` (worker-survival contract).
-    """
-    obj = decode_cluster_payload(raw, max_bytes=max_bytes)
-    if (
-        not isinstance(obj, (tuple, list))
-        or not obj
-        or not all(isinstance(item, bytes) for item in obj)
-    ):
-        raise CodecError(
-            "cluster chunk must be a non-empty sequence of job payloads"
-        )
-    return tuple(obj)
-
-
-def encode_cluster_outcomes(
-    entries: Sequence[tuple[bool, bytes]],
-    max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES,
-) -> bytes:
-    """Encode an ordered run of per-job ``(ok, payload)`` outcomes.
-
-    ``ok`` distinguishes a pickled result payload from a pickled error
-    description; a chunk's outcome list (or any contiguous slice of
-    it, for ``result_part`` streaming) travels in this envelope.
-    """
-    for entry in entries:
-        if (
-            not isinstance(entry, tuple)
-            or len(entry) != 2
-            or not isinstance(entry[0], bool)
-            or not isinstance(entry[1], bytes)
-        ):
-            raise CodecError(
-                "cluster outcome entries must be (ok, payload) pairs"
-            )
-    return encode_cluster_payload(tuple(entries), max_bytes=max_bytes)
-
-
-def decode_cluster_outcomes(
-    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
-) -> list[tuple[bool, bytes]]:
-    """Decode one outcome envelope; hostile bytes raise CodecError."""
-    obj = decode_cluster_payload(raw, max_bytes=max_bytes)
-    if not isinstance(obj, (tuple, list)):
-        raise CodecError("cluster outcomes must be a sequence")
-    entries: list[tuple[bool, bytes]] = []
-    for entry in obj:
-        if (
-            not isinstance(entry, tuple)
-            or len(entry) != 2
-            or not isinstance(entry[0], bool)
-            or not isinstance(entry[1], bytes)
-        ):
-            raise CodecError(
-                "cluster outcome entries must be (ok, payload) pairs"
-            )
-        entries.append((entry[0], entry[1]))
-    return entries
 
 
 def _cluster_version_field(obj: dict) -> int:
@@ -592,6 +507,31 @@ def _cluster_version_field(obj: dict) -> int:
             f"{sorted(COMPAT_CLUSTER_WIRE_VERSIONS)}"
         )
     return version
+
+
+def _hello_version_field(obj: dict) -> int:
+    """Lenient version for ``hello`` only: shape-checked, not gated.
+
+    The coordinator does its own compatibility check after decoding so
+    an incompatible peer gets a ``bye`` naming the required version; a
+    negative or absurd value is still junk.
+    """
+    version = _int_field(obj, "v")
+    if not 0 <= version < 1 << 16:
+        raise CodecError(f"implausible cluster wire version {version}")
+    return version
+
+
+def _cache_count_field(obj: dict, key: str) -> int:
+    """Optional ``ch``/``cm`` scheme-cache count: absent means zero."""
+    if key not in obj or obj[key] is None:
+        return 0
+    count = _int_field(obj, key)
+    if not 0 <= count < 1 << 53:
+        raise ProtocolError(
+            f"frame field {key!r} must be a non-negative count"
+        )
+    return count
 
 
 def _spans_field(obj: dict) -> tuple:
@@ -684,6 +624,10 @@ def _payload_dict(frame: Frame) -> dict:
         }
         if frame.spans:
             obj["sp"] = list(frame.spans)
+        if frame.cache_hits:
+            obj["ch"] = frame.cache_hits
+        if frame.cache_misses:
+            obj["cm"] = frame.cache_misses
         return obj
     if isinstance(frame, ResultPartFrame):
         check_payload_size(
@@ -707,6 +651,10 @@ def _payload_dict(frame: Frame) -> dict:
         }
         if frame.spans:
             obj["sp"] = list(frame.spans)
+        if frame.cache_hits:
+            obj["ch"] = frame.cache_hits
+        if frame.cache_misses:
+            obj["cm"] = frame.cache_misses
         return obj
     if isinstance(frame, StatsRequest):
         return {"t": "stats_request"}
@@ -823,7 +771,7 @@ def decode_frame_payload(payload: bytes) -> Frame:
         return WorkerHello(
             worker_id=_str_field(obj, "worker"),
             capacity=capacity,
-            version=_cluster_version_field(obj),
+            version=_hello_version_field(obj),
         )
 
     if tag == "heartbeat":
@@ -856,6 +804,8 @@ def decode_frame_payload(payload: bytes) -> Frame:
             payload=_cluster_payload_field(obj, "result payload"),
             version=version,
             spans=_spans_field(obj),
+            cache_hits=_cache_count_field(obj, "ch"),
+            cache_misses=_cache_count_field(obj, "cm"),
         )
 
     if tag == "result_part":
@@ -888,6 +838,8 @@ def decode_frame_payload(payload: bytes) -> Frame:
             parts=parts,
             version=version,
             spans=_spans_field(obj),
+            cache_hits=_cache_count_field(obj, "ch"),
+            cache_misses=_cache_count_field(obj, "cm"),
         )
 
     if tag == "stats_request":

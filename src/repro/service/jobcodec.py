@@ -1,0 +1,1354 @@
+"""Typed binary job codec: cluster jobs are data, not code.
+
+Cluster wire v5 replaces the pickle envelope.  A job on the wire is a
+``(callable-name, args, kwargs)`` triple encoded with a restricted,
+versioned, schema-checked value codec: every value is a tagged binary
+term from a closed vocabulary (primitives, containers, registered
+structs, registered callables), every field is size-capped, and any
+byte sequence outside the vocabulary is rejected with
+:class:`~repro.exceptions.CodecError` before anything is constructed.
+Nothing in a payload can name a module, a class path, or an attribute
+chain — the two registries below are the *only* way bytes become
+objects, so a coordinator port is no longer a remote-code-execution
+surface.
+
+Vocabulary (one tag byte per term; varints are LEB128 as in
+:mod:`repro.utils.encoding`):
+
+====  =========  ====================================================
+tag   name       encoding
+====  =========  ====================================================
+0x00  none       —
+0x01  true       —
+0x02  false      —
+0x03  int        zigzag varint (|x| < 2^63)
+0x04  bigint     sign byte + length-prefixed big-endian magnitude
+0x05  float      8-byte IEEE-754 big-endian
+0x06  str        varint length + UTF-8 bytes (capped)
+0x07  bytes      varint length + raw bytes (capped)
+0x08  tuple      varint count + items
+0x09  list       varint count + items
+0x0A  dict       varint count + key/value term pairs
+0x0B  set        varint count + items (encoded-bytes sorted)
+0x0C  struct     name ref + varint body length + packed fields
+0x0D  callable   name ref (resolved via the callable registry)
+0x0E  ref        varint back-reference into the payload's object memo
+====  =========  ====================================================
+
+**Struct registry.**  Domain objects (schemes, behaviours, workloads,
+domains, outcome records) cross the wire as named structs: ``pack``
+reduces an instance to a tuple of codec values, ``unpack`` rebuilds it
+through the real constructor, which re-validates every parameter.
+Struct names are interned per payload (first use spells the name,
+later uses are a 2-byte index) and instances are memoized by identity
+(a behaviour shared by fifty jobs in a batch is encoded once and
+back-referenced), which is what makes the typed envelope several times
+smaller than the pickle envelope it replaces.
+
+**Callable registry.**  A payload can only invoke a callable that both
+sides registered under an explicit name at import time
+(:func:`register_callable`).  There is deliberately no import-by-name
+fallback: an unregistered name is a :class:`CodecError`, never an
+``importlib`` call.  Workers preload registration modules via
+``--preload`` (operator-controlled argv, never wire-controlled).
+
+**Scheme cache.**  Structs registered ``cacheable=True`` (the
+stateless verification schemes) have self-contained bodies: the body
+bytes are a canonical key, so a worker can keep a bounded LRU
+(:class:`SchemeCache`) mapping ``(name, body)`` to the constructed
+instance and skip both decode and construction for every chunk of a
+population after the first — scheme construction happens once per
+worker, not once per chunk.  Cache traffic is counted on
+``repro_scheme_cache_{hits,misses}_total``.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+import threading
+from typing import Any, Callable, NamedTuple
+
+from repro.exceptions import CodecError
+from repro.net.framing import MAX_CLUSTER_PAYLOAD_BYTES, check_payload_size
+from repro.utils.encoding import encode_uint, read_uint
+
+__all__ = [
+    "MAX_CONTAINER_ITEMS",
+    "MAX_DEPTH",
+    "MAX_FIELD_BYTES",
+    "MAX_INT_BYTES",
+    "MAX_NAME_BYTES",
+    "SchemeCache",
+    "decode_cluster_chunk",
+    "decode_cluster_outcomes",
+    "decode_cluster_payload",
+    "decode_job",
+    "encode_cluster_chunk",
+    "encode_cluster_outcomes",
+    "encode_cluster_payload",
+    "encode_job",
+    "ensure_default_registry",
+    "register_callable",
+    "register_struct",
+    "registered_callables",
+    "registered_structs",
+]
+
+
+# ----------------------------------------------------------------------
+# Size caps (per field, enforced on both encode and decode)
+# ----------------------------------------------------------------------
+
+#: Ceiling on one str/bytes field.  Leaf-payload vectors and streamed
+#: result values stay far below this; the whole payload is additionally
+#: bounded by ``MAX_CLUSTER_PAYLOAD_BYTES``.
+MAX_FIELD_BYTES = 8 * 1024 * 1024
+#: Ceiling on one container's element count.
+MAX_CONTAINER_ITEMS = 1 << 21
+#: Ceiling on term nesting depth.
+MAX_DEPTH = 64
+#: Ceiling on a registry (struct/callable) name.
+MAX_NAME_BYTES = 120
+#: Ceiling on a bigint magnitude in bytes.
+MAX_INT_BYTES = 4096
+
+
+class Tag:
+    """Wire tag byte for each term kind (see the module table)."""
+
+    NONE = 0x00
+    TRUE = 0x01
+    FALSE = 0x02
+    INT = 0x03
+    BIGINT = 0x04
+    FLOAT = 0x05
+    STR = 0x06
+    BYTES = 0x07
+    TUPLE = 0x08
+    LIST = 0x09
+    DICT = 0x0A
+    SET = 0x0B
+    STRUCT = 0x0C
+    CALLABLE = 0x0D
+    REF = 0x0E
+
+
+#: Human-readable tag names (docs, errors, and the RL006 tag table).
+_TAG_NAMES = {
+    Tag.NONE: "none",
+    Tag.TRUE: "true",
+    Tag.FALSE: "false",
+    Tag.INT: "int",
+    Tag.BIGINT: "bigint",
+    Tag.FLOAT: "float",
+    Tag.STR: "str",
+    Tag.BYTES: "bytes",
+    Tag.TUPLE: "tuple",
+    Tag.LIST: "list",
+    Tag.DICT: "dict",
+    Tag.SET: "set",
+    Tag.STRUCT: "struct",
+    Tag.CALLABLE: "callable",
+    Tag.REF: "ref",
+}
+
+_INT_LIMIT = 1 << 63  # |x| below this rides the zigzag varint path
+
+
+def _check_field_size(what: str, size: int, limit: int) -> None:
+    """Reject an oversized field before any allocation happens."""
+    if size > limit:
+        raise CodecError(f"{what} of {size} bytes exceeds limit {limit}")
+
+
+def _check_count(what: str, count: int) -> None:
+    if count > MAX_CONTAINER_ITEMS:
+        raise CodecError(
+            f"{what} of {count} items exceeds limit {MAX_CONTAINER_ITEMS}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+
+class _StructSpec(NamedTuple):
+    name: str
+    cls: type
+    pack: Callable[[Any], tuple]
+    unpack: Callable[[tuple], Any]
+    cacheable: bool
+
+
+_registry_lock = threading.Lock()
+_STRUCTS: dict[str, _StructSpec] = {}
+_STRUCTS_BY_TYPE: dict[type, _StructSpec] = {}
+_CALLABLES: dict[str, Callable] = {}
+_CALLABLE_NAMES: dict[Callable, str] = {}
+_defaults_loaded = False
+
+
+def register_struct(
+    name: str,
+    cls: type,
+    pack: Callable[[Any], tuple],
+    unpack: Callable[[tuple], Any],
+    cacheable: bool = False,
+) -> None:
+    """Register a type that may cross the cluster wire as a struct.
+
+    ``pack(obj)`` must return a tuple of codec-encodable values;
+    ``unpack(fields)`` must rebuild an equivalent instance (normally by
+    calling the real constructor so parameter validation re-runs on the
+    receiving side).  ``cacheable`` marks stateless types whose decoded
+    instances may be shared across jobs and chunks by a
+    :class:`SchemeCache` — only mark a type cacheable if two runs
+    through the same instance are byte-identical to two fresh
+    instances.  Dispatch is by exact type: subclasses need their own
+    registration.
+    """
+    if len(name.encode("utf-8")) > MAX_NAME_BYTES:
+        raise CodecError(f"struct name too long: {name!r}")
+    with _registry_lock:
+        existing = _STRUCTS.get(name)
+        if existing is not None and existing.cls is not cls:
+            raise CodecError(
+                f"struct name {name!r} already registered for "
+                f"{existing.cls.__name__}"
+            )
+        spec = _StructSpec(name, cls, pack, unpack, cacheable)
+        _STRUCTS[name] = spec
+        _STRUCTS_BY_TYPE[cls] = spec
+
+
+def register_callable(name: str, fn: Callable) -> None:
+    """Register a callable a job payload may name.
+
+    Both the coordinator (encode) and every worker (decode) must run
+    the same registration, normally at import of the defining module;
+    workers reach non-default modules via ``--preload``.  Re-registering
+    the same ``(name, fn)`` pair is a no-op; clashing registrations
+    fail loudly.
+    """
+    if len(name.encode("utf-8")) > MAX_NAME_BYTES:
+        raise CodecError(f"callable name too long: {name!r}")
+    if not callable(fn):
+        raise CodecError(f"{name!r} is not callable")
+    with _registry_lock:
+        existing = _CALLABLES.get(name)
+        if existing is not None and existing is not fn:
+            raise CodecError(f"callable name {name!r} already registered")
+        _CALLABLES[name] = fn
+        _CALLABLE_NAMES[fn] = name
+
+
+def registered_structs() -> dict[str, type]:
+    """Snapshot of the struct registry (docs and round-trip tests)."""
+    ensure_default_registry()
+    with _registry_lock:
+        return {name: spec.cls for name, spec in sorted(_STRUCTS.items())}
+
+
+def registered_callables() -> dict[str, Callable]:
+    """Snapshot of the callable registry."""
+    ensure_default_registry()
+    with _registry_lock:
+        return dict(sorted(_CALLABLES.items()))
+
+
+# ----------------------------------------------------------------------
+# Encoder
+# ----------------------------------------------------------------------
+
+
+class _Encoder:
+    """One payload's encoding pass: byte sink + interning state."""
+
+    def __init__(self) -> None:
+        self.out = bytearray()
+        # Object memo: id(obj) -> back-reference index, pre-order.
+        self.memo: dict[int, int] = {}
+        # Objects must outlive the pass so ids cannot be recycled.
+        self.keepalive: list[Any] = []
+        # Name interning: registry name -> index of first spelling.
+        self.names: dict[str, int] = {}
+
+    def emit_name(self, name: str) -> None:
+        """Interned name: 0 = literal follows, k = names[k - 1]."""
+        index = self.names.get(name)
+        if index is not None:
+            self.out += encode_uint(index + 1)
+            return
+        raw = name.encode("utf-8")
+        self.out += encode_uint(0)
+        self.out += encode_uint(len(raw))
+        self.out += raw
+        self.names[name] = len(self.names)
+
+    def value(self, obj: Any, depth: int = 0) -> None:
+        if depth > MAX_DEPTH:
+            raise CodecError(f"value nesting exceeds depth limit {MAX_DEPTH}")
+        out = self.out
+        if obj is None:
+            out.append(Tag.NONE)
+        elif obj is True:
+            out.append(Tag.TRUE)
+        elif obj is False:
+            out.append(Tag.FALSE)
+        elif type(obj) is int:
+            self._int(obj)
+        elif type(obj) is float:
+            out.append(Tag.FLOAT)
+            out += _struct.pack(">d", obj)
+        elif type(obj) is str:
+            raw = obj.encode("utf-8")
+            _check_field_size("str field", len(raw), MAX_FIELD_BYTES)
+            out.append(Tag.STR)
+            out += encode_uint(len(raw))
+            out += raw
+        elif type(obj) in (bytes, bytearray, memoryview):
+            raw = bytes(obj)
+            _check_field_size("bytes field", len(raw), MAX_FIELD_BYTES)
+            out.append(Tag.BYTES)
+            out += encode_uint(len(raw))
+            out += raw
+        elif type(obj) is tuple:
+            self._items(Tag.TUPLE, obj, depth)
+        elif type(obj) is list:
+            self._items(Tag.LIST, obj, depth)
+        elif type(obj) is dict:
+            _check_count("dict", len(obj))
+            out.append(Tag.DICT)
+            out += encode_uint(len(obj))
+            for key, val in obj.items():
+                self.value(key, depth + 1)
+                self.value(val, depth + 1)
+        elif type(obj) in (set, frozenset):
+            self._set(obj, depth)
+        else:
+            self._registered(obj, depth)
+
+    def _int(self, obj: int) -> None:
+        if -_INT_LIMIT < obj < _INT_LIMIT:
+            self.out.append(Tag.INT)
+            zigzag = (obj << 1) ^ (obj >> 63) if obj < 0 else obj << 1
+            self.out += encode_uint(zigzag)
+            return
+        magnitude = abs(obj)
+        raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+        _check_field_size("bigint field", len(raw), MAX_INT_BYTES)
+        self.out.append(Tag.BIGINT)
+        self.out.append(1 if obj < 0 else 0)
+        self.out += encode_uint(len(raw))
+        self.out += raw
+
+    def _items(self, tag: int, obj: Any, depth: int) -> None:
+        _check_count(_TAG_NAMES[tag], len(obj))
+        self.out.append(tag)
+        self.out += encode_uint(len(obj))
+        for item in obj:
+            self.value(item, depth + 1)
+
+    def _set(self, obj: Any, depth: int) -> None:
+        _check_count("set", len(obj))
+        # Canonical order: sort by each element's own encoding, so the
+        # bytes never depend on hash seeds or insertion history.
+        encoded: list[bytes] = []
+        for item in obj:
+            sub = _Encoder()
+            sub.value(item, depth + 1)
+            encoded.append(bytes(sub.out))
+        self.out.append(Tag.SET)
+        self.out += encode_uint(len(encoded))
+        for raw in sorted(encoded):
+            self.out += raw
+
+    def _registered(self, obj: Any, depth: int) -> None:
+        ref = self.memo.get(id(obj))
+        if ref is not None:
+            self.out.append(Tag.REF)
+            self.out += encode_uint(ref)
+            return
+        if callable(obj):
+            name = _CALLABLE_NAMES.get(obj)
+            if name is not None:
+                self._remember(obj)
+                self.out.append(Tag.CALLABLE)
+                self.emit_name(name)
+                return
+        spec = _STRUCTS_BY_TYPE.get(type(obj))
+        if spec is None:
+            raise CodecError(
+                f"type {type(obj).__name__} is not encodable on the "
+                "cluster wire: register it with "
+                "repro.service.jobcodec.register_struct (or "
+                "register_callable for functions)"
+            )
+        self._remember(obj)
+        fields = spec.pack(obj)
+        if type(fields) is not tuple:
+            raise CodecError(
+                f"pack for struct {spec.name!r} must return a tuple"
+            )
+        # Tag and name go out before the body is encoded so shared
+        # name-interning indices are assigned in the same order the
+        # decoder will observe them.
+        self.out.append(Tag.STRUCT)
+        self.emit_name(spec.name)
+        if spec.cacheable:
+            # Self-contained body: fresh interning state, so the body
+            # bytes are a canonical SchemeCache key.
+            sub = _Encoder()
+            sub.value(fields, 0)
+        else:
+            sub = _Encoder()
+            sub.memo = self.memo
+            sub.keepalive = self.keepalive
+            sub.names = self.names
+            sub.value(fields, depth + 1)
+        body = bytes(sub.out)
+        self.out += encode_uint(len(body))
+        self.out += body
+
+    def _remember(self, obj: Any) -> None:
+        self.memo[id(obj)] = len(self.memo)
+        self.keepalive.append(obj)
+
+
+# ----------------------------------------------------------------------
+# Decoder
+# ----------------------------------------------------------------------
+
+_UNFILLED = object()  # placeholder for a struct still being decoded
+
+
+class _Decoder:
+    """One payload's decoding pass over an immutable byte buffer."""
+
+    def __init__(self, data: bytes, cache: "SchemeCache | None") -> None:
+        self.data = data
+        self.pos = 0
+        self.cache = cache
+        self.memo: list[Any] = []
+        self.names: list[str] = []
+
+    def take(self, n: int, what: str) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise CodecError(f"truncated {what} (wanted {n} bytes)")
+        raw = self.data[self.pos:end]
+        self.pos = end
+        return raw
+
+    def uint(self, what: str) -> int:
+        try:
+            value, self.pos = read_uint(self.data, self.pos)
+        except CodecError as exc:
+            raise CodecError(f"bad varint in {what}: {exc}") from exc
+        return value
+
+    def name(self) -> str:
+        ref = self.uint("name reference")
+        if ref == 0:
+            length = self.uint("name length")
+            _check_field_size("registry name", length, MAX_NAME_BYTES)
+            raw = self.take(length, "registry name")
+            try:
+                name = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"registry name is not UTF-8: {exc}") from exc
+            self.names.append(name)
+            return name
+        if ref > len(self.names):
+            raise CodecError(f"name reference {ref} out of range")
+        return self.names[ref - 1]
+
+    def value(self, depth: int = 0) -> Any:
+        if depth > MAX_DEPTH:
+            raise CodecError(f"value nesting exceeds depth limit {MAX_DEPTH}")
+        tag = self.take(1, "tag")[0]
+        decoder = _DECODERS.get(tag)
+        if decoder is None:
+            raise CodecError(f"unknown value tag 0x{tag:02x}")
+        return decoder(self, depth)
+
+
+def _dec_none(dec: _Decoder, depth: int) -> None:
+    return None
+
+
+def _dec_true(dec: _Decoder, depth: int) -> bool:
+    return True
+
+
+def _dec_false(dec: _Decoder, depth: int) -> bool:
+    return False
+
+
+def _dec_int(dec: _Decoder, depth: int) -> int:
+    zigzag = dec.uint("int")
+    if zigzag >> 64:
+        raise CodecError(f"int term out of range: zigzag {zigzag}")
+    return -(zigzag >> 1) - 1 if zigzag & 1 else zigzag >> 1
+
+
+def _dec_bigint(dec: _Decoder, depth: int) -> int:
+    sign = dec.take(1, "bigint sign")[0]
+    if sign not in (0, 1):
+        raise CodecError(f"bad bigint sign byte {sign}")
+    length = dec.uint("bigint length")
+    _check_field_size("bigint field", length, MAX_INT_BYTES)
+    magnitude = int.from_bytes(dec.take(length, "bigint"), "big")
+    if magnitude < _INT_LIMIT:
+        raise CodecError("bigint used for a value that fits the int tag")
+    return -magnitude if sign else magnitude
+
+
+def _dec_float(dec: _Decoder, depth: int) -> float:
+    return _struct.unpack(">d", dec.take(8, "float"))[0]
+
+
+def _dec_str(dec: _Decoder, depth: int) -> str:
+    length = dec.uint("str length")
+    _check_field_size("str field", length, MAX_FIELD_BYTES)
+    raw = dec.take(length, "str")
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"str field is not UTF-8: {exc}") from exc
+
+
+def _dec_bytes(dec: _Decoder, depth: int) -> bytes:
+    length = dec.uint("bytes length")
+    _check_field_size("bytes field", length, MAX_FIELD_BYTES)
+    return dec.take(length, "bytes")
+
+
+def _dec_tuple(dec: _Decoder, depth: int) -> tuple:
+    count = dec.uint("tuple count")
+    _check_count("tuple", count)
+    return tuple(dec.value(depth + 1) for _ in range(count))
+
+
+def _dec_list(dec: _Decoder, depth: int) -> list:
+    count = dec.uint("list count")
+    _check_count("list", count)
+    return [dec.value(depth + 1) for _ in range(count)]
+
+
+def _dec_dict(dec: _Decoder, depth: int) -> dict:
+    count = dec.uint("dict count")
+    _check_count("dict", count)
+    out: dict = {}
+    for _ in range(count):
+        key = dec.value(depth + 1)
+        try:
+            out[key] = dec.value(depth + 1)
+        except TypeError as exc:
+            raise CodecError(f"unhashable dict key: {exc}") from exc
+    if len(out) != count:
+        raise CodecError("duplicate dict keys")
+    return out
+
+
+def _dec_set(dec: _Decoder, depth: int) -> set:
+    count = dec.uint("set count")
+    _check_count("set", count)
+    out = set()
+    for _ in range(count):
+        try:
+            out.add(dec.value(depth + 1))
+        except TypeError as exc:
+            raise CodecError(f"unhashable set element: {exc}") from exc
+    if len(out) != count:
+        raise CodecError("duplicate set elements")
+    return out
+
+
+def _dec_struct(dec: _Decoder, depth: int) -> Any:
+    name = dec.name()
+    spec = _STRUCTS.get(name)
+    if spec is None:
+        raise CodecError(f"unknown struct name {name!r}")
+    body_len = dec.uint("struct body length")
+    _check_field_size("struct body", body_len, MAX_FIELD_BYTES)
+    slot = len(dec.memo)
+    dec.memo.append(_UNFILLED)
+    body = dec.take(body_len, f"struct {name!r} body")
+    if spec.cacheable and dec.cache is not None:
+        obj = dec.cache.get_or_build(name, body, spec)
+    else:
+        obj = _build_struct(spec, body, None if spec.cacheable else dec)
+    dec.memo[slot] = obj
+    return obj
+
+
+def _build_struct(
+    spec: _StructSpec, body: bytes, outer: "_Decoder | None"
+) -> Any:
+    """Decode a struct body and run it through the registered ctor."""
+    sub = _Decoder(body, None)
+    if outer is not None:
+        # Non-cacheable bodies share the payload's interning state.
+        sub.cache = outer.cache
+        sub.memo = outer.memo
+        sub.names = outer.names
+    fields = sub.value(0)
+    if sub.pos != len(body):
+        raise CodecError(
+            f"{len(body) - sub.pos} trailing bytes in struct "
+            f"{spec.name!r} body"
+        )
+    if type(fields) is not tuple:
+        raise CodecError(f"struct {spec.name!r} body is not a field tuple")
+    try:
+        return spec.unpack(fields)
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(
+            f"struct {spec.name!r} rejected by its constructor: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _dec_callable(dec: _Decoder, depth: int) -> Callable:
+    name = dec.name()
+    fn = _CALLABLES.get(name)
+    if fn is None:
+        raise CodecError(
+            f"unknown callable name {name!r}: not registered on this "
+            "side (workers load registration modules via --preload)"
+        )
+    dec.memo.append(fn)
+    return fn
+
+
+def _dec_ref(dec: _Decoder, depth: int) -> Any:
+    index = dec.uint("back-reference")
+    if index >= len(dec.memo):
+        raise CodecError(f"back-reference {index} out of range")
+    obj = dec.memo[index]
+    if obj is _UNFILLED:
+        raise CodecError(f"back-reference {index} into an unfinished struct")
+    return obj
+
+
+#: Tag dispatch table; RL006 pins this to cover every Tag member.
+_DECODERS = {
+    Tag.NONE: _dec_none,
+    Tag.TRUE: _dec_true,
+    Tag.FALSE: _dec_false,
+    Tag.INT: _dec_int,
+    Tag.BIGINT: _dec_bigint,
+    Tag.FLOAT: _dec_float,
+    Tag.STR: _dec_str,
+    Tag.BYTES: _dec_bytes,
+    Tag.TUPLE: _dec_tuple,
+    Tag.LIST: _dec_list,
+    Tag.DICT: _dec_dict,
+    Tag.SET: _dec_set,
+    Tag.STRUCT: _dec_struct,
+    Tag.CALLABLE: _dec_callable,
+    Tag.REF: _dec_ref,
+}
+
+
+# ----------------------------------------------------------------------
+# Scheme cache
+# ----------------------------------------------------------------------
+
+
+class SchemeCache:
+    """Bounded LRU of constructed cacheable structs, keyed by body bytes.
+
+    The key is ``(struct name, canonical body bytes)`` — cacheable
+    struct bodies are encoded with payload-independent interning
+    precisely so equal parameters always produce equal bytes.
+    Thread-safe.  Hit/miss/eviction totals are plain counters here;
+    the planes that own a cache publish them as
+    ``repro_scheme_cache_{hits,misses}_total{plane=...}`` on their own
+    registries (worker daemon directly, coordinator from the ``ch``/
+    ``cm`` result-frame fields), which keeps one process from double
+    counting when it hosts both ends.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[str, bytes], Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(self, name: str, body: bytes, spec: _StructSpec) -> Any:
+        key = (name, bytes(body))
+        with self._lock:
+            obj = self._entries.get(key)
+            if obj is not None:
+                # dict preserves insertion order: re-insert = LRU touch.
+                del self._entries[key]
+                self._entries[key] = obj
+                self.hits += 1
+                return obj
+        obj = _build_struct(spec, body, None)
+        with self._lock:
+            self.misses += 1
+            if key not in self._entries:
+                while len(self._entries) >= self.max_entries:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+                    self.evictions += 1
+                self._entries[key] = obj
+        return obj
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+# ----------------------------------------------------------------------
+# Payload / chunk / outcome envelopes (the cluster wire trio)
+# ----------------------------------------------------------------------
+
+
+def encode_cluster_payload(
+    obj: Any, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> bytes:
+    """Encode one value as a typed cluster payload, enforcing the cap."""
+    ensure_default_registry()
+    encoder = _Encoder()
+    encoder.value(obj)
+    raw = bytes(encoder.out)
+    check_payload_size("cluster payload", len(raw), max_bytes)
+    return raw
+
+
+def decode_cluster_payload(
+    raw: bytes,
+    max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES,
+    cache: SchemeCache | None = None,
+) -> Any:
+    """Decode a typed cluster payload; junk raises :class:`CodecError`.
+
+    ``cache`` (worker-side) shares decoded cacheable structs across
+    payloads — see :class:`SchemeCache`.
+    """
+    ensure_default_registry()
+    check_payload_size("cluster payload", len(raw), max_bytes)
+    decoder = _Decoder(bytes(raw), cache)
+    value = decoder.value()
+    if decoder.pos != len(decoder.data):
+        raise CodecError(
+            f"{len(decoder.data) - decoder.pos} trailing bytes after "
+            "cluster payload"
+        )
+    return value
+
+
+def encode_job(fn: Callable, args: tuple, kwargs: dict) -> bytes:
+    """Encode one job spec: a registered callable plus its arguments.
+
+    ``functools.partial`` stacks are flattened first, so pre-bound jobs
+    (the service plane's verification offloads) encode as their
+    underlying registered callable.
+    """
+    import functools
+
+    while isinstance(fn, functools.partial):
+        kwargs = {**fn.keywords, **kwargs}
+        args = fn.args + tuple(args)
+        fn = fn.func
+    ensure_default_registry()
+    if _CALLABLE_NAMES.get(fn) is None:
+        raise CodecError(
+            f"cannot dispatch {getattr(fn, '__name__', fn)!r} to the "
+            "cluster: only callables registered with "
+            "repro.service.jobcodec.register_callable cross the wire"
+        )
+    return encode_cluster_payload((fn, tuple(args), dict(kwargs)))
+
+
+def decode_job(
+    raw: bytes, cache: SchemeCache | None = None
+) -> tuple[Callable, tuple, dict]:
+    """Decode and shape-check one job spec."""
+    spec = decode_cluster_payload(raw, cache=cache)
+    if not (isinstance(spec, tuple) and len(spec) == 3):
+        raise CodecError("cluster job payload must be (fn, args, kwargs)")
+    fn, args, kwargs = spec
+    if not callable(fn):
+        raise CodecError("cluster job fn is not callable")
+    if not isinstance(args, tuple) or not isinstance(kwargs, dict):
+        raise CodecError("cluster job args/kwargs have the wrong shape")
+    if any(not isinstance(key, str) for key in kwargs):
+        raise CodecError("cluster job kwargs keys must be strings")
+    return fn, args, kwargs
+
+
+def encode_cluster_chunk(
+    job_payloads: Any, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> bytes:
+    """Frame a sequence of encoded job payloads as one chunk body.
+
+    Jobs stay as opaque byte spans, so the coordinator regroups jobs
+    into differently-sized chunks without ever re-encoding the work.
+    """
+    payloads = tuple(job_payloads)
+    if not payloads:
+        raise CodecError("cluster chunk must contain at least one job")
+    _check_count("chunk", len(payloads))
+    out = bytearray(encode_uint(len(payloads)))
+    for payload in payloads:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise CodecError("cluster chunk entries must be bytes")
+        out += encode_uint(len(payload))
+        out += payload
+    raw = bytes(out)
+    check_payload_size("cluster chunk", len(raw), max_bytes)
+    return raw
+
+
+def decode_cluster_chunk(
+    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> tuple[bytes, ...]:
+    """Split a chunk body back into per-job payload spans."""
+    check_payload_size("cluster chunk", len(raw), max_bytes)
+    data = bytes(raw)
+    count, pos = read_uint(data, 0)
+    _check_count("chunk", count)
+    if count == 0:
+        raise CodecError("cluster chunk must contain at least one job")
+    payloads = []
+    for _ in range(count):
+        length, pos = read_uint(data, pos)
+        _check_field_size("chunk entry", length, MAX_CLUSTER_PAYLOAD_BYTES)
+        end = pos + length
+        if end > len(data):
+            raise CodecError("truncated cluster chunk entry")
+        payloads.append(data[pos:end])
+        pos = end
+    if pos != len(data):
+        raise CodecError(
+            f"{len(data) - pos} trailing bytes after cluster chunk"
+        )
+    return tuple(payloads)
+
+
+def encode_cluster_outcomes(
+    entries: Any, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> bytes:
+    """Frame per-job ``(ok, payload)`` outcomes as one result body.
+
+    ``ok`` distinguishes an encoded result payload from an encoded
+    error description; a chunk's outcome list (or any contiguous slice
+    of it, for ``result_part`` streaming) travels in this envelope.
+    """
+    items = tuple(entries)
+    _check_count("outcomes", len(items))
+    out = bytearray(encode_uint(len(items)))
+    for entry in items:
+        if not (isinstance(entry, tuple) and len(entry) == 2):
+            raise CodecError(
+                "cluster outcome entries must be (ok, payload) pairs"
+            )
+        ok, payload = entry
+        if not isinstance(ok, bool) or not isinstance(
+            payload, (bytes, bytearray)
+        ):
+            raise CodecError(
+                "cluster outcome entries must be (ok, payload) pairs"
+            )
+        out.append(1 if ok else 0)
+        out += encode_uint(len(payload))
+        out += payload
+    raw = bytes(out)
+    check_payload_size("cluster outcomes", len(raw), max_bytes)
+    return raw
+
+
+def decode_cluster_outcomes(
+    raw: bytes, max_bytes: int = MAX_CLUSTER_PAYLOAD_BYTES
+) -> list[tuple[bool, bytes]]:
+    """Split a result body back into per-job ``(ok, payload)`` pairs."""
+    check_payload_size("cluster outcomes", len(raw), max_bytes)
+    data = bytes(raw)
+    count, pos = read_uint(data, 0)
+    _check_count("outcomes", count)
+    entries = []
+    for _ in range(count):
+        if pos >= len(data):
+            raise CodecError("truncated cluster outcome entry")
+        flag = data[pos]
+        if flag not in (0, 1):
+            raise CodecError(f"bad outcome flag byte {flag}")
+        pos += 1
+        length, pos = read_uint(data, pos)
+        _check_field_size("outcome entry", length, MAX_CLUSTER_PAYLOAD_BYTES)
+        end = pos + length
+        if end > len(data):
+            raise CodecError("truncated cluster outcome entry")
+        entries.append((flag == 1, data[pos:end]))
+        pos = end
+    if pos != len(data):
+        raise CodecError(
+            f"{len(data) - pos} trailing bytes after cluster outcomes"
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Default registrations: every type the repo ships over the cluster wire
+# ----------------------------------------------------------------------
+
+
+def ensure_default_registry() -> None:
+    """Register the repo's own wire types and job entry points (once).
+
+    Central on purpose: this function is the complete, auditable list
+    of what cluster bytes can become.  Third-party jobs extend it via
+    :func:`register_struct` / :func:`register_callable` in a module
+    both sides import (workers: ``--preload``).
+    """
+    global _defaults_loaded
+    if _defaults_loaded:
+        return
+    with _registry_lock:
+        if _defaults_loaded:
+            return
+        _defaults_loaded = True
+    _register_defaults()
+
+
+def _register_defaults() -> None:
+    import importlib
+
+    from repro.accounting import CostLedger
+    from repro.baselines.double_check import DoubleCheckScheme
+    from repro.baselines.hardening import HardenedProbeScheme
+    from repro.baselines.naive_sampling import NaiveSamplingScheme
+    from repro.baselines.ringer import RingerScheme
+    from repro.cheating.guessing import (
+        BernoulliGuess,
+        UniformValueGuess,
+        ZeroGuess,
+    )
+    from repro.cheating.strategies import (
+        ColludingCheater,
+        ComputedWork,
+        HonestBehavior,
+        MaliciousBehavior,
+        SemiHonestCheater,
+    )
+    from repro.core.cbs import CBSScheme
+    from repro.core.ni_cbs import NICBSScheme
+    from repro.core.protocol import (
+        CommitmentMsg,
+        NICBSSubmissionMsg,
+        ProofBundleMsg,
+    )
+    from repro.core.scheme import (
+        RejectReason,
+        SampleVerdict,
+        SchemeRunResult,
+        VerificationOutcome,
+    )
+    from repro.engine import jobs as _jobs
+    from repro.merkle import tree as _tree
+    from repro.merkle.tree import LeafEncoding
+    from repro.service import verification_jobs as _verify
+    from repro.tasks.domain import ExplicitDomain, RangeDomain
+    from repro.tasks.function import GuessableFunction
+    from repro.tasks.result import TaskAssignment
+    from repro.tasks.screener import (
+        MatchScreener,
+        ReportAllScreener,
+        ThresholdScreener,
+        TopKScreener,
+    )
+    from repro.tasks.workloads import (
+        FactoringTask,
+        MersenneCheck,
+        MoleculeScreening,
+        MonteCarloEstimate,
+        OptimizationSearch,
+        PasswordSearch,
+        SignalSearch,
+    )
+
+    # --- domains and task plumbing ---------------------------------
+    register_struct(
+        "range_domain",
+        RangeDomain,
+        lambda d: (d.start, d.stop),
+        lambda f: RangeDomain(*f),
+    )
+    register_struct(
+        "explicit_domain",
+        ExplicitDomain,
+        lambda d: (list(d),),
+        lambda f: ExplicitDomain(f[0]),
+    )
+    register_struct(
+        "task_assignment",
+        TaskAssignment,
+        lambda a: (a.task_id, a.domain, a.function, a.screener),
+        lambda f: TaskAssignment(
+            task_id=f[0], domain=f[1], function=f[2], screener=f[3]
+        ),
+    )
+
+    # --- workloads --------------------------------------------------
+    register_struct(
+        "password_search",
+        PasswordSearch,
+        lambda w: (w.salt, w.digest_bytes, w.cost),
+        lambda f: PasswordSearch(
+            salt=f[0], digest_bytes=f[1], cost=f[2]
+        ),
+    )
+    register_struct(
+        "molecule_screening",
+        MoleculeScreening,
+        lambda w: (w.library_seed, w.resolution, w.cost),
+        lambda f: MoleculeScreening(
+            library_seed=f[0], resolution=f[1], cost=f[2]
+        ),
+    )
+    register_struct(
+        "signal_search",
+        SignalSearch,
+        lambda w: (w.sky_seed, w.threshold, w.cost),
+        lambda f: SignalSearch(sky_seed=f[0], threshold=f[1], cost=f[2]),
+    )
+    register_struct(
+        "mersenne_check",
+        MersenneCheck,
+        lambda w: (w.cost,),
+        lambda f: MersenneCheck(cost=f[0]),
+    )
+    register_struct(
+        "monte_carlo_estimate",
+        MonteCarloEstimate,
+        lambda w: (w.n_samples, w.cost),
+        lambda f: MonteCarloEstimate(n_samples=f[0], cost=f[1]),
+    )
+    register_struct(
+        "factoring_task",
+        FactoringTask,
+        lambda w: (w.bits, w.cost, w.verify_cost, w.seed),
+        lambda f: FactoringTask(
+            bits=f[0], cost=f[1], verify_cost=f[2], seed=f[3]
+        ),
+    )
+    register_struct(
+        "optimization_search",
+        OptimizationSearch,
+        lambda w: (
+            w.landscape_seed,
+            len(w.wells),
+            w.resolution,
+            w.grid_side,
+            w.cost,
+        ),
+        lambda f: OptimizationSearch(
+            landscape_seed=f[0],
+            n_wells=f[1],
+            resolution=f[2],
+            grid_side=f[3],
+            cost=f[4],
+        ),
+    )
+    register_struct(
+        "guessable_function",
+        GuessableFunction,
+        lambda w: (w.inner, w.guess_success_probability),
+        lambda f: GuessableFunction(f[0], f[1]),
+    )
+
+    # --- screeners --------------------------------------------------
+    register_struct(
+        "match_screener",
+        MatchScreener,
+        lambda s: (s.target,),
+        lambda f: MatchScreener(f[0]),
+    )
+    register_struct(
+        "threshold_screener",
+        ThresholdScreener,
+        lambda s: (s.threshold, s.direction),
+        lambda f: ThresholdScreener(f[0], direction=f[1]),
+    )
+
+    def _pack_topk(s: TopKScreener) -> tuple:
+        # Running top-k state rides along so a mid-population handoff
+        # resumes exactly where a single-process run would be.
+        return (s.k, [tuple(entry) for entry in s._heap])
+
+    def _unpack_topk(f: tuple) -> TopKScreener:
+        screener = TopKScreener(f[0])
+        screener._heap = [tuple(entry) for entry in f[1]]
+        return screener
+
+    register_struct("topk_screener", TopKScreener, _pack_topk, _unpack_topk)
+    register_struct(
+        "report_all_screener",
+        ReportAllScreener,
+        lambda s: (),
+        lambda f: ReportAllScreener(),
+    )
+
+    # --- guess models and behaviours --------------------------------
+    register_struct(
+        "zero_guess", ZeroGuess, lambda g: (), lambda f: ZeroGuess()
+    )
+    register_struct(
+        "bernoulli_guess",
+        BernoulliGuess,
+        lambda g: (g.q,),
+        lambda f: BernoulliGuess(f[0]),
+    )
+    register_struct(
+        "uniform_value_guess",
+        UniformValueGuess,
+        lambda g: (list(g.alphabet),),
+        lambda f: UniformValueGuess(f[0]),
+    )
+    register_struct(
+        "honest_behavior",
+        HonestBehavior,
+        lambda b: (),
+        lambda f: HonestBehavior(),
+    )
+    register_struct(
+        "semi_honest_cheater",
+        SemiHonestCheater,
+        lambda b: (b.honesty_ratio, b.guesser, b.selection),
+        lambda f: SemiHonestCheater(f[0], guesser=f[1], selection=f[2]),
+    )
+    register_struct(
+        "colluding_cheater",
+        ColludingCheater,
+        lambda b: (b.honesty_ratio, b.cartel_key, b.guesser),
+        lambda f: ColludingCheater(f[0], cartel_key=f[1], guesser=f[2]),
+    )
+    register_struct(
+        "malicious_behavior",
+        MaliciousBehavior,
+        lambda b: (b.corruption_rate,),
+        lambda f: MaliciousBehavior(corruption_rate=f[0]),
+    )
+
+    # --- verification schemes (cacheable: stateless across runs) ----
+    register_struct(
+        "cbs_scheme",
+        CBSScheme,
+        lambda s: (
+            s.n_samples,
+            s.hash_name,
+            s.leaf_encoding.value,
+            s.subtree_height,
+            s.with_replacement,
+            s.include_reports,
+            s.stop_on_first_failure,
+            s.batch_proofs,
+        ),
+        lambda f: CBSScheme(
+            n_samples=f[0],
+            hash_name=f[1],
+            leaf_encoding=LeafEncoding(f[2]),
+            subtree_height=f[3],
+            with_replacement=f[4],
+            include_reports=f[5],
+            stop_on_first_failure=f[6],
+            batch_proofs=f[7],
+        ),
+        cacheable=True,
+    )
+    register_struct(
+        "nicbs_scheme",
+        NICBSScheme,
+        lambda s: (
+            s.n_samples,
+            s.sample_hash_name,
+            s.hash_name,
+            s.leaf_encoding.value,
+            s.subtree_height,
+            s.stop_on_first_failure,
+        ),
+        lambda f: NICBSScheme(
+            n_samples=f[0],
+            sample_hash_name=f[1],
+            hash_name=f[2],
+            leaf_encoding=LeafEncoding(f[3]),
+            subtree_height=f[4],
+            stop_on_first_failure=f[5],
+        ),
+        cacheable=True,
+    )
+    register_struct(
+        "naive_sampling_scheme",
+        NaiveSamplingScheme,
+        lambda s: (s.n_samples, s.with_replacement),
+        lambda f: NaiveSamplingScheme(f[0], with_replacement=f[1]),
+        cacheable=True,
+    )
+    register_struct(
+        "double_check_scheme",
+        DoubleCheckScheme,
+        lambda s: (s.replication, list(s.replica_behaviors)),
+        lambda f: DoubleCheckScheme(
+            replication=f[0], replica_behaviors=f[1]
+        ),
+        cacheable=True,
+    )
+    register_struct(
+        "ringer_scheme",
+        RingerScheme,
+        lambda s: (s.n_ringers, s.require_all),
+        lambda f: RingerScheme(f[0], require_all=f[1]),
+        cacheable=True,
+    )
+    register_struct(
+        "hardened_probe_scheme",
+        HardenedProbeScheme,
+        lambda s: (s.n_probes,),
+        lambda f: HardenedProbeScheme(f[0]),
+        cacheable=True,
+    )
+
+    # --- engine jobs -------------------------------------------------
+    register_struct(
+        "scheme_job",
+        _jobs.SchemeJob,
+        lambda j: (j.assignment, j.behavior, j.seed),
+        lambda f: _jobs.SchemeJob(
+            assignment=f[0], behavior=f[1], seed=f[2]
+        ),
+    )
+    register_struct(
+        "scheme_batch",
+        _jobs.SchemeBatch,
+        lambda b: (b.scheme, b.jobs),
+        lambda f: _jobs.SchemeBatch(scheme=f[0], jobs=f[1]),
+    )
+
+    # --- outcome records (the result plane) -------------------------
+    register_struct(
+        "reject_reason",
+        RejectReason,
+        lambda r: (r.value,),
+        lambda f: RejectReason(f[0]),
+    )
+    register_struct(
+        "sample_verdict",
+        SampleVerdict,
+        lambda v: (v.index, v.accepted, v.reason),
+        lambda f: SampleVerdict(index=f[0], accepted=f[1], reason=f[2]),
+    )
+    register_struct(
+        "verification_outcome",
+        VerificationOutcome,
+        lambda o: (o.task_id, o.accepted, o.verdicts, o.reason),
+        lambda f: VerificationOutcome(
+            task_id=f[0], accepted=f[1], verdicts=f[2], reason=f[3]
+        ),
+    )
+
+    def _pack_ledger(ledger: CostLedger) -> tuple:
+        return (
+            ledger.evaluation_cost,
+            ledger.evaluations,
+            ledger.verification_cost,
+            ledger.verifications,
+            ledger.hash_cost,
+            ledger.hashes,
+            ledger.bytes_sent,
+            ledger.bytes_received,
+            ledger.messages_sent,
+            ledger.messages_received,
+            ledger.storage_digests,
+            ledger.screening_cost,
+            dict(ledger.counters),
+        )
+
+    def _unpack_ledger(f: tuple) -> CostLedger:
+        return CostLedger(
+            evaluation_cost=f[0],
+            evaluations=f[1],
+            verification_cost=f[2],
+            verifications=f[3],
+            hash_cost=f[4],
+            hashes=f[5],
+            bytes_sent=f[6],
+            bytes_received=f[7],
+            messages_sent=f[8],
+            messages_received=f[9],
+            storage_digests=f[10],
+            screening_cost=f[11],
+            counters=f[12],
+        )
+
+    register_struct("cost_ledger", CostLedger, _pack_ledger, _unpack_ledger)
+    register_struct(
+        "computed_work",
+        ComputedWork,
+        lambda w: (w.leaf_payloads, w.honest_indices),
+        lambda f: ComputedWork(leaf_payloads=f[0], honest_indices=f[1]),
+    )
+    register_struct(
+        "scheme_run_result",
+        SchemeRunResult,
+        lambda r: (
+            r.outcome,
+            r.participant_ledger,
+            r.supervisor_ledger,
+            r.work,
+            r.other_ledger,
+        ),
+        lambda f: SchemeRunResult(
+            outcome=f[0],
+            participant_ledger=f[1],
+            supervisor_ledger=f[2],
+            work=f[3],
+            other_ledger=f[4],
+        ),
+    )
+
+    # --- protocol messages (reuse their canonical binary codecs) ----
+    for msg_name, msg_cls in (
+        ("commitment_msg", CommitmentMsg),
+        ("proof_bundle_msg", ProofBundleMsg),
+        ("nicbs_submission_msg", NICBSSubmissionMsg),
+    ):
+        register_struct(
+            msg_name,
+            msg_cls,
+            lambda m: (m.encode(),),
+            lambda f, cls=msg_cls: cls.decode(f[0]),
+        )
+
+    # --- job entry points (everything the repo itself maps) ---------
+    # Names are short on purpose: each payload spells each name once,
+    # so name length is fixed per-job overhead on the wire.
+    register_callable("engine.execute_batch", _jobs.execute_batch)
+    register_callable("merkle.hash_leaf_chunk", _tree.hash_leaf_chunk)
+    register_callable("merkle.prove_leaf_chunk", _tree.prove_leaf_chunk)
+    # `repro.analysis` re-exports a `sweep` *function*, shadowing the
+    # submodule attribute — resolve the module itself.
+    _sweep = importlib.import_module("repro.analysis.sweep")
+    register_callable("sweep.eval_point", _sweep._eval_point)
+    register_callable("service.verify_cbs", _verify.verify_cbs_job)
+    register_callable("service.verify_nicbs", _verify.verify_nicbs_job)

@@ -25,9 +25,10 @@ Concurrency model:
 * one processor task per connection consumes frames in order (CBS
   rounds are stateful, so per-connection ordering matters);
 * verification is shipped to the engine's worker pool through
-  ``loop.run_in_executor`` as module-level picklable jobs, bounded by
-  a server-wide semaphore so a burst of submissions queues instead of
-  swamping the pool;
+  ``loop.run_in_executor`` as module-level jobs
+  (:mod:`repro.service.verification_jobs`), bounded by a server-wide
+  semaphore so a burst of submissions queues instead of swamping the
+  pool;
 * a sweeper task periodically evicts abandoned sessions.
 """
 
@@ -41,7 +42,6 @@ import time
 from dataclasses import dataclass
 
 from repro.core.cbs import CBSSupervisor
-from repro.core.ni_cbs import NICBSSupervisor
 from repro.core.protocol import (
     AssignMsg,
     CommitmentMsg,
@@ -80,6 +80,7 @@ from repro.service.codec import (
     write_frame,
 )
 from repro.service.sessions import Session, SessionState, SessionStore
+from repro.service.verification_jobs import verify_cbs_job, verify_nicbs_job
 from repro.tasks.domain import RangeDomain
 from repro.tasks.result import TaskAssignment
 
@@ -166,58 +167,6 @@ class ServiceStats:
                 "repro_auth_failures_total", plane="service"
             )
         )
-
-
-# ----------------------------------------------------------------------
-# Worker-side verification jobs (module-level: picklable for processes)
-# ----------------------------------------------------------------------
-
-
-def _verify_cbs_job(
-    assignment: TaskAssignment,
-    n_samples: int,
-    hash_name: str,
-    leaf_encoding_value: str,
-    seed: int,
-    commitment: CommitmentMsg,
-    bundle: ProofBundleMsg,
-) -> VerificationOutcome:
-    """Rebuild the CBS supervisor and run Step 4 in a pooled worker.
-
-    Everything the verdict depends on is deterministic given the
-    arguments — the challenge re-drawn from ``seed`` matches the one
-    the server issued — so the rebuilt supervisor reproduces exactly
-    what a long-lived in-process session would have computed.
-    """
-    supervisor = CBSSupervisor(
-        assignment,
-        n_samples=n_samples,
-        hash_fn=get_hash(hash_name),
-        leaf_encoding=LeafEncoding(leaf_encoding_value),
-        seed=seed,
-    )
-    supervisor.receive_commitment(commitment)
-    supervisor.make_challenge()
-    return supervisor.verify(bundle)
-
-
-def _verify_nicbs_job(
-    assignment: TaskAssignment,
-    n_samples: int,
-    sample_hash_name: str,
-    hash_name: str,
-    leaf_encoding_value: str,
-    submission: NICBSSubmissionMsg,
-) -> VerificationOutcome:
-    """One-shot NI-CBS verification in a pooled worker."""
-    supervisor = NICBSSupervisor(
-        assignment,
-        n_samples=n_samples,
-        sample_hash=get_hash(sample_hash_name),
-        hash_fn=get_hash(hash_name),
-        leaf_encoding=LeafEncoding(leaf_encoding_value),
-    )
-    return supervisor.verify(submission)
 
 
 # ----------------------------------------------------------------------
@@ -705,7 +654,7 @@ class SupervisorServer:
         started = time.perf_counter()
         outcome = await self._offload(
             functools.partial(
-                _verify_cbs_job,
+                verify_cbs_job,
                 session.assignment,
                 self.config.n_samples,
                 self.config.hash_name,
@@ -729,7 +678,7 @@ class SupervisorServer:
         started = time.perf_counter()
         outcome = await self._offload(
             functools.partial(
-                _verify_nicbs_job,
+                verify_nicbs_job,
                 session.assignment,
                 self.config.n_samples,
                 self.config.sample_hash_name,

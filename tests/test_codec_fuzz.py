@@ -376,7 +376,7 @@ class TestServiceFrames:
 
 
 class TestClusterEnvelope:
-    """The pickled job/result envelope: corrupted, truncated, oversized
+    """The typed job/result envelope: corrupted, truncated, oversized
     and wrong-version frames must raise CodecError/ProtocolError —
     both ReproError — and never crash a worker with anything else."""
 
@@ -405,7 +405,7 @@ class TestClusterEnvelope:
         try:
             decode_cluster_payload(bytes(encoded))
         except ReproError:
-            pass  # CodecError expected; a changed-but-valid pickle is fine
+            pass  # CodecError expected; a changed-but-valid value is fine
 
     def test_oversized_payload_rejected_both_ways(self):
         with pytest.raises(CodecError):
@@ -413,7 +413,9 @@ class TestClusterEnvelope:
         with pytest.raises(CodecError):
             decode_cluster_payload(b"\x00" * 129, max_bytes=64)
 
-    def test_unpicklable_payload_rejected(self):
+    def test_unregistered_callable_rejected_at_encode(self):
+        # Jobs are data, never code: a callable that was never
+        # register_callable()'d cannot even leave the coordinator.
         with pytest.raises(CodecError):
             encode_cluster_payload(lambda: None)
 
@@ -484,23 +486,47 @@ class TestClusterEnvelope:
             with pytest.raises(ReproError):
                 decode_frame_payload(payload)
 
-    def test_older_v3_result_frames_still_accepted(self):
-        """Wire v4 only *adds* the optional ``sp`` field: a v3 peer's
-        result/result_end frames (no spans, version tag 3) must decode
-        — rolling upgrades depend on it."""
+    def test_pre_v5_payload_frames_rejected(self):
+        """Wire v5 replaced the job payload encoding wholesale (typed
+        codec instead of pickle), so there is no cross-version payload
+        compatibility: v3/v4 job and result frames must be refused —
+        accepting one would hand pickle bytes to a typed decoder."""
         import base64
         import json
 
-        assert 3 in COMPAT_CLUSTER_WIRE_VERSIONS
+        assert COMPAT_CLUSTER_WIRE_VERSIONS == frozenset(
+            {CLUSTER_WIRE_VERSION}
+        )
+        assert CLUSTER_WIRE_VERSION == 5
         payload = base64.b64encode(b"x").decode("ascii")
-        result = decode_frame_payload(json.dumps(
-            {"t": "result", "id": 7, "ok": True, "p": payload, "v": 3}
+        for old in (3, 4):
+            with pytest.raises(CodecError):
+                decode_frame_payload(json.dumps(
+                    {"t": "result", "id": 7, "ok": True,
+                     "p": payload, "v": old}
+                ).encode())
+            with pytest.raises(CodecError):
+                decode_frame_payload(json.dumps(
+                    {"t": "job", "id": 7, "p": payload, "v": old}
+                ).encode())
+            with pytest.raises(CodecError):
+                decode_frame_payload(json.dumps(
+                    {"t": "result_end", "id": 7, "parts": 2, "v": old}
+                ).encode())
+
+    def test_pre_v5_hello_still_parses_for_polite_rejection(self):
+        """The ``hello`` version field is shape-checked but not gated
+        at decode: the coordinator must be able to *read* a v4 peer's
+        hello so it can answer with a clear upgrade message instead of
+        a silent parse error (the gate lives in ``_serve_worker``)."""
+        import json
+
+        hello = decode_frame_payload(json.dumps(
+            {"t": "hello", "worker": "w-old", "capacity": 2, "v": 4}
         ).encode())
-        assert isinstance(result, ResultFrame) and result.spans == ()
-        end = decode_frame_payload(json.dumps(
-            {"t": "result_end", "id": 7, "parts": 2, "v": 3}
-        ).encode())
-        assert isinstance(end, ResultEndFrame) and end.spans == ()
+        assert isinstance(hello, WorkerHello)
+        assert hello.version == 4
+        assert hello.version not in COMPAT_CLUSTER_WIRE_VERSIONS
 
     def test_result_spans_round_trip(self):
         spans = (
@@ -617,19 +643,21 @@ class TestChunkAndOutcomeEnvelopes:
         ) == entries
 
     def test_wrong_shapes_rejected(self):
-        # Valid pickles of the wrong shape: not chunks, not outcomes.
+        # Typed *value* payloads are junk to the chunk/outcome span
+        # framers: the envelopes have their own byte layout, so a
+        # payload-encoded object of any shape must be refused.
         for obj in ("chunk", [1, 2], [(True, "not-bytes")],
-                    [(1, b"x")], [("True", b"x")], [(True,)], {1: b"x"}):
+                    [(1, b"x")], [("True", b"x")], [(True,)],
+                    {1: b"x"}, ()):
             raw = encode_cluster_payload(obj)
             with pytest.raises(CodecError):
                 decode_cluster_chunk(raw)
             with pytest.raises(CodecError):
                 decode_cluster_outcomes(raw)
         # An empty outcome list IS legal (a zero-entry part would be
-        # odd but harmless); an empty chunk is not.
-        assert decode_cluster_outcomes(encode_cluster_payload(())) == []
-        with pytest.raises(CodecError):
-            decode_cluster_chunk(encode_cluster_payload(()))
+        # odd but harmless); an empty chunk is not (see
+        # test_chunk_entries_must_be_bytes_at_encode).
+        assert decode_cluster_outcomes(encode_cluster_outcomes([])) == []
 
     def test_chunk_entries_must_be_bytes_at_encode(self):
         with pytest.raises(CodecError):
@@ -652,6 +680,306 @@ class TestChunkAndOutcomeEnvelopes:
             encode_cluster_outcomes([(True, b"\x00" * 256)], max_bytes=64)
         with pytest.raises(CodecError):
             decode_cluster_outcomes(b"\x00" * 129, max_bytes=64)
+
+
+class TestTypedCodecLimits:
+    """The typed value codec's size caps fire on the *declared* sizes,
+    before allocation: a hostile peer lying in a length field cannot
+    make the decoder reserve memory it never received bytes for."""
+
+    def test_lying_field_lengths_rejected(self):
+        from repro.service.jobcodec import MAX_FIELD_BYTES, Tag
+        from repro.utils.encoding import encode_uint
+
+        for tag in (Tag.STR, Tag.BYTES):
+            raw = bytes([tag]) + encode_uint(MAX_FIELD_BYTES + 1)
+            with pytest.raises(CodecError, match="exceeds limit"):
+                decode_cluster_payload(raw)
+
+    def test_lying_container_counts_rejected(self):
+        from repro.service.jobcodec import MAX_CONTAINER_ITEMS, Tag
+        from repro.utils.encoding import encode_uint
+
+        for tag in (Tag.TUPLE, Tag.LIST, Tag.DICT, Tag.SET):
+            raw = bytes([tag]) + encode_uint(MAX_CONTAINER_ITEMS + 1)
+            with pytest.raises(CodecError, match="exceeds limit"):
+                decode_cluster_payload(raw)
+
+    def test_depth_bomb_rejected_both_ways(self):
+        from repro.service.jobcodec import MAX_DEPTH, Tag
+
+        # [[[…[None]…]]] crafted directly: LIST(count=1) nested past
+        # the cap, with a real terminator so depth is the only fault.
+        raw = bytes([Tag.LIST, 1]) * (MAX_DEPTH + 2) + bytes([Tag.NONE])
+        with pytest.raises(CodecError, match="depth"):
+            decode_cluster_payload(raw)
+        nested = None
+        for _ in range(MAX_DEPTH + 2):
+            nested = [nested]
+        with pytest.raises(CodecError, match="depth"):
+            encode_cluster_payload(nested)
+
+    def test_oversized_name_rejected(self):
+        from repro.service.jobcodec import MAX_NAME_BYTES, Tag
+        from repro.utils.encoding import encode_uint
+
+        name = b"x" * (MAX_NAME_BYTES + 1)
+        raw = (
+            bytes([Tag.CALLABLE]) + encode_uint(0)
+            + encode_uint(len(name)) + name
+        )
+        with pytest.raises(CodecError, match="exceeds limit"):
+            decode_cluster_payload(raw)
+
+    def test_dangling_name_reference_rejected(self):
+        from repro.service.jobcodec import Tag
+        from repro.utils.encoding import encode_uint
+
+        raw = bytes([Tag.CALLABLE]) + encode_uint(7)
+        with pytest.raises(CodecError, match="out of range"):
+            decode_cluster_payload(raw)
+
+    def test_every_unknown_tag_byte_rejected(self):
+        from repro.service.jobcodec import Tag
+
+        for byte in range(Tag.REF + 1, 256):
+            with pytest.raises(CodecError):
+                decode_cluster_payload(bytes([byte]))
+
+    def test_oversized_field_rejected_at_encode(self):
+        from repro.service.jobcodec import MAX_FIELD_BYTES
+
+        with pytest.raises(CodecError, match="exceeds limit"):
+            encode_cluster_payload(b"x" * (MAX_FIELD_BYTES + 1))
+
+
+def _registered_scheme_instances():
+    """One representative instance per registered scheme struct."""
+    from repro.baselines.double_check import DoubleCheckScheme
+    from repro.baselines.hardening import HardenedProbeScheme
+    from repro.baselines.naive_sampling import NaiveSamplingScheme
+    from repro.baselines.ringer import RingerScheme
+    from repro.cheating.strategies import HonestBehavior, SemiHonestCheater
+    from repro.core.cbs import CBSScheme
+    from repro.core.ni_cbs import NICBSScheme
+    from repro.merkle.tree import LeafEncoding
+
+    return [
+        CBSScheme(
+            n_samples=24,
+            hash_name="sha256",
+            leaf_encoding=LeafEncoding.RAW,
+            with_replacement=False,
+            include_reports=False,
+            stop_on_first_failure=False,
+            batch_proofs=True,
+        ),
+        NICBSScheme(
+            n_samples=12,
+            sample_hash_name="md5^3",
+            hash_name="sha256",
+            subtree_height=2,
+            stop_on_first_failure=False,
+        ),
+        NaiveSamplingScheme(8, with_replacement=False),
+        DoubleCheckScheme(
+            replication=3,
+            replica_behaviors=[HonestBehavior(), SemiHonestCheater(0.5)],
+        ),
+        RingerScheme(5, require_all=False),
+        HardenedProbeScheme(7),
+    ]
+
+
+class TestRegisteredSchemeRoundTrip:
+    """Every registered verification scheme crosses the wire losslessly
+    — encode → decode → re-encode is byte-identical.  That canonical-
+    bytes property is what the worker's scheme cache keys on, so a
+    break here silently degrades the cache, not just one payload."""
+
+    def test_registry_covers_every_scheme_struct(self):
+        from repro.service.jobcodec import (
+            ensure_default_registry,
+            registered_structs,
+        )
+
+        ensure_default_registry()
+        scheme_names = {
+            name for name in registered_structs() if name.endswith("_scheme")
+        }
+        assert scheme_names == {
+            "cbs_scheme",
+            "nicbs_scheme",
+            "naive_sampling_scheme",
+            "double_check_scheme",
+            "ringer_scheme",
+            "hardened_probe_scheme",
+        }
+
+    @pytest.mark.parametrize(
+        "scheme",
+        _registered_scheme_instances(),
+        ids=lambda s: type(s).__name__,
+    )
+    def test_scheme_round_trips_canonically(self, scheme):
+        raw = encode_cluster_payload(scheme)
+        back = decode_cluster_payload(raw)
+        assert type(back) is type(scheme)
+        assert encode_cluster_payload(back) == raw
+
+    @pytest.mark.parametrize(
+        "scheme",
+        _registered_scheme_instances(),
+        ids=lambda s: type(s).__name__,
+    )
+    def test_scheme_cache_returns_shared_instance(self, scheme):
+        from repro.service.jobcodec import SchemeCache
+
+        cache = SchemeCache()
+        raw = encode_cluster_payload(scheme)
+        first = decode_cluster_payload(raw, cache=cache)
+        second = decode_cluster_payload(raw, cache=cache)
+        assert second is first  # one construction per canonical params
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_scheme_jobs_round_trip_through_batch(self):
+        from repro.cheating.strategies import HonestBehavior
+        from repro.core.cbs import CBSScheme
+        from repro.engine.jobs import SchemeBatch, SchemeJob
+        from repro.tasks.domain import RangeDomain
+        from repro.tasks.result import TaskAssignment
+        from repro.tasks.workloads import PasswordSearch
+
+        assignment = TaskAssignment(
+            "t-0", RangeDomain(0, 64), PasswordSearch()
+        )
+        batch = SchemeBatch(
+            scheme=CBSScheme(n_samples=4),
+            jobs=tuple(
+                SchemeJob(assignment, HonestBehavior(), seed=i)
+                for i in range(3)
+            ),
+        )
+        raw = encode_cluster_payload(batch)
+        back = decode_cluster_payload(raw)
+        assert type(back) is SchemeBatch
+        assert len(back.jobs) == 3
+        assert encode_cluster_payload(back) == raw
+
+
+class TestVersionSkewHandshake:
+    """Live version gate: a v4 (pickle-era) peer dialing a v5
+    coordinator is turned away at ``hello`` with a clear upgrade
+    message, and a worker refused this way exits loudly instead of
+    retrying forever."""
+
+    def test_v4_worker_turned_away_with_upgrade_message(self):
+        import asyncio
+        import contextlib
+        import socket
+        import threading
+
+        from repro.engine.cluster import run_worker
+        from repro.engine.cluster.coordinator import ClusterExecutor
+        from repro.service.codec import read_frame, write_frame
+        from repro.service.jobcodec import register_callable
+
+        def _triple(x: int) -> int:
+            return x * 3
+
+        register_callable("tests.fuzz_triple", _triple)
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        executor = ClusterExecutor(
+            workers=1, port=port, spawn_local=False, startup_timeout=30.0
+        )
+
+        def worker_thread() -> None:
+            async def dial() -> None:
+                for _ in range(200):  # coordinator may not be bound yet
+                    try:
+                        await run_worker("127.0.0.1", port, engine="serial")
+                        return
+                    except (ConnectionError, OSError):
+                        await asyncio.sleep(0.05)
+
+            asyncio.run(dial())
+
+        thread = threading.Thread(target=worker_thread, daemon=True)
+        thread.start()
+        replies = []
+        try:
+            # A genuine v5 worker registers and serves jobs...
+            assert executor.map(_triple, range(4)) == [0, 3, 6, 9]
+
+            async def v4_dial() -> None:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                try:
+                    await write_frame(
+                        writer,
+                        WorkerHello(
+                            worker_id="w-v4", capacity=1, version=4
+                        ),
+                    )
+                    replies.append(
+                        await asyncio.wait_for(read_frame(reader), 10)
+                    )
+                finally:
+                    writer.close()
+                    with contextlib.suppress(Exception):
+                        await writer.wait_closed()
+
+            # ...while a v4 peer is refused at hello...
+            asyncio.run(v4_dial())
+            # ...without disturbing the registered v5 worker.
+            assert executor.map(_triple, range(4)) == [0, 3, 6, 9]
+        finally:
+            executor.close()
+        thread.join(timeout=10)
+        (bye,) = replies
+        assert isinstance(bye, ByeFrame)
+        assert bye.reason.startswith("incompatible cluster wire version 4")
+        assert "upgrade the worker" in bye.reason
+
+    def test_refused_worker_exits_loudly(self):
+        import asyncio
+
+        from repro.engine.cluster import run_worker
+        from repro.exceptions import EngineError
+        from repro.service.codec import read_frame, write_frame
+
+        async def scenario() -> None:
+            async def refuse(reader, writer) -> None:
+                await read_frame(reader)  # the hello
+                await write_frame(
+                    writer,
+                    ByeFrame(
+                        reason=(
+                            "incompatible cluster wire version 5: this "
+                            "coordinator speaks v6; upgrade the worker"
+                        )
+                    ),
+                )
+                writer.close()
+
+            server = await asyncio.start_server(refuse, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(
+                    EngineError, match="coordinator refused worker"
+                ):
+                    await run_worker("127.0.0.1", port, engine="serial")
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
 
 
 class TestFramingFuzz:

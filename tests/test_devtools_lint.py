@@ -57,7 +57,7 @@ class TestPickleContainment:
             rules={"RL001"},
         )
         assert rules_of(findings) == ["RL001"]
-        assert "sanctioned codec" in findings[0].message
+        assert "banned" in findings[0].message
 
     def test_flags_from_import_and_dynamic_import(self, tmp_path):
         findings = run_lint(
@@ -70,7 +70,9 @@ class TestPickleContainment:
         )
         assert len(findings) == 2
 
-    def test_codec_module_is_sanctioned(self, tmp_path):
+    def test_no_module_is_sanctioned_anymore(self, tmp_path):
+        # Wire v5 emptied the allowlist: even the frame codec itself
+        # may not touch pickle — the typed jobcodec carries payloads.
         findings = run_lint(
             tmp_path,
             {
@@ -80,7 +82,7 @@ class TestPickleContainment:
             },
             rules={"RL001"},
         )
-        assert findings == []
+        assert rules_of(findings) == ["RL001"]
 
     def test_clean_file_passes(self, tmp_path):
         findings = run_lint(
@@ -457,6 +459,121 @@ class TestWireSchemaCoverage:
             tmp_path, {"repro/service/codec.py": source}, rules={"RL006"}
         )
         assert any("directly" in f.message for f in findings)
+
+
+MINI_JOBCODEC_OK = """
+    class Tag:
+        NONE = 0x00
+        INT = 0x03
+
+    _TAG_NAMES = {Tag.NONE: "none", Tag.INT: "int"}
+
+
+    def check_payload_size(what, size, cap):
+        pass
+
+
+    class _Decoder:
+        def take(self, n, what):
+            return self.data[self.pos:self.pos + n]
+
+        def uint(self, what):
+            return self.data[self.pos]
+
+
+    def _dec_none(dec, depth):
+        return None
+
+
+    def _dec_int(dec, depth):
+        return dec.uint("int")
+
+
+    _DECODERS = {Tag.NONE: _dec_none, Tag.INT: _dec_int}
+
+
+    def encode_cluster_payload(obj, max_bytes=1024):
+        raw = b"x"
+        check_payload_size("cluster payload", len(raw), max_bytes)
+        return raw
+
+
+    def decode_cluster_payload(raw, max_bytes=1024):
+        check_payload_size("cluster payload", len(raw), max_bytes)
+        return None
+"""
+
+
+class TestWireSchemaJobcodec:
+    def test_consistent_jobcodec_passes(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            {"repro/service/jobcodec.py": MINI_JOBCODEC_OK},
+            rules={"RL006"},
+        )
+        assert findings == []
+
+    def test_tag_without_decoder_is_flagged(self, tmp_path):
+        source = MINI_JOBCODEC_OK.replace(
+            "_DECODERS = {Tag.NONE: _dec_none, Tag.INT: _dec_int}",
+            "_DECODERS = {Tag.NONE: _dec_none}",
+        )
+        findings = run_lint(
+            tmp_path,
+            {"repro/service/jobcodec.py": source},
+            rules={"RL006"},
+        )
+        assert any("no _DECODERS entry" in f.message for f in findings)
+
+    def test_tag_names_drift_is_flagged(self, tmp_path):
+        source = MINI_JOBCODEC_OK.replace(
+            '_TAG_NAMES = {Tag.NONE: "none", Tag.INT: "int"}',
+            '_TAG_NAMES = {Tag.NONE: "none"}',
+        )
+        findings = run_lint(
+            tmp_path,
+            {"repro/service/jobcodec.py": source},
+            rules={"RL006"},
+        )
+        assert any("_TAG_NAMES" in f.message for f in findings)
+
+    def test_uncapped_envelope_entry_point_is_flagged(self, tmp_path):
+        source = MINI_JOBCODEC_OK.replace(
+            'check_payload_size("cluster payload", len(raw), max_bytes)\n'
+            "        return None",
+            "return None",
+        )
+        findings = run_lint(
+            tmp_path,
+            {"repro/service/jobcodec.py": source},
+            rules={"RL006"},
+        )
+        assert any(
+            "check_payload_size" in f.message
+            and "decode_cluster_payload" in f.message
+            for f in findings
+        )
+
+    def test_raw_buffer_subscript_outside_decoder_is_flagged(self, tmp_path):
+        source = MINI_JOBCODEC_OK.replace(
+            'def _dec_int(dec, depth):\n        return dec.uint("int")',
+            "def _dec_int(dec, depth):\n        return dec.data[dec.pos]",
+        )
+        findings = run_lint(
+            tmp_path,
+            {"repro/service/jobcodec.py": source},
+            rules={"RL006"},
+        )
+        assert any("bounds-checked" in f.message for f in findings)
+
+    def test_real_jobcodec_is_clean(self):
+        checkers = [cls() for cls in ALL_CHECKERS if cls.rule == "RL006"]
+        findings, _ = lint_paths(
+            [REPO_ROOT / "src" / "repro" / "service" / "jobcodec.py"],
+            checkers,
+            root=REPO_ROOT,
+        )
+        assert findings == []
 
 
 # ----------------------------------------------------------------------

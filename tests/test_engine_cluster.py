@@ -41,7 +41,16 @@ from repro.service.codec import (
     encode_cluster_outcomes,
     encode_cluster_payload,
 )
+from repro.service.jobcodec import encode_job
 from repro.tasks import PasswordSearch, RangeDomain
+
+from cluster_helpers import (
+    _boom,
+    _boom_on_three,
+    _sleepy_square,
+    _square,
+    _worker_pid,
+)
 
 
 def report_fingerprint(report) -> bytes:
@@ -79,32 +88,17 @@ def population(scheme, engine, n=1 << 10, participants=8, **kwargs):
     )
 
 
+#: Worker-side registration hook for this module's job functions: the
+#: daemons import ``cluster_helpers`` (tests/ rides the coordinator's
+#: PYTHONPATH propagation) so the typed codec can resolve the names.
+PRELOAD = ("cluster_helpers",)
+
+
 @pytest.fixture(scope="module")
 def cluster():
     """One warm 2-worker cluster shared across this module's tests."""
-    with ClusterExecutor(workers=2) as executor:
+    with ClusterExecutor(workers=2, worker_preload=PRELOAD) as executor:
         yield executor
-
-
-# Module-level so job payloads pickle.
-def _square(x: int) -> int:
-    return x * x
-
-
-def _sleepy_square(args: tuple) -> int:
-    delay, x = args
-    time.sleep(delay)
-    return x * x
-
-
-def _boom(x: int) -> int:
-    raise ValueError(f"boom {x}")
-
-
-def _boom_on_three(x: int) -> int:
-    if x == 3:
-        raise ValueError("boom 3")
-    return x * x
 
 
 class TestRegistry:
@@ -172,9 +166,9 @@ class TestMapSemantics:
         assert cluster._co.jobs == {}
         assert cluster.map(_square, [4]) == [16]
 
-    def test_unpicklable_job_rejected_before_dispatch(self, cluster):
+    def test_unregistered_job_rejected_before_dispatch(self, cluster):
         with pytest.raises(CodecError):
-            cluster.map(lambda x: x, [1])  # lambdas do not pickle
+            cluster.map(lambda x: x, [1])  # not a registered callable
 
     def test_futures_pool_submits_single_calls(self, cluster):
         future = cluster.futures_pool.submit(_square, 12)
@@ -190,7 +184,7 @@ class TestWorkerPayloadHygiene:
 
     def test_garbage_bytes(self):
         with pytest.raises(CodecError):
-            execute_payload(b"\x00\x01 not a pickle")
+            execute_payload(b"\x00\x01 not a typed payload")
 
     def test_non_triple_payload(self):
         with pytest.raises(CodecError):
@@ -226,6 +220,16 @@ class TestPopulationParity:
         }
         assert len(fingerprints) == 1
 
+    def test_scheme_cache_reused_across_chunks(self, cluster):
+        """One population, many chunks: the scheme is constructed once
+        per worker (misses) and reused for every later chunk (hits),
+        with the workers' deltas aggregated into coordinator stats."""
+        population(CBSScheme(n_samples=6), engine=cluster, batch_size=1)
+        stats = cluster.stats
+        assert stats["scheme_cache_hits"] > 0
+        assert stats["scheme_cache_misses"] > 0
+        assert stats["scheme_cache_hits"] > stats["scheme_cache_misses"]
+
 
 class TestFaultTolerance:
     def test_sigkill_one_worker_mid_population(self):
@@ -234,7 +238,7 @@ class TestFaultTolerance:
         serial = report_fingerprint(
             population(scheme, engine="serial", n=1 << 16, participants=32)
         )
-        with ClusterExecutor(workers=2) as executor:
+        with ClusterExecutor(workers=2, worker_preload=PRELOAD) as executor:
             executor.map(_square, [0])  # force startup; pids known
             victim = executor.local_worker_pids[0]
             report_box: list = []
@@ -262,16 +266,14 @@ class TestFaultTolerance:
 
     def test_slow_worker_chunk_requeued(self):
         """job_timeout requeues a stuck chunk; first result wins."""
-        with ClusterExecutor(workers=2, job_timeout=0.3) as executor:
+        with ClusterExecutor(
+            workers=2, job_timeout=0.3, worker_preload=PRELOAD
+        ) as executor:
             items = [(0.9, 1)] + [(0.0, x) for x in range(2, 8)]
             assert executor.map(_sleepy_square, items) == [
                 x * x for _delay, x in items
             ]
             assert executor.stats["jobs_requeued"] >= 1
-
-
-def _worker_pid(_item) -> int:
-    return os.getpid()
 
 
 class TestWarmPoolLifecycle:
@@ -281,7 +283,10 @@ class TestWarmPoolLifecycle:
 
     def test_process_pool_reused_across_consecutive_chunks(self):
         with ClusterExecutor(
-            workers=1, worker_engine="processes", worker_processes=2
+            workers=1,
+            worker_engine="processes",
+            worker_processes=2,
+            worker_preload=PRELOAD,
         ) as executor:
             first = set(executor.map(_worker_pid, range(16)))
             second = set(executor.map(_worker_pid, range(16)))
@@ -301,7 +306,7 @@ class TestWarmPoolLifecycle:
             port = probe.getsockname()[1]
 
         # Same path-injection rule as the coordinator's spawn-local
-        # mode: the daemon must unpickle this module's functions.
+        # mode: the daemon must import cluster_helpers' registrations.
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
         with ClusterExecutor(
@@ -312,6 +317,7 @@ class TestWarmPoolLifecycle:
                     sys.executable, "-m", "repro.engine.cluster.worker",
                     "--port", str(port), "--engine", "processes",
                     "--workers", "2", "--connect-retry", "10",
+                    "--preload", "cluster_helpers",
                 ],
                 stdout=subprocess.PIPE,
                 stderr=subprocess.PIPE,
@@ -444,7 +450,7 @@ def attach_worker(co: _Coordinator, worker_id: str, capacity: int = 1):
 
 
 def job_payload(value: int) -> bytes:
-    return encode_cluster_payload((_square, (value,), {}))
+    return encode_job(_square, (value,), {})
 
 
 def ok_outcomes(*values) -> bytes:
@@ -850,7 +856,7 @@ class TestWorkerChunkExecution:
         raw = encode_cluster_chunk(
             [
                 job_payload(1),
-                encode_cluster_payload((_boom, (3,), {})),
+                encode_job(_boom, (3,), {}),
                 job_payload(2),
             ]
         )
@@ -886,7 +892,11 @@ class TestStreamedEndToEnd:
 
     def test_streamed_map_matches_serial(self):
         with ClusterExecutor(
-            workers=2, stream_threshold=1, chunk_min=4, chunk_max=8
+            workers=2,
+            stream_threshold=1,
+            chunk_min=4,
+            chunk_max=8,
+            worker_preload=PRELOAD,
         ) as executor:
             assert executor.map(_square, range(64)) == [
                 i * i for i in range(64)
@@ -897,7 +907,11 @@ class TestStreamedEndToEnd:
         scheme = CBSScheme(n_samples=8)
         serial = report_fingerprint(population(scheme, engine="serial"))
         with ClusterExecutor(
-            workers=2, stream_threshold=1, chunk_min=2, chunk_max=4
+            workers=2,
+            stream_threshold=1,
+            chunk_min=2,
+            chunk_max=4,
+            worker_preload=PRELOAD,
         ) as executor:
             streamed = report_fingerprint(
                 population(scheme, engine=executor, batch_size=1)
@@ -912,7 +926,11 @@ class TestStreamedEndToEnd:
             population(scheme, engine="serial", n=1 << 15, participants=32)
         )
         with ClusterExecutor(
-            workers=2, stream_threshold=1, chunk_min=4, chunk_max=8
+            workers=2,
+            stream_threshold=1,
+            chunk_min=4,
+            chunk_max=8,
+            worker_preload=PRELOAD,
         ) as executor:
             executor.map(_square, [0])  # force startup; pids known
             victim = executor.local_worker_pids[0]
@@ -995,8 +1013,7 @@ class TestTuningValidation:
             get_executor(executor, chunk_min=2)
 
 
-def _megabyte(x: int) -> bytes:
-    return bytes([x % 256]) * (1 << 20)
+from cluster_helpers import _megabyte  # noqa: E402
 
 
 class TestAnswerPathSurvival:

@@ -5,7 +5,7 @@ The acceptance properties of PR 5:
 * an **auth-on cluster run is byte-identical to serial** — including
   the SIGKILL-mid-population fault drill — with the HMAC handshake and
   TLS both enabled;
-* a **wrong-secret peer is rejected before any pickle envelope is
+* a **wrong-secret peer is rejected before any job envelope is
   decoded** (cluster plane) or any session is created (service
   plane), and the population still completes on the remaining
   workers;
@@ -33,7 +33,12 @@ from repro.service.codec import TaskRequest, encode_frame
 from repro.service.loadgen import run_service_loadgen
 from repro.service.server import ServiceConfig
 from repro.tasks import RangeDomain
-from test_engine_cluster import _square, population, report_fingerprint
+from test_engine_cluster import (
+    PRELOAD,
+    _square,
+    population,
+    report_fingerprint,
+)
 
 
 @pytest.fixture(scope="module")
@@ -59,7 +64,8 @@ class TestClusterAuthTLS:
     def test_secured_map_matches_plain(self, secret_file, tls_material):
         cert, key = tls_material
         with ClusterExecutor(
-            workers=2, secret_file=secret_file, tls_cert=cert, tls_key=key
+            workers=2, secret_file=secret_file, tls_cert=cert, tls_key=key,
+            worker_preload=PRELOAD,
         ) as executor:
             assert executor.map(_square, range(40)) == [
                 i * i for i in range(40)
@@ -87,7 +93,8 @@ class TestClusterAuthTLS:
             population(scheme, engine="serial", n=1 << 15, participants=32)
         )
         with ClusterExecutor(
-            workers=2, secret_file=secret_file, tls_cert=cert, tls_key=key
+            workers=2, secret_file=secret_file, tls_cert=cert, tls_key=key,
+            worker_preload=PRELOAD,
         ) as executor:
             executor.map(_square, [0])  # force startup; pids known
             victim = executor.local_worker_pids[0]
@@ -125,7 +132,7 @@ class TestClusterAuthTLS:
         self, secret_file, wrong_secret_file
     ):
         """The CI negative scenario: an impostor worker is turned away
-        at the handshake — before any pickle is decoded — while the
+        at the handshake — before any job envelope is decoded — while the
         correctly-keyed workers complete the whole population."""
         port = _free_port()
         executor = ClusterExecutor(
@@ -192,12 +199,14 @@ class TestClusterAuthTLS:
         # its connection died before the codec: no hello was accepted.
         assert impostor_error
 
-    def test_unauthenticated_peer_never_reaches_the_pickle_plane(
+    def test_unauthenticated_peer_never_reaches_the_job_decoder(
         self, secret_file
     ):
         """A raw socket shoving codec frames at a secured coordinator
         is dropped at the handshake; the keyed pool keeps serving."""
-        with ClusterExecutor(workers=1, secret_file=secret_file) as executor:
+        with ClusterExecutor(
+            workers=1, secret_file=secret_file, worker_preload=PRELOAD
+        ) as executor:
             assert executor.map(_square, [3]) == [9]  # pool is live
             host, port = executor.address
             with socket.create_connection((host, port), timeout=10) as sock:

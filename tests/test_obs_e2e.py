@@ -41,7 +41,7 @@ from repro.service.codec import (
 )
 from repro.service.server import ServiceConfig, SupervisorServer
 from repro.tasks import RangeDomain
-from test_engine_cluster import _square
+from test_engine_cluster import PRELOAD, _square
 
 
 def _free_port() -> int:
@@ -109,7 +109,7 @@ class TestClusterTraceEndToEnd:
             assert record.span_id in executed
 
     def test_untraced_run_emits_no_ids(self, caplog):
-        with ClusterExecutor(workers=1) as executor:
+        with ClusterExecutor(workers=1, worker_preload=PRELOAD) as executor:
             with caplog.at_level(logging.DEBUG, logger="repro"):
                 executor.map(_square, range(4))
         for record in caplog.records:
